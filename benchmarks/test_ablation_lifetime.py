@@ -1,0 +1,84 @@
+"""Ablation: device lifetime under wear leveling + spare-block remapping.
+
+MLC-PCM endures ~1e5 cycles (Section 6.4); this bench combines the
+Start-Gap wear-leveling substrate [26] and FREE-p-style remapping [39]
+the paper points to for end-to-end protection:
+
+1. wear leveling flattens a hot-spotted write stream (max/mean wear);
+2. block remapping extends lifetime past the first spare-exhausted block.
+"""
+
+import numpy as np
+
+from repro.wearout.remap import lifetime_with_remapping
+from repro.wearout.wear_leveling import StartGap, simulate_wear, wear_stats
+
+from _report import emit, render_table
+
+
+def test_ablation_lifetime(benchmark):
+    def compute():
+        rng = np.random.default_rng(0)
+        n_lines = 128
+        writes = np.where(
+            rng.random(200_000) < 0.8, 7, rng.integers(0, n_lines, 200_000)
+        )
+        rows = []
+        base = wear_stats(simulate_wear(n_lines, writes))
+        rows.append(("none", f"{base['max_over_mean']:.1f}", f"{base['cv']:.2f}", "-"))
+        for interval in (8, 32, 128):
+            sg = StartGap(n_lines, gap_move_interval=interval)
+            st = wear_stats(simulate_wear(n_lines, writes, leveler=sg))
+            rows.append(
+                (
+                    f"start-gap /{interval}",
+                    f"{st['max_over_mean']:.1f}",
+                    f"{st['cv']:.2f}",
+                    f"{sg.write_overhead:.1%}",
+                )
+            )
+
+        life_rows = []
+        for spares_pct in (0, 5, 10, 25):
+            out = lifetime_with_remapping(
+                n_blocks=400,
+                n_spare_blocks=400 * spares_pct // 100,
+                failures_per_block_budget=6,
+                mean_endurance=1e5,
+                endurance_sigma=0.3,
+                seed=1,
+            )
+            life_rows.append(
+                (
+                    f"{spares_pct}%",
+                    f"{out['first_block_failure_writes']:.2E}",
+                    f"{out['device_lifetime_writes']:.2E}",
+                    f"{out['lifetime_gain']:.2f}x",
+                )
+            )
+        return rows, life_rows
+
+    rows, life_rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "ablation_lifetime",
+        render_table(
+            "Ablation A: wear leveling on an 80%-hot write stream",
+            ["leveler", "max/mean wear", "cv", "write overhead"],
+            rows,
+        )
+        + "\n"
+        + render_table(
+            "Ablation B: device lifetime vs spare-block pool "
+            "(mark-and-spare budget 6/block, endurance 1e5 +- 0.3 dec)",
+            ["spare pool", "first block death", "device death", "gain"],
+            life_rows,
+            note=(
+                "Wear leveling turns the hot line's ~100x wear into ~1x at "
+                "<13% write overhead; remapping then converts the block-"
+                "lifetime *distribution tail* into extra device life."
+            ),
+        ),
+    )
+    assert float(rows[0][1]) > 10 * float(rows[2][1])  # /32 leveler
+    gains = [float(r[3][:-1]) for r in life_rows]
+    assert gains == sorted(gains)

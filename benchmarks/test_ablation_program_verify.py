@@ -1,0 +1,84 @@
+"""Ablation: the full cost of tighter writes (program-and-verify loop).
+
+Section 8's density lever — "reducing the variability of the
+log-resistance of written cells" — is not free: a tighter verify window
+means more program pulses, longer writes, and more wear per write.  This
+bench prices the lever end to end: window scale -> pulse count -> write
+latency -> achieved sigma -> 3LC drift CER at ten years.
+"""
+
+import numpy as np
+
+from repro.cells.params import SIGMA_R, WRITE_TRUNCATION_SIGMA
+from repro.cells.program import IterativeWriteModel
+from repro.core.levels import LevelDesign
+from repro.montecarlo.analytic import analytic_design_cer
+
+from _report import emit, render_table, sci
+
+TEN_YEARS = 3.156e8
+PULSE_NS = 125.0  # one program-and-verify round
+
+
+def _three_lc_with_sigma(sigma: float) -> LevelDesign:
+    margin = (WRITE_TRUNCATION_SIGMA + 0.05) * sigma
+    mu2 = max(4.0, 3.0 + 2 * margin)
+    return LevelDesign.from_levels(
+        f"3LC(sigma={sigma:.3f})",
+        ["S1", "S2", "S4"],
+        [3.0, mu2, 6.0],
+        thresholds=[mu2 - margin, 6.0 - margin],
+        sigma_lr=sigma,
+    )
+
+
+def test_ablation_program_verify(benchmark):
+    def compute():
+        rows = []
+        for scale in (1.0, 0.75, 0.5, 0.35):
+            model = IterativeWriteModel().tightened(scale)
+            out = model.program(4.0, n=100_000, rng=0)
+            sigma_eff = float(np.std(out.lr))
+            design = _three_lc_with_sigma(scale * SIGMA_R)
+            cer = analytic_design_cer(design, [TEN_YEARS], z_points=601)[0]
+            rows.append(
+                (
+                    f"{scale:.2f}",
+                    f"{out.mean_pulses:.2f}",
+                    f"{out.mean_pulses * PULSE_NS:.0f}",
+                    f"{sigma_eff:.4f}",
+                    sci(cer),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "ablation_program_verify",
+        render_table(
+            "Ablation: verify-window scale vs write cost vs 3LC retention",
+            [
+                "window scale",
+                "mean pulses",
+                "write latency [ns]",
+                "achieved sigma",
+                "3LC CER @ 10yr",
+            ],
+            rows,
+            note=(
+                "Tightening the verify window buys orders of magnitude of "
+                "retention (and enables denser cells) at the cost of more "
+                "program pulses — longer writes, lower write bandwidth, and "
+                "proportionally more wear per write (Section 6.4's caution "
+                "about iterative write-and-verify)."
+            ),
+        ),
+    )
+    pulses = [float(r[1]) for r in rows]
+    assert pulses == sorted(pulses)  # tighter -> more pulses
+
+    def val(s):
+        return 0.0 if s == "0" else float(s)
+
+    cers = [val(r[4]) for r in rows]
+    assert all(a >= b for a, b in zip(cers, cers[1:]))  # tighter -> lower CER

@@ -1,0 +1,99 @@
+"""Ablation: smarter refresh scheduling and the row buffer.
+
+Two extensions the paper's citations point at but its evaluation omits:
+
+- **write-aware scrub** (after Awasthi et al. [2]): blocks the demand
+  stream rewrites within an interval need no refresh.  In steady state
+  the recoverable share equals workload footprint / device size — so
+  the device size decides whether the optimization matters;
+- **row buffers** (Section 6.7 notes PCM devices keep 512-bit+ row
+  buffers): streaming reads hit the open row, shrinking the array-read
+  component of latency for every design alike.
+
+Neither closes the 4LC-vs-3LC gap on a paper-scale device: the cold
+majority of 16GB still needs the full refresh bandwidth, and the ECC
+adder difference is untouched.
+"""
+
+from repro.sim.config import (
+    DesignVariant,
+    MachineConfig,
+    PAPER_VARIANTS,
+    RefreshMode,
+)
+from repro.sim.core import run_trace
+from repro.workloads.spec_like import make_workload
+
+from _report import emit, render_table
+
+FOOTPRINT_BYTES = 64 * 2**20  # lbm's ~1M-line working set
+
+
+def test_ablation_refresh_scheduling(benchmark):
+    base = PAPER_VARIANTS["4LC-REF"]
+
+    def compute():
+        trace = make_workload("lbm", n_accesses=30_000, seed=0)
+        machine = MachineConfig()
+        t_ref = run_trace(trace, machine, base).exec_time_ns
+        t_3lc = run_trace(trace, machine, PAPER_VARIANTS["3LC"]).exec_time_ns
+        rows = []
+        one_core = FOOTPRINT_BYTES / machine.device_bytes
+        for label, coverage in (
+            ("one core (64MB footprint)", one_core),
+            ("many-core aggregate, 25%", 0.25),
+            ("many-core aggregate, 50%", 0.50),
+            ("many-core aggregate, 90%", 0.90),
+        ):
+            aware = DesignVariant(
+                "4LC-REF-AWARE",
+                RefreshMode.WRITE_AWARE,
+                base.refresh_interval_s,
+                base.read_adder_ns,
+                refresh_coverage=coverage,
+            )
+            t_aware = run_trace(trace, machine, aware).exec_time_ns
+            rows.append(
+                (
+                    label,
+                    f"{coverage:.1%}",
+                    f"{t_aware / t_ref:.3f}",
+                    f"{t_3lc / t_ref:.3f}",
+                )
+            )
+        # Row-buffer effect at paper scale.
+        machine_rb = MachineConfig(row_buffer_blocks=8)
+        res_rb = run_trace(trace, machine_rb, base)
+        rb_row = (
+            "16 GB + row buffer",
+            f"hit {100 * res_rb.row_hit_rate:.0f}%",
+            f"{res_rb.exec_time_ns / t_ref:.3f}",
+            "-",
+        )
+        return rows, rb_row
+
+    rows, rb_row = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "ablation_refresh_scheduling",
+        render_table(
+            "Ablation: write-aware scrub (lbm on the 16GB device, exec "
+            "time vs 4LC-REF) and row buffers",
+            ["scenario", "coverage / hits", "4LC write-aware", "3LC"],
+            rows + [rb_row],
+            note=(
+                "A single core rewrites 0.4% of the 16GB device per "
+                "17-minute interval — write-aware scrub recovers nothing "
+                "measurable.  Even a hypothetical many-core aggregate "
+                "covering half the device only halves the refresh rate; "
+                "the 4LC design approaches the refresh-free 3LC only as "
+                "coverage -> 1.  Row buffers cut streaming read latency "
+                "for every design alike and leave refresh untouched."
+            ),
+        ),
+    )
+    vals = [float(r[2]) for r in rows]
+    # negligible at one-core coverage, monotone improvement with coverage,
+    # never beating the refresh-free 3LC
+    assert vals[0] > 0.95
+    assert all(a >= b for a, b in zip(vals, vals[1:]))
+    assert vals[-1] >= float(rows[0][3]) - 0.02

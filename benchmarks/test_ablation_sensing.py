@@ -1,0 +1,85 @@
+"""Ablation: circuit-level drift mitigation (Section 3's related work).
+
+Reference cells [16] and time-aware sensing [37] adjust thresholds at
+read time.  The paper's verdict — "these complementary drift error
+reduction techniques show limited improvement" — is quantified here:
+both help the naive 4LC by well under an order of magnitude, because the
+naive mapping leaves almost no headroom to shift thresholds into, while
+the 3LC design sits many orders lower with static sensing.
+"""
+
+import numpy as np
+
+from repro.cells.sensing import (
+    FixedSensing,
+    ReferenceCellSensing,
+    TimeAwareSensing,
+)
+from repro.core.designs import four_level_naive, three_level_optimal
+from repro.montecarlo.analytic import analytic_design_cer
+from repro.montecarlo.cer import sample_state_cells
+
+from _report import emit, render_table, sci
+
+AGES = (32.0, 2.0**10, 2.0**15, 2.0**20)
+LABELS = ("32s", "17min", "9hour", "12day")
+N = 2_000_000
+
+
+def _design_cer_under_policy(design, policy, age, rng) -> float:
+    total = 0.0
+    for i, (state, p_occ) in enumerate(zip(design.states, design.occupancy)):
+        if i == design.n_levels - 1:
+            continue
+        lr0, alpha, _ = sample_state_cells(state, N // design.n_levels, rng)
+        lr = lr0 + alpha * np.log10(age)
+        sensed = policy.sense(design, lr, age)
+        total += p_occ * float(np.mean(sensed != i))
+    return total
+
+
+def test_ablation_sensing(benchmark):
+    lc4 = four_level_naive()
+
+    def compute():
+        rng = np.random.default_rng(0)
+        rows = []
+        for name, policy in (
+            ("fixed", FixedSensing()),
+            ("time-aware [37]", TimeAwareSensing()),
+            ("reference cells [16]", ReferenceCellSensing(n_ref_per_state=16)),
+        ):
+            row = [name]
+            for age in AGES:
+                row.append(sci(_design_cer_under_policy(lc4, policy, age, rng)))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lc3_cer = analytic_design_cer(three_level_optimal(), AGES)
+    rows.append(["(3LCo, static)"] + [sci(c) for c in lc3_cer])
+
+    emit(
+        "ablation_sensing",
+        render_table(
+            "Ablation: 4LCn CER under circuit-level sensing mitigations",
+            ["sensing policy"] + [f"CER @ {l}" for l in LABELS],
+            rows,
+            note=(
+                "Time-aware/reference sensing buy a handful of x at short "
+                "ages and saturate against the naive mapping's headroom "
+                "(~0.04 decades between tau3 and S4's write window).  The "
+                "3LC design's margin-widening beats them by many orders — "
+                "the paper's architectural point."
+            ),
+        ),
+    )
+
+    def val(s):
+        return 0.0 if s == "0" else float(s)
+
+    fixed = [val(x) for x in rows[0][1:]]
+    ta = [val(x) for x in rows[1][1:]]
+    assert all(t <= f for t, f in zip(ta, fixed))
+    assert ta[2] > fixed[2] / 100  # limited improvement
+    assert lc3_cer[2] < fixed[2] * 1e-6  # 3LC dominates architecturally

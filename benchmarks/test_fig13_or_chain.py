@@ -1,0 +1,49 @@
+"""Figure 13: O(n) vs O(log n) OR-gate chains for the MUX selects."""
+
+import numpy as np
+
+from repro.wearout.netlist import NETWORK_BUILDERS
+
+from _report import emit, render_table
+
+N_PAIRS = 177  # the paper's 64B-block chain length
+
+
+def test_fig13(benchmark):
+    nets = {name: build(N_PAIRS) for name, build in NETWORK_BUILDERS.items()}
+    rng = np.random.default_rng(0)
+    inputs = rng.random((256, N_PAIRS)) < 0.03
+
+    def evaluate_all():
+        return {name: net.evaluate(inputs) for name, net in nets.items()}
+
+    outs = benchmark(evaluate_all)
+    ref = np.logical_or.accumulate(inputs, axis=1)
+    for name, out in outs.items():
+        assert np.array_equal(out, ref), name
+
+    rows = [
+        (
+            name,
+            net.gate_count,
+            net.depth,
+            f"{net.depth * 2.0:.0f}",  # OR2 ~ 2 FO4
+        )
+        for name, net in nets.items()
+    ]
+    emit(
+        "fig13_or_chain",
+        render_table(
+            f"Figure 13: prefix-OR networks over {N_PAIRS} INV flags",
+            ["network", "OR2 gates", "gate depth", "~FO4 delay"],
+            rows,
+            note=(
+                "Paper's point: the ripple chain's O(n) depth (176 gates) "
+                "collapses to O(log n) = 8 with a Sklansky/Kogge-Stone "
+                "prefix structure, as in fast adders."
+            ),
+        ),
+    )
+    assert nets["ripple"].depth == N_PAIRS - 1
+    assert nets["sklansky"].depth == 8
+    assert nets["kogge-stone"].depth == 8

@@ -1,0 +1,43 @@
+"""Figure 14: ECP adapted to MLC — geometry and correction throughput."""
+
+import numpy as np
+
+from repro.wearout.ecp import ECPConfig, ECPTable, ecp_cells_mlc, ecp_cells_slc
+
+from _report import emit, render_table
+
+
+def test_fig14(benchmark):
+    cfg = ECPConfig(n_data_cells=256, n_entries=6)
+    rng = np.random.default_rng(0)
+    tables = []
+    for _ in range(128):
+        t = ECPTable(cfg)
+        for p in rng.choice(256, 6, replace=False):
+            t.allocate(int(p), int(rng.integers(0, 4)))
+        tables.append(t)
+    states = rng.integers(0, 4, (128, 256))
+
+    def apply_all():
+        return [t.apply(s) for t, s in zip(tables, states)]
+
+    outs = benchmark(apply_all)
+    assert len(outs) == 128
+
+    rows = [
+        ("pointer bits (256 cells)", cfg.pointer_bits, ""),
+        ("pointer cells (2 bits/cell)", 4, "Figure 14"),
+        ("replacement cells per entry", 1, ""),
+        ("cells per tolerated failure", 5, "vs 2 for mark-and-spare"),
+        ("ECP-6 total cells (MLC)", ecp_cells_mlc(256, 6), "paper: 31"),
+        ("ECP-6 total cells (SLC, 329-cell block)", ecp_cells_slc(329, 6), "permutation baseline"),
+    ]
+    emit(
+        "fig14_ecp",
+        render_table(
+            "Figure 14: ECP for MLC (8-bit pointer in 4 cells + 1 replacement cell)",
+            ["quantity", "value", "note"],
+            rows,
+        ),
+    )
+    assert ecp_cells_mlc(256, 6) == 31

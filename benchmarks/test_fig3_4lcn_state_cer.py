@@ -1,0 +1,57 @@
+"""Figure 3: drift error rates of S2/S3 in a conventional four-level cell.
+
+The paper samples 1e9 cells; the default here is 5e6 per state so the
+whole suite stays fast (pass ``--samples`` via REPRO_FIG3_SAMPLES to scale
+up — the engine is chunked and handles 1e9).  Rates below the MC floor
+print as '<floor>'.
+"""
+
+import os
+
+import numpy as np
+
+from repro.montecarlo.sweep import PAPER_TIME_LABELS, fig3_state_sweep
+
+from _report import emit, render_table, sci
+
+N_SAMPLES = int(os.environ.get("REPRO_FIG3_SAMPLES", 5_000_000))
+
+
+def test_fig3(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: fig3_state_sweep(n_samples=N_SAMPLES, seed=0), rounds=1, iterations=1
+    )
+
+    def fmt(x):
+        return sci(x) if x > 0 else f"<{sci(sweep.floor)}"
+
+    rows = [
+        [label] + [fmt(sweep.series[s][i]) for s in ("S1", "S2", "S3", "S4")]
+        for i, label in enumerate(PAPER_TIME_LABELS)
+    ]
+    from repro.analysis.asciichart import log_chart
+
+    chart = log_chart(
+        {s: sweep.series[s] for s in ("S2", "S3")},
+        list(PAPER_TIME_LABELS),
+        floor=1e-10,
+        title="Figure 3 curves: S2 and S3 cell error rate (log y)",
+    )
+    emit(
+        "fig3_4lcn_state_cer",
+        chart
+        + "\n\n"
+        + render_table(
+            f"Figure 3: 4LCn per-state drift error rate ({N_SAMPLES:.0E} cells/state)",
+            ["time", "S1", "S2", "S3", "S4"],
+            rows,
+            note=(
+                "Paper shape: S3 ~an order of magnitude above S2; S1/S4 "
+                "practically zero.  Paper's quoted 1E-3 design-level CER at "
+                "~30 s corresponds to (S2+S3)/4 here."
+            ),
+        ),
+    )
+    i17 = PAPER_TIME_LABELS.index("17min")
+    assert sweep.series["S3"][i17] > 5 * sweep.series["S2"][i17]
+    assert np.all(sweep.series["S4"] == 0)

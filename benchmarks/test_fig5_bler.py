@@ -1,0 +1,46 @@
+"""Figure 5: block error rate vs cell error rate and ECC strength."""
+
+import numpy as np
+
+from repro.analysis.bler import block_error_rate, fig5_cell_counts
+from repro.analysis.targets import PAPER_TARGET, SECONDS_PER_YEAR, SEVENTEEN_MINUTES_S
+
+from _report import emit, render_table, sci
+
+CERS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10)
+
+
+def test_fig5(benchmark):
+    counts = fig5_cell_counts()
+
+    def compute():
+        return {
+            t: [block_error_rate(c, counts[t], t) for c in CERS]
+            for t in range(0, 11)
+        }
+
+    grid = benchmark(compute)
+    header = ["CER \\ ECC"] + [f"BCH-{t}" if t else "No ECC" for t in range(0, 11)]
+    rows = [
+        [sci(c)] + [sci(grid[t][i]) for t in range(0, 11)]
+        for i, c in enumerate(CERS)
+    ]
+    targets = (
+        f"target BLER per period: >10yr horizon {sci(PAPER_TARGET.cumulative_bler)}, "
+        f"1yr {sci(PAPER_TARGET.per_period_bler(SECONDS_PER_YEAR))}, "
+        f"17min {sci(PAPER_TARGET.per_period_bler(SEVENTEEN_MINUTES_S))}"
+    )
+    emit(
+        "fig5_bler",
+        render_table(
+            "Figure 5: BLER vs CER and ECC (512-bit block, 2 bits/cell, "
+            "10 check bits per corrected bit)",
+            header,
+            rows,
+            note=targets + "\nPaper anchor: BCH-10 at CER ~1E-3 sits near the 17-minute line.",
+        ),
+    )
+    # Paper anchors: the dotted-line values and the BCH-10 feasibility point.
+    assert PAPER_TARGET.per_period_bler(SEVENTEEN_MINUTES_S) < 1.3e-14
+    assert grid[10][CERS.index(1e-4)] < 1e-14  # comfortably below target
+    assert grid[1][CERS.index(1e-2)] > 1e-3  # weak ECC fails at high CER

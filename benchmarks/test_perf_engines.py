@@ -1,0 +1,104 @@
+"""Performance of the library's hot paths (engineering benchmarks).
+
+These complement the experiment-regeneration benches: they time the
+primitives a user scales up — the Monte Carlo CER engine (the paper's
+1e9-cell runs), the semi-analytic evaluator, the BCH codecs, the block
+datapaths, and the system simulator — so regressions in the vectorized
+kernels are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.bch import BCH
+from repro.coding.blockcodec import FourLevelBlockCodec, ThreeOnTwoBlockCodec
+from repro.core.designs import four_level_naive, three_level_optimal
+from repro.montecarlo.analytic import analytic_design_cer
+from repro.montecarlo.cer import design_cer
+from repro.montecarlo.sweep import PAPER_TIME_GRID_S
+
+
+def test_perf_mc_engine(benchmark):
+    """1e6-cell design CER over the full 9-point grid."""
+    design = four_level_naive()
+    result = benchmark(
+        lambda: design_cer(design, PAPER_TIME_GRID_S, 1_000_000, seed=0)
+    )
+    assert result.n_samples == 1_000_000
+
+
+def test_perf_analytic_engine(benchmark):
+    """Semi-analytic CER (2-D quadrature) over the full grid."""
+    design = three_level_optimal()
+    out = benchmark(lambda: analytic_design_cer(design, PAPER_TIME_GRID_S))
+    assert out.shape == (9,)
+
+
+def test_perf_bch1_decode(benchmark):
+    """BCH-1 decode of the 718-bit TEC codeword with one error."""
+    code = BCH(10, 1, 708)
+    rng = np.random.default_rng(0)
+    cw = code.encode(rng.integers(0, 2, 708).astype(np.uint8))
+    rcv = cw.copy()
+    rcv[123] ^= 1
+
+    def decode():
+        out, n = code.decode(rcv.copy())
+        return n
+
+    assert benchmark(decode) == 1
+
+
+def test_perf_bch10_decode(benchmark):
+    """BCH-10 decode of the 612-bit codeword with ten errors."""
+    code = BCH(10, 10, 512)
+    rng = np.random.default_rng(1)
+    cw = code.encode(rng.integers(0, 2, 512).astype(np.uint8))
+    rcv = cw.copy()
+    rcv[rng.choice(code.n, 10, replace=False)] ^= 1
+
+    def decode():
+        out, n = code.decode(rcv.copy())
+        return n
+
+    assert benchmark(decode) == 10
+
+
+def test_perf_3on2_block_roundtrip(benchmark):
+    codec = ThreeOnTwoBlockCodec()
+    bits = np.random.default_rng(2).integers(0, 2, 512).astype(np.uint8)
+
+    def roundtrip():
+        states, check = codec.encode(bits)
+        return codec.decode(states, check)
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out.data_bits, bits)
+
+
+def test_perf_4lc_block_roundtrip(benchmark):
+    codec = FourLevelBlockCodec()
+    bits = np.random.default_rng(3).integers(0, 2, 512).astype(np.uint8)
+
+    def roundtrip():
+        states, _ = codec.encode(bits)
+        return codec.decode(states)
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out.data_bits, bits)
+
+
+def test_perf_system_sim(benchmark):
+    """Trace-driven simulation throughput (accesses/second)."""
+    from repro.sim.config import MachineConfig, PAPER_VARIANTS
+    from repro.sim.core import run_trace
+    from repro.workloads.spec_like import make_workload
+
+    machine = MachineConfig()
+    trace = make_workload("STREAM", n_accesses=20_000, seed=0)
+    res = benchmark.pedantic(
+        lambda: run_trace(trace, machine, PAPER_VARIANTS["4LC-REF"]),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.pcm_writes > 0

@@ -1,0 +1,40 @@
+"""Table 2: the 3-ON-2 encoding, plus codec throughput."""
+
+import numpy as np
+
+from repro.core import three_on_two as t32
+
+from _report import emit, render_table
+
+_STATE_NAMES = ("S1", "S2", "S4")
+
+
+def test_table2(benchmark):
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, 512).astype(np.uint8)
+
+    def roundtrip():
+        states = t32.encode_bits(bits)
+        out, _ = t32.decode_bits(states, 512)
+        return out
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, bits)
+
+    rows = []
+    for v in range(9):
+        states = t32.encode_values(np.array([v]))
+        data = f"{v:03b}" if v < t32.INV_VALUE else "INV"
+        rows.append(
+            (_STATE_NAMES[states[0]], _STATE_NAMES[states[1]], data)
+        )
+    emit(
+        "table2_encoding",
+        render_table(
+            "Table 2: example 3-ON-2 encoding (3 bits on 2 ternary cells)",
+            ["first cell state", "second cell state", "3-bit data"],
+            rows,
+            note="[S4, S4] is reserved as the INV marker for mark-and-spare.",
+        ),
+    )
+    assert rows[-1] == ("S4", "S4", "INV")

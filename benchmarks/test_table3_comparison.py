@@ -1,0 +1,104 @@
+"""Table 3: qualitative comparison of 4LCo, permutation coding and 3-ON-2."""
+
+import numpy as np
+
+from repro.analysis.capacity import TABLE3_CAPACITIES
+from repro.analysis.latency import PAPER_LATENCY_MODEL
+from repro.analysis.retention import retention_time_s
+from repro.coding.permutation import permutation_group_error_rate
+from repro.core.designs import four_level_optimal, three_level_optimal
+
+from _report import emit, render_table, sci
+
+
+def _fmt_period(seconds: float) -> str:
+    if seconds >= 3.15e7:
+        return f"{seconds / 3.156e7:.0f} years"
+    if seconds >= 86400:
+        return f"{seconds / 86400:.0f} days"
+    return f"{seconds / 60:.0f} minutes"
+
+
+def test_table3(benchmark):
+    m = PAPER_LATENCY_MODEL
+
+    def compute():
+        r4 = retention_time_s(four_level_optimal(), 306, 10)
+        r3 = retention_time_s(three_level_optimal(), 354, 1)
+        # Our measured permutation drift resilience under Table-1 physics
+        # (naive order decode); the patent's ">37 days at 1E-5" assumes its
+        # analog maximum-likelihood decoder, which we do not model — the
+        # table quotes the patent figure and the note reports ours.
+        times = np.logspace(1, 7, 7)
+        err = permutation_group_error_rate(times, n_groups=300_000, seed=0)
+        return r4, r3, (times, err)
+
+    r4, r3, (perm_times, perm_err) = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    caps = TABLE3_CAPACITIES
+    rows = [
+        (
+            "4LCo",
+            "2 bits / cell",
+            f"{caps['4LCo'].data_cells} cells",
+            "ECP-6 (5 cells/failure)",
+            "BCH-10",
+            f"{m.encode_fo4(612):.0f} / {m.decode_fo4(612, 10):.0f}",
+            _fmt_period(r4.retention_s),
+            f"{caps['4LCo'].bits_per_cell:.2f}",
+        ),
+        (
+            "Permutation",
+            "11 bits / 7 cells",
+            f"{caps['Permutation'].data_cells} cells",
+            "ECP-6 in SLC (10 cells/failure)",
+            "perm + BCH-1",
+            "n/a",
+            "> 37 days [22]",
+            f"{caps['Permutation'].bits_per_cell:.2f}",
+        ),
+        (
+            "3-ON-2",
+            "3 bits / 2 cells",
+            f"{caps['3-ON-2'].data_cells} cells",
+            "mark-and-spare (2 cells/failure)",
+            "BCH-1",
+            f"{m.encode_fo4(718):.0f} / {m.decode_fo4(718, 1):.0f}",
+            "> " + _fmt_period(r3.retention_s),
+            f"{caps['3-ON-2'].bits_per_cell:.2f}",
+        ),
+    ]
+    emit(
+        "table3_comparison",
+        render_table(
+            "Table 3: qualitative comparison (64B block, 6 wearout failures)",
+            [
+                "mechanism",
+                "storage",
+                "64B data",
+                "wearout correction",
+                "drift ECC",
+                "ECC enc/dec [FO4]",
+                "refresh period",
+                "bits/cell",
+            ],
+            rows,
+            note=(
+                "Paper row anchors: 4LCo 337 cells / 1.52 b/c / 17 min; "
+                "permutation 1.29 b/c / >37 days (quoted from the patent); "
+                "3-ON-2 364 cells / 1.41 b/c / >68 years; BCH FO4 18/569 "
+                "and 18/68.\nOur naive-order-decode permutation simulation "
+                "under Table-1 drift physics measures group error rates of "
+                + ", ".join(
+                    f"{sci(e)}@{t:.0E}s" for t, e in zip(perm_times, perm_err)
+                )
+                + " — far above the patent's claim, which relies on its "
+                "analog maximum-likelihood decoder (see EXPERIMENTS.md)."
+            ),
+        ),
+    )
+    assert 300 < r4.retention_s < 2100
+    assert r3.retention_years > 68
+    assert np.all(np.diff(perm_err) >= 0)

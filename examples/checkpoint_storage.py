@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""In-memory checkpointing on nonvolatile PCM (the paper's HPC motivation).
+
+An exascale application checkpoints its state into byte-addressable PCM
+(Section 1 cites in-memory checkpointing [11] as a key use).  This example
+writes a checkpoint to a functional PCM device, powers the machine off —
+no refresh possible — and restores after increasingly long outages:
+
+- the proposed 3LC device restores bit-exact state even after ten years;
+- the 4LC device, which depends on 17-minute refresh, starts corrupting
+  checkpoints within hours of losing power.
+
+Run:  python examples/checkpoint_storage.py
+"""
+
+import numpy as np
+
+from repro import PCMDevice, UncorrectableBlock
+
+CHECKPOINT_BLOCKS = 24  # 24 x 64B of application state
+YEAR_S = 3.156e7
+OUTAGES = [
+    ("1 hour", 3600.0),
+    ("1 day", 86400.0),
+    ("1 month", 2.63e6),
+    ("1 year", YEAR_S),
+    ("10 years", 10 * YEAR_S),
+]
+
+
+def make_checkpoint(rng: np.random.Generator) -> list[np.ndarray]:
+    """Simulated application state: one 512-bit block per 'rank'."""
+    return [rng.integers(0, 2, 512).astype(np.uint8) for _ in range(CHECKPOINT_BLOCKS)]
+
+
+def try_restore(kind: str, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    checkpoint = make_checkpoint(rng)
+    device = PCMDevice(CHECKPOINT_BLOCKS, kind, seed=seed)
+    for b, block in enumerate(checkpoint):
+        device.write(b, block, t_now=0.0)
+
+    print(f"{kind} device ({CHECKPOINT_BLOCKS} blocks written, then power off):")
+    for label, outage in OUTAGES:
+        corrupt = 0
+        corrected = 0
+        for b, expect in enumerate(checkpoint):
+            try:
+                out = device.read(b, t_now=outage)
+                corrected += out.tec_corrected
+                if not np.array_equal(out.data_bits, expect):
+                    corrupt += 1
+            except UncorrectableBlock:
+                corrupt += 1
+        status = "restored bit-exact" if corrupt == 0 else f"{corrupt} blocks CORRUPT"
+        extra = f" ({corrected} drift errors corrected)" if corrected else ""
+        print(f"  after {label:>8}: {status}{extra}")
+    print()
+
+
+if __name__ == "__main__":
+    try_restore("3LC", seed=1)
+    try_restore("4LC", seed=2)
+    print(
+        "The 3LC checkpoint survives a decade unpowered; the 4LC device's\n"
+        "drift outruns even BCH-10 once refresh stops — the paper's case\n"
+        "that only the three-level design is genuinely nonvolatile."
+    )

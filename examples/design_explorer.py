@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Design-space explorer for a PCM architect.
+
+Answers the questions Section 4 poses — what refresh interval is
+acceptable, what cell error rate is tolerable — for *your* device
+geometry, then sizes the ECC and projects density for generalized
+n-level cells (Section 8) under tighter write control.
+
+Run:  python examples/design_explorer.py [device_GB]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    ReliabilityTarget,
+    RefreshModel,
+    all_designs,
+    analytic_design_cer,
+    block_error_rate,
+)
+from repro.analysis.retention import retention_time_s
+from repro.cells.params import SIGMA_R
+from repro.mapping.constraints import DesignSpace
+from repro.mapping.optimizer import optimize_mapping
+
+
+def refresh_interval_study(device_gb: int) -> None:
+    model = RefreshModel(device_bytes=device_gb * 2**30)
+    print(f"Refresh feasibility for a {device_gb}GB, 8-bank device:")
+    print(f"  full refresh pass (serial writes): {model.device_refresh_pass_s:.0f} s")
+    print(f"  write-throughput-limited pass:     {model.throughput_limited_pass_s:.0f} s")
+    print(f"  shortest practical interval (2x):  {model.min_practical_interval_s() / 60:.1f} min")
+    print(f"{'interval':>10} {'bank avail':>11} {'write BW left':>14}")
+    for minutes in (4, 8, 17, 34, 68):
+        iv = minutes * 60.0
+        print(
+            f"{minutes:>8}m  {model.bank_availability(iv):>10.3f} "
+            f"{1 - model.refresh_write_fraction(iv):>13.2f}"
+        )
+    print()
+
+
+def ecc_sizing(device_gb: int) -> None:
+    target = ReliabilityTarget(device_bytes=device_gb * 2**30)
+    designs = all_designs()
+    print(f"ECC sizing to one erroneous block per {device_gb}GB device in 10 years:")
+    for name, base_cells in (("4LCo", 256), ("3LCo", 342)):
+        d = designs[name]
+        for t in (0, 1, 2, 4, 10):
+            n_cells = base_cells + (10 * t) // 2 + (12 if name == "3LCo" else 31)
+            r = retention_time_s(d, n_cells, t, target=target)
+            if r.retention_s >= 10 * 3.156e7:
+                horizon = "nonvolatile (>10 yr)"
+            elif r.retention_s >= 86400:
+                horizon = f"refresh every {r.retention_s / 86400:.1f} days"
+            elif r.retention_s >= 120:
+                horizon = f"refresh every {r.retention_minutes:.1f} min"
+            else:
+                horizon = f"refresh every {r.retention_s:.1f} s (impractical)"
+            print(f"  {name} + BCH-{t:<2}: {horizon}")
+        print()
+
+
+def n_level_projection() -> None:
+    print("Generalized n-level cells at sigma_R/2 (Section 8):")
+    margin = (2.75 + 0.05) * SIGMA_R / 2
+    for n in (3, 4, 5, 6):
+        space = DesignSpace(n, margin=margin)
+        res = optimize_mapping(
+            n,
+            eval_time_s=[2.0**15, 2.0**25],
+            space=space,
+            grid_points_per_dim=8,
+            coarse_z_points=201,
+            polish_z_points=301,
+        )
+        cer_1yr = analytic_design_cer(res.design, [3.156e7], z_points=401)[0]
+        bler = block_error_rate(cer_1yr, 512, 1)
+        print(
+            f"  {n} levels: ideal {np.log2(n):.2f} b/cell, "
+            f"CER@1yr {cer_1yr:.1E}, BLER@1yr w/ BCH-1 {bler:.1E}"
+        )
+    print(
+        "\nDenser cells trade retention for capacity; the write-variability\n"
+        "reduction needed to fit them is the paper's Section-8 lever."
+    )
+
+
+if __name__ == "__main__":
+    device_gb = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    refresh_interval_study(device_gb)
+    ecc_sizing(device_gb)
+    n_level_projection()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Endurance planning: how long will an MLC-PCM device actually last?
+
+MLC-PCM endures ~1e5 write cycles per cell (Section 6.4) — the paper's
+wearout machinery exists because that is not much.  This example stacks
+the three defenses and shows what each buys for a write-hot workload:
+
+1. **mark-and-spare** absorbs the first six cell failures per block;
+2. **Start-Gap wear leveling** [26] stops a hot block from dying early;
+3. **spare-block remapping** [39] turns the block-lifetime tail into
+   extra device life.
+
+Run:  python examples/endurance_planning.py
+"""
+
+import numpy as np
+
+from repro.wearout.remap import lifetime_with_remapping
+from repro.wearout.wear_leveling import StartGap, simulate_wear, wear_stats
+
+MEAN_ENDURANCE = 1e5  # MLC cycles (Section 6.4)
+N_LINES = 256
+
+
+def hot_workload(n_writes: int, hot_fraction: float, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.where(
+        rng.random(n_writes) < hot_fraction, 11, rng.integers(0, N_LINES, n_writes)
+    )
+
+
+def wear_leveling_study() -> None:
+    writes = hot_workload(300_000, hot_fraction=0.7)
+    print("Step 1+2 - wear leveling on a 70%-hot write stream:")
+    base = wear_stats(simulate_wear(N_LINES, writes))
+    print(
+        f"  unleveled: hottest line wears {base['max_over_mean']:.0f}x the "
+        f"mean -> device dies at ~{MEAN_ENDURANCE / base['max_over_mean']:.1E} "
+        f"mean writes/line"
+    )
+    for interval in (16, 64):
+        sg = StartGap(N_LINES, gap_move_interval=interval)
+        st = wear_stats(simulate_wear(N_LINES, writes, leveler=sg))
+        print(
+            f"  start-gap (move/{interval}): max/mean {st['max_over_mean']:.2f} "
+            f"at {sg.write_overhead:.1%} extra writes"
+        )
+    print()
+
+
+def remapping_study() -> None:
+    print("Step 3 - spare-block pool (uniform wear, mark-and-spare budget 6):")
+    print(f"{'spare pool':>11} {'first block death':>18} {'device death':>13} {'gain':>6}")
+    for pct in (0, 2, 5, 10, 20):
+        out = lifetime_with_remapping(
+            n_blocks=500,
+            n_spare_blocks=500 * pct // 100,
+            failures_per_block_budget=6,
+            mean_endurance=MEAN_ENDURANCE,
+            endurance_sigma=0.3,
+            seed=1,
+        )
+        print(
+            f"{pct:>10}% {out['first_block_failure_writes']:>18.2E} "
+            f"{out['device_lifetime_writes']:>13.2E} "
+            f"{out['lifetime_gain']:>5.2f}x"
+        )
+    print()
+    print(
+        "Mark-and-spare sets the per-block budget, wear leveling makes\n"
+        "every block see the same traffic, and the spare pool monetizes\n"
+        "the endurance distribution's tail — the full Section-6.4 stack."
+    )
+
+
+if __name__ == "__main__":
+    wear_leveling_study()
+    remapping_study()

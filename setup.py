@@ -1,0 +1,10 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+``python setup.py develop`` installs an egg-link instead and needs neither.
+"""
+
+from setuptools import setup
+
+setup()

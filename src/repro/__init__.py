@@ -1,0 +1,192 @@
+"""repro — reproduction of *Practical Nonvolatile Multilevel-Cell Phase
+Change Memory* (Yoon, Chang, Schreiber, Jouppi; SC '13).
+
+The package models MLC-PCM resistance drift, the optimized four-level and
+proposed three-level cell designs, the 3-ON-2 encoding with mark-and-spare
+wearout tolerance, the analytic reliability/capacity/latency comparisons,
+and a cycle-based memory-system simulation of the refresh overheads.
+
+Quick start::
+
+    from repro import three_level_optimal, design_cer, PAPER_TIME_GRID_S
+    design = three_level_optimal()
+    result = design_cer(design, PAPER_TIME_GRID_S, n_samples=10_000_000)
+
+See README.md for the architecture overview and DESIGN.md for the
+per-experiment index.
+"""
+
+from repro.analysis.availability import PAPER_REFRESH_MODEL, RefreshModel
+from repro.analysis.bler import block_error_rate
+from repro.analysis.capacity import (
+    capacity_vs_hard_errors,
+    four_lc_cells,
+    permutation_cells,
+    three_on_two_cells,
+)
+from repro.analysis.latency import PAPER_LATENCY_MODEL, BCHLatencyModel
+from repro.analysis.retention import meets_nonvolatility, retention_time_s
+from repro.analysis.targets import PAPER_TARGET, ReliabilityTarget
+from repro.cells.cell_array import CellArray
+from repro.cells.drift import (
+    NO_ESCALATION,
+    PAPER_ESCALATION,
+    TieredDrift,
+    escalation_schedule,
+)
+from repro.cells.faults import FaultMode, WearoutModel
+from repro.cells.params import TABLE1, StateParams
+from repro.coding.bch import BCH, BCHDecodeFailure
+from repro.coding.blockcodec import (
+    FourLevelBlockCodec,
+    ThreeOnTwoBlockCodec,
+    UncorrectableBlock,
+)
+from repro.coding.permutation import PermutationCode
+from repro.coding.smart import RotationSmartCode
+from repro.core.designs import (
+    all_designs,
+    design_by_name,
+    four_level_naive,
+    four_level_optimal,
+    four_level_smart,
+    three_level_naive,
+    three_level_optimal,
+)
+from repro.core.device import PCMDevice
+from repro.core.levels import LevelDesign
+from repro.mapping.optimizer import optimize_mapping
+from repro.montecarlo.analytic import analytic_design_cer, analytic_state_cer
+from repro.montecarlo.cer import CERResult, design_cer, state_cer
+from repro.montecarlo.sweep import (
+    PAPER_TIME_GRID_S,
+    PAPER_TIME_LABELS,
+    fig3_state_sweep,
+    fig8_design_sweep,
+)
+from repro.wearout.mark_and_spare import (
+    MarkAndSpareBlock,
+    MarkAndSpareConfig,
+    SpareExhausted,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCH",
+    "BCHDecodeFailure",
+    "BCHLatencyModel",
+    "CellArray",
+    "CERResult",
+    "FaultMode",
+    "FourLevelBlockCodec",
+    "LevelDesign",
+    "MarkAndSpareBlock",
+    "MarkAndSpareConfig",
+    "NO_ESCALATION",
+    "PAPER_ESCALATION",
+    "PAPER_LATENCY_MODEL",
+    "PAPER_REFRESH_MODEL",
+    "PAPER_TARGET",
+    "PAPER_TIME_GRID_S",
+    "PAPER_TIME_LABELS",
+    "PCMDevice",
+    "PermutationCode",
+    "RefreshModel",
+    "ReliabilityTarget",
+    "RotationSmartCode",
+    "SpareExhausted",
+    "StateParams",
+    "TABLE1",
+    "ThreeOnTwoBlockCodec",
+    "TieredDrift",
+    "UncorrectableBlock",
+    "WearoutModel",
+    "all_designs",
+    "analytic_design_cer",
+    "analytic_state_cer",
+    "block_error_rate",
+    "capacity_vs_hard_errors",
+    "design_by_name",
+    "design_cer",
+    "escalation_schedule",
+    "fig3_state_sweep",
+    "fig8_design_sweep",
+    "four_lc_cells",
+    "four_level_naive",
+    "four_level_optimal",
+    "four_level_smart",
+    "meets_nonvolatility",
+    "optimize_mapping",
+    "permutation_cells",
+    "retention_time_s",
+    "state_cer",
+    "three_level_naive",
+    "three_level_optimal",
+    "three_on_two_cells",
+]
+
+# Extended subsystems (related-work substrates and Section-8 generalizations).
+from repro.cells.sensing import (
+    FixedSensing,
+    ReferenceCellSensing,
+    SensingPolicy,
+    TimeAwareSensing,
+)
+from repro.coding.enumerative import EnumerativeCode, best_group
+from repro.coding.smart import HelmetSmartCode
+from repro.core.managed import ManagedPCMDevice
+from repro.sim.controller import PCMController, WritePolicy
+from repro.wearout.remap import PoolExhausted, RemapDirectory, lifetime_with_remapping
+from repro.wearout.wear_leveling import StartGap, simulate_wear, wear_stats
+
+__all__ += [
+    "EnumerativeCode",
+    "FixedSensing",
+    "HelmetSmartCode",
+    "ManagedPCMDevice",
+    "PCMController",
+    "PoolExhausted",
+    "ReferenceCellSensing",
+    "RemapDirectory",
+    "SensingPolicy",
+    "StartGap",
+    "TimeAwareSensing",
+    "WritePolicy",
+    "best_group",
+    "lifetime_with_remapping",
+    "simulate_wear",
+    "wear_stats",
+]
+
+from repro.cells.program import IterativeWriteModel, WriteOutcome
+from repro.workloads.synthetic import (
+    Trace,
+    interleave,
+    pointer_chase_trace,
+    random_trace,
+    stream_trace,
+    zipfian_trace,
+)
+from repro.workloads.tracefile import load_trace, save_trace
+
+__all__ += [
+    "IterativeWriteModel",
+    "Trace",
+    "WriteOutcome",
+    "interleave",
+    "load_trace",
+    "pointer_chase_trace",
+    "random_trace",
+    "save_trace",
+    "stream_trace",
+    "zipfian_trace",
+]
+
+from repro.coding.nlevel_codec import NLevelBlockCodec, gray_sequence
+
+__all__ += ["NLevelBlockCodec", "gray_sequence"]
+
+from repro.coding.smart import FrequencySmartCode
+
+__all__ += ["FrequencySmartCode"]

@@ -1,0 +1,1 @@
+"""Analytic reliability, capacity and latency models (Figures 4/5/15, Tables 3-4)."""

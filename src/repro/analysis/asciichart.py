@@ -1,0 +1,83 @@
+"""ASCII log-scale charts for the benchmark artifacts.
+
+The offline environment has no matplotlib; the figure benchmarks render
+their series as character plots so ``results/*.txt`` shows the curve
+*shapes* (the reproduction criterion), not just number grids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["log_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def log_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 18,
+    floor: float = 1e-22,
+    title: str = "",
+) -> str:
+    """Render multiple y-series on a shared log10 y-axis.
+
+    Zeros / sub-floor values are clamped to ``floor`` and drawn on the
+    bottom row.  Each series gets a marker from a fixed cycle; collisions
+    show the later series' marker.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("no series")
+    n_pts = len(x_labels)
+    for name in names:
+        if len(series[name]) != n_pts:
+            raise ValueError(f"series {name!r} length != x_labels")
+
+    def clamp(v: float) -> float:
+        return max(float(v), floor)
+
+    all_vals = [clamp(v) for name in names for v in series[name]]
+    lo = math.floor(math.log10(min(all_vals)))
+    hi = math.ceil(math.log10(max(all_vals)))
+    hi = max(hi, lo + 1)
+
+    col_w = max(max(len(l) for l in x_labels) + 1, 6)
+    width = n_pts * col_w
+    rows = [[" "] * width for _ in range(height)]
+
+    def y_of(v: float) -> int:
+        frac = (math.log10(clamp(v)) - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round((1 - frac) * (height - 1)))))
+
+    # Draw in reverse so earlier-listed series win marker collisions.
+    for si in range(len(names) - 1, -1, -1):
+        name = names[si]
+        marker = _MARKERS[si % len(_MARKERS)]
+        for i, v in enumerate(series[name]):
+            x = i * col_w + col_w // 2
+            rows[y_of(v)][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_w = 9
+    for r in range(height):
+        frac = 1 - r / (height - 1)
+        exp = lo + frac * (hi - lo)
+        label = f"1E{exp:+04.0f} |" if r % 3 == 0 or r == height - 1 else (" " * 7 + "|")
+        lines.append(label.rjust(axis_w) + "".join(rows[r]))
+    lines.append(" " * (axis_w - 1) + "+" + "-" * width)
+    xrow = [" "] * width
+    for i, lab in enumerate(x_labels):
+        start = i * col_w
+        for j, ch in enumerate(lab[: col_w - 1]):
+            xrow[start + j] = ch
+    lines.append(" " * axis_w + "".join(xrow))
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * axis_w + legend)
+    return "\n".join(lines)

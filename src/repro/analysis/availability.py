@@ -1,0 +1,83 @@
+"""PCM availability under periodic refresh (Section 4.1, Figure 4).
+
+Refreshing a block takes one MLC write (~1 us).  Refreshing the whole
+device serially makes it unavailable for ``n_blocks * t_write`` out of
+every refresh interval; refreshing banks independently divides the
+blackout per bank by the bank count, and the *write-throughput* limit
+bounds how fast a refresh pass can possibly complete regardless of
+scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["RefreshModel", "PAPER_REFRESH_MODEL"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RefreshModel:
+    """Geometry and timing of device refresh (Table 5 defaults)."""
+
+    device_bytes: int = 16 * 2**30
+    block_bytes: int = 64
+    n_banks: int = 8
+    block_refresh_s: float = 1e-6  # one MLC write
+    write_throughput_bytes_per_s: float = 40e6  # 40 MB/s [7]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.device_bytes // self.block_bytes
+
+    @property
+    def device_refresh_pass_s(self) -> float:
+        """Serial time to refresh every block once (~268 s for the paper)."""
+        return self.n_blocks * self.block_refresh_s
+
+    @property
+    def bank_refresh_pass_s(self) -> float:
+        return self.device_refresh_pass_s / self.n_banks
+
+    @property
+    def throughput_limited_pass_s(self) -> float:
+        """Refresh-pass time if limited by write throughput (~410 s)."""
+        return self.device_bytes / self.write_throughput_bytes_per_s
+
+    def device_availability(self, interval_s: np.ndarray | float) -> np.ndarray | float:
+        """Fraction of time the device serves requests, refreshing one
+        block at a time with the whole device blocked (Figure 4, lower
+        curve)."""
+        iv = np.asarray(interval_s, dtype=float)
+        avail = 1.0 - self.device_refresh_pass_s / iv
+        out = np.clip(avail, 0.0, 1.0)
+        return float(out) if np.isscalar(interval_s) else out
+
+    def bank_availability(self, interval_s: np.ndarray | float) -> np.ndarray | float:
+        """Per-bank availability with independent bank refresh (Figure 4,
+        upper curve)."""
+        iv = np.asarray(interval_s, dtype=float)
+        avail = 1.0 - self.bank_refresh_pass_s / iv
+        out = np.clip(avail, 0.0, 1.0)
+        return float(out) if np.isscalar(interval_s) else out
+
+    def refresh_write_fraction(self, interval_s: float) -> float:
+        """Fraction of the device's write throughput consumed by refresh.
+
+        Section 4.1's bandwidth argument: a refresh pass moves the whole
+        device's contents once per interval.
+        """
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        frac = self.throughput_limited_pass_s / interval_s
+        return min(frac, 1.0)
+
+    def min_practical_interval_s(self, margin: float = 2.0) -> float:
+        """Shortest interval leaving (margin-1)/margin of write throughput
+        to applications; the paper picks 2x the throughput-limited pass
+        (~820 s) and rounds to 2**10 s = ~17 minutes."""
+        return margin * self.throughput_limited_pass_s
+
+
+PAPER_REFRESH_MODEL = RefreshModel()

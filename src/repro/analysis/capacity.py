@@ -1,0 +1,130 @@
+"""Storage-density models (Tables 3-4, Figure 15).
+
+Cell budgets for a 64B (512-bit) block under each design, as a function
+of the number of tolerated wearout failures ``k``:
+
+- **4LC**: 256 data cells + 5t check cells (BCH-t, 10 bits per corrected
+  bit in GF(2^10), 2 bits/cell) + ECP-k at 5 cells per failure + 1 full
+  flag.
+- **3-ON-2**: 342 data cells + 2k spare cells (mark-and-spare) + 10 SLC
+  cells (BCH-1 over the 2-bit view).
+- **Permutation**: ceil(512/11) * 7 = 329 data cells + ECP-k in SLC at
+  10 cells per failure + 1 flag + BCH-1 check bits in SLC.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = [
+    "four_lc_cells",
+    "three_on_two_cells",
+    "permutation_cells",
+    "density",
+    "DesignCapacity",
+    "TABLE3_CAPACITIES",
+    "TABLE4_CAPACITIES",
+    "capacity_vs_hard_errors",
+]
+
+
+def four_lc_cells(data_bits: int = 512, t: int = 10, hard_errors: int = 6) -> int:
+    """Cell budget of the 4LCo design (Table 3 row 1: 337 for defaults)."""
+    if data_bits % 2:
+        raise ValueError("data bits must fill whole 2-bit cells")
+    data_cells = data_bits // 2
+    check_cells = math.ceil(10 * t / 2)
+    ptr_cells = math.ceil(math.ceil(math.log2(data_cells)) / 2)
+    ecp_cells = hard_errors * (ptr_cells + 1) + (1 if hard_errors else 0)
+    return data_cells + check_cells + ecp_cells
+
+
+def three_on_two_cells(data_bits: int = 512, hard_errors: int = 6) -> int:
+    """Cell budget of the 3-ON-2 design (Table 3 row 3: 364 for defaults)."""
+    data_cells = 2 * math.ceil(data_bits / 3)
+    spare_cells = 2 * hard_errors
+    tec_cells = 10  # BCH-1 over the <= 1013-bit TEC view, stored SLC
+    return data_cells + spare_cells + tec_cells
+
+
+def permutation_cells(data_bits: int = 512, hard_errors: int = 6) -> int:
+    """Cell budget of the permutation-coding baseline (Table 3 row 2).
+
+    ECP is stored SLC (the patent does not define wearout handling inside
+    permutation groups): pointer (9 bits for 329 cells) + 1 replacement
+    bit per failure, plus a full flag, plus BCH-1 check bits in SLC.
+    """
+    groups = math.ceil(data_bits / 11)
+    data_cells = groups * 7
+    ptr_bits = math.ceil(math.log2(data_cells))
+    ecp_cells = hard_errors * (ptr_bits + 1) + (1 if hard_errors else 0)
+    tec_cells = 10
+    return data_cells + ecp_cells + tec_cells
+
+
+def density(data_bits: int, total_cells: int) -> float:
+    """Information density in bits per cell."""
+    return data_bits / total_cells
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignCapacity:
+    """One row of Table 3 / Table 4."""
+
+    name: str
+    data_cells: int
+    overhead_cells: int
+    data_bits: int = 512
+
+    @property
+    def total_cells(self) -> int:
+        return self.data_cells + self.overhead_cells
+
+    @property
+    def bits_per_cell(self) -> float:
+        return density(self.data_bits, self.total_cells)
+
+
+def _table3() -> dict[str, DesignCapacity]:
+    return {
+        "4LCo": DesignCapacity("4LCo", 256, four_lc_cells() - 256),
+        "Permutation": DesignCapacity(
+            "Permutation", 329, permutation_cells() - 329
+        ),
+        "3-ON-2": DesignCapacity("3-ON-2", 342, three_on_two_cells() - 342),
+    }
+
+
+TABLE3_CAPACITIES = _table3()
+
+#: Table 4: comparison with the tri-level-cell PCM paper [29].
+TABLE4_CAPACITIES: dict[str, DesignCapacity] = {
+    # Seong et al.: BCH-32 (320 bits / 160 cells), no wearout tolerance.
+    "4LC [29]": DesignCapacity("4LC [29]", 256, 160),
+    "4LCo (ours)": DesignCapacity("4LCo (ours)", 256, four_lc_cells() - 256),
+    # Seong et al. 3LC: 8 bits per 6 cells, no ECC, no wearout tolerance.
+    "3LC [29]": DesignCapacity("3LC [29]", 6, 0, data_bits=8),
+    "3LCo (ours)": DesignCapacity("3LCo (ours)", 342, three_on_two_cells() - 342),
+}
+
+
+def capacity_vs_hard_errors(
+    max_hard_errors: int = 20, data_bits: int = 512
+) -> dict[str, np.ndarray]:
+    """Figure 15: bits/cell of each design vs tolerated wearout failures."""
+    ks = np.arange(0, max_hard_errors + 1)
+    return {
+        "k": ks,
+        "4LC": np.array(
+            [density(data_bits, four_lc_cells(data_bits, 10, int(k))) for k in ks]
+        ),
+        "3-ON-2": np.array(
+            [density(data_bits, three_on_two_cells(data_bits, int(k))) for k in ks]
+        ),
+        "Permutation": np.array(
+            [density(data_bits, permutation_cells(data_bits, int(k))) for k in ks]
+        ),
+    }

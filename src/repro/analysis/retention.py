@@ -1,0 +1,117 @@
+"""Retention-time solver: how long until a design needs refresh.
+
+Combines the semi-analytic CER (monotone in time), the binomial BLER
+model and the reliability target: the retention time of a (design, ECC)
+pair is the largest refresh interval whose end-of-period BLER still meets
+the per-period target.  This reproduces Table 3's "refresh period" column
+and the nonvolatility claims of Sections 5.3 and 6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.bler import block_error_rate
+from repro.analysis.targets import PAPER_TARGET, SECONDS_PER_YEAR, ReliabilityTarget
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.params import T0_SECONDS
+from repro.core.levels import LevelDesign
+from repro.montecarlo.analytic import analytic_design_cer
+
+__all__ = ["RetentionResult", "retention_time_s", "meets_nonvolatility"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetentionResult:
+    """Outcome of a retention solve."""
+
+    retention_s: float
+    cer_at_retention: float
+    bler_at_retention: float
+    target_bler: float
+
+    @property
+    def retention_years(self) -> float:
+        return self.retention_s / SECONDS_PER_YEAR
+
+    @property
+    def retention_minutes(self) -> float:
+        return self.retention_s / 60.0
+
+
+def _period_ok(
+    design: LevelDesign,
+    interval_s: float,
+    n_cells: int,
+    ecc_t: int,
+    target: ReliabilityTarget,
+    schedule: TieredDrift,
+    z_points: int,
+) -> tuple[bool, float, float, float]:
+    cer = float(analytic_design_cer(design, [interval_s], schedule, z_points)[0])
+    bler = float(block_error_rate(cer, n_cells, ecc_t))
+    tgt = target.per_period_bler(interval_s)
+    return bler <= tgt, cer, bler, tgt
+
+
+def retention_time_s(
+    design: LevelDesign,
+    n_cells: int,
+    ecc_t: int,
+    target: ReliabilityTarget = PAPER_TARGET,
+    schedule: TieredDrift = PAPER_ESCALATION,
+    t_max_s: float = 1e12,
+    z_points: int = 801,
+    rel_tol: float = 0.01,
+) -> RetentionResult:
+    """Largest refresh interval meeting the per-period BLER target.
+
+    Both the end-of-period BLER and the per-period target move with the
+    interval; their ratio is monotone (CER grows with time much faster
+    than the linear target relaxation), so bisection on log10(t) applies.
+    ``t_max_s`` caps the search (1e12 s is ~32k years).
+    """
+    lo = np.log10(T0_SECONDS * 2)
+    hi = np.log10(t_max_s)
+    ok_lo, *_ = _period_ok(
+        design, 10**lo, n_cells, ecc_t, target, schedule, z_points
+    )
+    if not ok_lo:
+        cer0 = float(analytic_design_cer(design, [10**lo], schedule, z_points)[0])
+        return RetentionResult(0.0, cer0, 1.0, target.per_period_bler(10**lo))
+    ok_hi, cer, bler, tgt = _period_ok(
+        design, 10**hi, n_cells, ecc_t, target, schedule, z_points
+    )
+    if ok_hi:
+        return RetentionResult(float(t_max_s), cer, bler, tgt)
+    while (hi - lo) > np.log10(1 + rel_tol):
+        mid = (lo + hi) / 2
+        ok, *_ = _period_ok(
+            design, 10**mid, n_cells, ecc_t, target, schedule, z_points
+        )
+        if ok:
+            lo = mid
+        else:
+            hi = mid
+    t_star = 10**lo
+    _, cer, bler, tgt = _period_ok(
+        design, t_star, n_cells, ecc_t, target, schedule, z_points
+    )
+    return RetentionResult(float(t_star), cer, bler, tgt)
+
+
+def meets_nonvolatility(
+    design: LevelDesign,
+    n_cells: int,
+    ecc_t: int,
+    years: float = 10.0,
+    target: ReliabilityTarget = PAPER_TARGET,
+    schedule: TieredDrift = PAPER_ESCALATION,
+) -> bool:
+    """True when data survive ``years`` without refresh at the device
+    reliability target (the paper's practical nonvolatility criterion)."""
+    horizon = years * SECONDS_PER_YEAR
+    ok, *_ = _period_ok(design, horizon, n_cells, ecc_t, target, schedule, 801)
+    return ok

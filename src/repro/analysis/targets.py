@@ -1,0 +1,59 @@
+"""Reliability targets (Section 4.2).
+
+The paper's goal: fewer than one erroneous 64B block per 16GB device over
+ten years (device MTBF > 10 years).  The cumulative 10-year BLER target
+is therefore one over the number of blocks; the per-refresh-period target
+divides that by the number of refresh periods in the horizon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "ReliabilityTarget",
+    "SECONDS_PER_YEAR",
+    "PAPER_TARGET",
+    "SEVENTEEN_MINUTES_S",
+]
+
+SECONDS_PER_YEAR: float = 365.25 * 24 * 3600.0
+
+#: The paper's "acceptable refresh interval" (Section 4.1): 2**10 s.
+SEVENTEEN_MINUTES_S: float = 1024.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityTarget:
+    """Device geometry + horizon defining the BLER targets of Figure 5."""
+
+    device_bytes: int = 16 * 2**30
+    block_bytes: int = 64
+    horizon_years: float = 10.0
+
+    @property
+    def n_blocks(self) -> int:
+        return self.device_bytes // self.block_bytes
+
+    @property
+    def cumulative_bler(self) -> float:
+        """Ten-year per-block error budget: one erroneous block per device."""
+        return 1.0 / self.n_blocks
+
+    def n_periods(self, refresh_interval_s: float) -> float:
+        if refresh_interval_s <= 0:
+            raise ValueError("refresh interval must be positive")
+        horizon_s = self.horizon_years * SECONDS_PER_YEAR
+        return max(horizon_s / refresh_interval_s, 1.0)
+
+    def per_period_bler(self, refresh_interval_s: float) -> float:
+        """Target BLER per refresh period (the dotted lines of Figure 5).
+
+        For intervals at or beyond the horizon this equals the cumulative
+        target (a single "period").
+        """
+        return self.cumulative_bler / self.n_periods(refresh_interval_s)
+
+
+#: The paper's default target: 16GB device, 64B blocks, 10-year horizon.
+PAPER_TARGET = ReliabilityTarget()

@@ -1,0 +1,1 @@
+"""PCM cell physics: Table-1 parameters, drift, programming, wearout, sensing."""

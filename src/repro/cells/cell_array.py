@@ -1,0 +1,207 @@
+"""Vectorized functional model of an array of PCM cells.
+
+Supports the full write / drift / sense / wearout lifecycle used by the
+device model (:mod:`repro.core.device`):
+
+- **program**: iterative write-and-verify draws the initial log-resistance
+  from the truncated write distribution and a per-cell drift exponent;
+  wear is charged and stuck cells are reported (they ignore the write).
+- **sense** at time ``t``: drifted log-resistance (with the paper's tier
+  escalation, fresh exponents pre-drawn at program time so sensing is
+  deterministic) thresholded by the active :class:`LevelDesign`.
+- **force_highest**: RESET-to-S4 used to mark INV pairs; stuck-set cells
+  go through reverse-current revival.
+
+Times are absolute seconds; each cell remembers when it was programmed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.faults import FaultMode, WearoutModel
+from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA
+from repro.core.levels import LevelDesign
+from repro.montecarlo.rng import make_rng, truncated_normal
+
+__all__ = ["CellArray"]
+
+
+class CellArray:
+    """An array of ``n`` PCM cells under a fixed level design."""
+
+    def __init__(
+        self,
+        n: int,
+        design: LevelDesign,
+        rng: int | np.random.Generator = 0,
+        wearout: WearoutModel | None = None,
+        schedule: TieredDrift = PAPER_ESCALATION,
+    ):
+        if n < 1:
+            raise ValueError("need at least one cell")
+        self.n = n
+        self.design = design
+        self.schedule = schedule
+        self.rng = make_rng(rng)
+        self.wearout = wearout or WearoutModel()
+
+        self._lr0 = np.full(n, design.states[0].mu_lr)
+        self._alpha = np.zeros(n)
+        self._alpha_esc = np.zeros(n)  # exponent after tier escalation
+        self._t_prog = np.zeros(n)  # absolute program time (s)
+        self._target = np.zeros(n, dtype=np.int64)
+
+        self._writes = np.zeros(n, dtype=np.int64)
+        self._endurance = self.wearout.sample_endurance(self.rng, n)
+        self._fault = np.full(n, FaultMode.HEALTHY.value, dtype=np.int8)
+        self._pending_mode = self.wearout.sample_modes(self.rng, n)
+
+        if len(schedule.tiers) > 1:
+            raise ValueError("CellArray supports at most one escalation tier")
+
+    # ------------------------------------------------------------------
+    @property
+    def fault_modes(self) -> np.ndarray:
+        return self._fault.copy()
+
+    @property
+    def write_counts(self) -> np.ndarray:
+        return self._writes.copy()
+
+    def stuck_mask(self) -> np.ndarray:
+        return self._fault != FaultMode.HEALTHY.value
+
+    # ------------------------------------------------------------------
+    def program(
+        self, indices: np.ndarray, states: np.ndarray, t_now: float
+    ) -> np.ndarray:
+        """Write ``states`` into cells ``indices`` at absolute time ``t_now``.
+
+        Returns the verify-success mask: stuck cells fail verification
+        unless the target happens to match their stuck value.  Wear is
+        charged to every addressed cell; cells whose budget runs out
+        during this write become stuck *before* it takes effect
+        (write-and-verify then reports them).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        st = np.asarray(states, dtype=np.int64)
+        if idx.shape != st.shape:
+            raise ValueError("indices and states must have matching shapes")
+        if np.any((st < 0) | (st >= self.design.n_levels)):
+            raise ValueError("state index out of range for the level design")
+
+        self._writes[idx] += 1
+        newly_dead = (self._writes[idx] >= self._endurance[idx]) & (
+            self._fault[idx] == FaultMode.HEALTHY.value
+        )
+        if np.any(newly_dead):
+            dead = idx[newly_dead]
+            self._fault[dead] = self._pending_mode[dead]
+
+        healthy = self._fault[idx] == FaultMode.HEALTHY.value
+        ok_idx = idx[healthy]
+        ok_st = st[healthy]
+        if ok_idx.size:
+            mus = np.array([s.mu_lr for s in self.design.states])
+            sgs = np.array([s.sigma_lr for s in self.design.states])
+            z_r = truncated_normal(
+                self.rng, 0.0, 1.0, -WRITE_TRUNCATION_SIGMA, WRITE_TRUNCATION_SIGMA,
+                ok_idx.size,
+            )
+            self._lr0[ok_idx] = mus[ok_st] + sgs[ok_st] * z_r
+            mu_a = np.array([s.drift.mu_alpha for s in self.design.states])
+            sg_a = np.array([s.drift.sigma_alpha for s in self.design.states])
+            # Per-cell exponent: one standard draw scaled by the cell's
+            # state parameters, clipped at zero.
+            z = self.rng.standard_normal(ok_idx.size)
+            alpha = np.maximum(mu_a[ok_st] + sg_a[ok_st] * z, 0.0)
+            self._alpha[ok_idx] = alpha
+            if self.schedule.tiers:
+                if self.schedule.mode == "offset":
+                    raise ValueError(
+                        "offset escalation is not supported by CellArray "
+                        "(per-cell state mix makes mu_orig ambiguous)"
+                    )
+                tier = self.schedule.tiers[0]
+                fresh = self.rng.standard_normal(ok_idx.size)
+                self._alpha_esc[ok_idx] = self.schedule.escalated_alpha(
+                    tier, alpha, z, 0.0, z_fresh=fresh
+                )
+            self._t_prog[ok_idx] = t_now
+            self._target[ok_idx] = ok_st
+
+        verify_ok = healthy.copy()
+        # A stuck-reset cell passes verify iff the target is the top state.
+        stuck_reset = self._fault[idx] == FaultMode.STUCK_RESET.value
+        verify_ok |= stuck_reset & (st == self.design.n_levels - 1)
+        return verify_ok
+
+    def force_highest(self, indices: np.ndarray, t_now: float) -> np.ndarray:
+        """RESET cells to the top state (used to mark INV pairs).
+
+        Stuck-set cells get a reverse-current revival attempt; on success
+        they become permanently stuck at the top state.  Returns the mask
+        of cells now reading as the top state.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        top = self.design.n_levels - 1
+
+        stuck_set = self._fault[idx] == FaultMode.STUCK_SET.value
+        if np.any(stuck_set):
+            revived = self.wearout.revive(self.rng, int(stuck_set.sum()))
+            tgt = idx[stuck_set][revived]
+            self._fault[tgt] = FaultMode.STUCK_RESET.value
+        stuck_reset = self._fault[idx] == FaultMode.STUCK_RESET.value
+        healthy = self._fault[idx] == FaultMode.HEALTHY.value
+        h_idx = idx[healthy]
+        if h_idx.size:
+            self.program(h_idx, np.full(h_idx.size, top), t_now)
+        return healthy | stuck_reset
+
+    # ------------------------------------------------------------------
+    def log_resistance(self, t_now: float, indices: np.ndarray | None = None) -> np.ndarray:
+        """Drifted log10 resistance at absolute time ``t_now``."""
+        idx = (
+            np.arange(self.n) if indices is None else np.asarray(indices, dtype=np.int64)
+        )
+        dt = np.maximum(t_now - self._t_prog[idx], 0.0) + T0_SECONDS
+        L = np.log10(dt / T0_SECONDS)
+        lr0 = self._lr0[idx]
+        alpha = self._alpha[idx]
+        lr = lr0 + alpha * L
+        if self.schedule.tiers:
+            tier = self.schedule.tiers[0]
+            b = tier.lr_break
+            started_below = lr0 < b
+            crossed = started_below & (lr > b)
+            if np.any(crossed):
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    L_cross = np.where(crossed & (alpha > 0), (b - lr0) / alpha, np.inf)
+                esc = b + self._alpha_esc[idx] * np.maximum(L - L_cross, 0.0)
+                lr = np.where(crossed & np.isfinite(L_cross), esc, lr)
+        # Stuck cells pin their resistance.
+        top_lr = self.design.states[-1].mu_lr
+        bot_lr = self.design.states[0].mu_lr
+        fault = self._fault[idx]
+        lr = np.where(fault == FaultMode.STUCK_RESET.value, top_lr, lr)
+        lr = np.where(fault == FaultMode.STUCK_SET.value, bot_lr, lr)
+        return lr
+
+    def sense(
+        self,
+        t_now: float,
+        indices: np.ndarray | None = None,
+        noise_sigma: float = 0.0,
+    ) -> np.ndarray:
+        """Sensed state indices at absolute time ``t_now``.
+
+        ``noise_sigma`` adds Gaussian sense-amplifier noise (in decades)
+        to the measured log-resistance — the disturbance the Section-5.1
+        guard band ``delta`` exists to absorb.
+        """
+        lr = self.log_resistance(t_now, indices)
+        if noise_sigma > 0.0:
+            lr = lr + self.rng.normal(0.0, noise_sigma, lr.shape)
+        return self.design.sense(lr)

@@ -1,0 +1,157 @@
+"""Resistance drift law (Equation 1) and tier escalation (Section 5.3).
+
+Everything works in the log10 domain, where drift is linear in
+``L = log10(t / t0)``:
+
+    lr(t) = lr0 + alpha * log10(t / t0)
+
+The paper's conservative two-phase model for the 3LC design escalates the
+drift exponent when a drifting cell's resistance crosses 10**4.5 Ohm (the
+original tau2 of the naive 4LC): past that point the cell drifts "using
+S3's drift rate parameters" (mu_alpha = 0.06).  The paper does not say how
+the escalated exponent relates to the cell's original draw; we support
+four readings (see :class:`TieredDrift`), defaulting to an independent
+fresh draw — the only reading under which the paper's 3LC retention
+claims (10-year nonvolatility with BCH-1) are reproduced; the alternatives
+are exposed for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.cells.params import SIGMA_ALPHA_RATIO, T0_SECONDS
+
+__all__ = [
+    "drifted_lr",
+    "crossing_time",
+    "DriftTier",
+    "TieredDrift",
+    "PAPER_ESCALATION",
+    "NO_ESCALATION",
+    "escalation_schedule",
+    "ESCALATION_MODES",
+]
+
+ESCALATION_MODES = ("independent", "correlated", "mean", "offset")
+
+
+def drifted_lr(
+    lr0: np.ndarray, alpha: np.ndarray, t: float, t0: float = T0_SECONDS
+) -> np.ndarray:
+    """Log10 resistance after drifting for ``t`` seconds (single phase)."""
+    if t < t0:
+        raise ValueError(f"t={t} must be >= t0={t0}")
+    return np.asarray(lr0) + np.asarray(alpha) * np.log10(t / t0)
+
+
+def crossing_time(
+    lr0: np.ndarray, alpha: np.ndarray, tau: float, t0: float = T0_SECONDS
+) -> np.ndarray:
+    """Time at which ``lr(t)`` first reaches ``tau`` (``inf`` if never).
+
+    Cells already at or above ``tau`` cross at ``t0``; cells with
+    ``alpha <= 0`` never cross.
+    """
+    lr0 = np.asarray(lr0, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        exponent = (tau - lr0) / alpha
+        t = t0 * np.power(10.0, exponent)
+    t = np.where(lr0 >= tau, t0, t)
+    t = np.where((alpha <= 0) & (lr0 < tau), np.inf, t)
+    return t
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftTier:
+    """A drift-rate escalation point: a cell that drifts across
+    ``lr_break`` continues with exponent distribution
+    ``N(mu_alpha, sigma_alpha)`` (truncated at zero)."""
+
+    lr_break: float
+    mu_alpha: float
+    sigma_alpha: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TieredDrift:
+    """Drift-rate escalation schedule.
+
+    ``tiers`` must be sorted by ``lr_break``.  A cell *programmed* above a
+    tier boundary is unaffected by it (its own exponent draw already
+    reflects the tier it occupies, via the Table-1 tier map); only cells
+    that *drift across* the boundary escalate.
+
+    ``mode`` selects how the escalated exponent relates to the cell's
+    original draw:
+
+    - ``"independent"`` (default): a fresh draw from the tier's
+      distribution, independent of the cell's phase-0 exponent.
+    - ``"correlated"``: the cell keeps its standardized quantile ``z`` —
+      a fast-drifting cell stays fast (most conservative).
+    - ``"mean"``: the escalated exponent is exactly ``mu_alpha``.
+    - ``"offset"``: ``alpha0 + (mu_tier - mu_orig)``.
+    """
+
+    tiers: tuple[DriftTier, ...]
+    mode: str = "independent"
+
+    def __post_init__(self) -> None:
+        breaks = [t.lr_break for t in self.tiers]
+        if sorted(breaks) != breaks:
+            raise ValueError("tiers must be sorted by lr_break")
+        if self.mode not in ESCALATION_MODES:
+            raise ValueError(f"unknown escalation mode {self.mode!r}")
+
+    def escalated_alpha(
+        self,
+        tier: DriftTier,
+        alpha0: np.ndarray,
+        z0: np.ndarray,
+        mu_orig: float,
+        z_fresh: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exponent used above ``tier.lr_break`` (vectorized, >= 0).
+
+        ``z_fresh`` supplies the independent standard-normal quantiles for
+        ``mode="independent"`` (required in that mode).
+        """
+        alpha0 = np.asarray(alpha0, dtype=float)
+        if self.mode == "independent":
+            if z_fresh is None:
+                raise ValueError("independent escalation requires z_fresh")
+            a = tier.mu_alpha + np.asarray(z_fresh) * tier.sigma_alpha
+        elif self.mode == "correlated":
+            a = tier.mu_alpha + np.asarray(z0) * tier.sigma_alpha
+        elif self.mode == "mean":
+            a = np.full_like(alpha0, tier.mu_alpha)
+        else:  # offset
+            a = alpha0 + (tier.mu_alpha - mu_orig)
+        return np.maximum(a, 0.0)
+
+    def tiers_between(self, lr_lo: float, lr_hi: float) -> list[DriftTier]:
+        """Tier boundaries strictly inside ``(lr_lo, lr_hi)``."""
+        return [t for t in self.tiers if lr_lo < t.lr_break < lr_hi]
+
+
+def _sigma(mu: float) -> float:
+    return SIGMA_ALPHA_RATIO * mu
+
+
+#: The paper's escalation (Section 5.3): a cell drifting across
+#: 10**4.5 Ohm continues with S3's drift-rate parameters.
+PAPER_ESCALATION = TieredDrift(
+    tiers=(DriftTier(lr_break=4.5, mu_alpha=0.06, sigma_alpha=_sigma(0.06)),)
+)
+
+#: Single-phase drift (no escalation), for ablations.
+NO_ESCALATION = TieredDrift(tiers=())
+
+
+def escalation_schedule(mode: str) -> TieredDrift:
+    """The paper's escalation tier with a chosen escalation mode."""
+    return TieredDrift(tiers=PAPER_ESCALATION.tiers, mode=mode)

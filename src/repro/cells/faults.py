@@ -1,0 +1,66 @@
+"""Wearout (hard-error) fault models (Sections 3 and 6.4).
+
+PCM cells fail after a finite number of write cycles; MLC-PCM endures
+about 1e5 cycles vs 1e8 for SLC (Section 6.4).  Two failure modes exist
+[6]:
+
+- **stuck-reset**: the cell is stuck at the highest-resistance state (S4);
+- **stuck-set**: the cell can no longer be RESET to high resistance.
+
+A stuck-set cell can usually be *revived* into S4 by applying a reverse
+current [12]; mark-and-spare relies on this to mark failed pairs INV.
+
+Per-cell endurance is modeled lognormal (process variation), with wear
+accumulated per write.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["FaultMode", "WearoutModel", "MLC_ENDURANCE_CYCLES", "SLC_ENDURANCE_CYCLES"]
+
+MLC_ENDURANCE_CYCLES: float = 1e5
+SLC_ENDURANCE_CYCLES: float = 1e8
+
+
+class FaultMode(Enum):
+    HEALTHY = 0
+    STUCK_RESET = 1  # stuck at the highest-resistance state
+    STUCK_SET = 2  # cannot be RESET to high resistance
+
+
+@dataclasses.dataclass(frozen=True)
+class WearoutModel:
+    """Endurance distribution and failure-mode mix.
+
+    ``endurance_sigma`` is the std-dev of log10(endurance); the default
+    0.25 gives roughly a 3x spread at +/-2 sigma.  ``p_stuck_reset`` is
+    the fraction of failures that are stuck-reset; ``p_revive`` is the
+    probability that a reverse-current pulse revives a stuck-set cell
+    into S4.
+    """
+
+    mean_endurance: float = MLC_ENDURANCE_CYCLES
+    endurance_sigma: float = 0.25
+    p_stuck_reset: float = 0.5
+    p_revive: float = 0.9
+
+    def sample_endurance(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Per-cell write budgets (cycles until failure)."""
+        lg = rng.normal(np.log10(self.mean_endurance), self.endurance_sigma, n)
+        return np.power(10.0, lg)
+
+    def sample_modes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Failure modes assigned to cells when they wear out."""
+        reset = rng.random(n) < self.p_stuck_reset
+        return np.where(
+            reset, FaultMode.STUCK_RESET.value, FaultMode.STUCK_SET.value
+        ).astype(np.int8)
+
+    def revive(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Success mask of reverse-current revival attempts."""
+        return rng.random(n) < self.p_revive

@@ -1,0 +1,151 @@
+"""Command-line interface: quick access to the library's main analyses.
+
+Examples::
+
+    python -m repro designs
+    python -m repro cer --design 3LCo --years 1 10 100
+    python -m repro retention --design 3LCo --ecc 1
+    python -m repro availability --interval-min 17
+    python -m repro capacity
+    python -m repro simulate --workload STREAM --accesses 30000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.availability import RefreshModel
+from repro.analysis.capacity import TABLE3_CAPACITIES
+from repro.analysis.retention import retention_time_s
+from repro.analysis.targets import SECONDS_PER_YEAR
+from repro.core.designs import all_designs, design_by_name
+from repro.montecarlo.analytic import analytic_design_cer
+
+__all__ = ["main"]
+
+#: Cell counts of the full block designs, for the retention command.
+_BLOCK_CELLS = {"4LCn": 306, "4LCs": 306, "4LCo": 306, "3LCn": 354, "3LCo": 354}
+
+
+def _cmd_designs(_args: argparse.Namespace) -> int:
+    print(f"{'name':>6} {'levels':>7} {'nominal log10 R':>28} {'thresholds':>24}")
+    for name, d in all_designs().items():
+        mus = " ".join(f"{s.mu_lr:.3f}" for s in d.states)
+        taus = " ".join(f"{t:.3f}" for t in d.thresholds)
+        print(f"{name:>6} {d.n_levels:>7} {mus:>28} {taus:>24}")
+    return 0
+
+
+def _cmd_cer(args: argparse.Namespace) -> int:
+    design = design_by_name(args.design)
+    times = [y * SECONDS_PER_YEAR for y in args.years]
+    cer = analytic_design_cer(design, times)
+    for y, c in zip(args.years, cer):
+        print(f"{args.design} CER after {y:g} years: {c:.3E}")
+    return 0
+
+
+def _cmd_retention(args: argparse.Namespace) -> int:
+    design = design_by_name(args.design)
+    n_cells = args.cells or _BLOCK_CELLS[args.design]
+    r = retention_time_s(design, n_cells, args.ecc)
+    if r.retention_years >= 1:
+        horizon = f"{r.retention_years:.1f} years"
+    elif r.retention_s >= 86400:
+        horizon = f"{r.retention_s / 86400:.1f} days"
+    else:
+        horizon = f"{r.retention_minutes:.1f} minutes"
+    print(
+        f"{args.design} + BCH-{args.ecc} ({n_cells} cells): refresh every "
+        f"{horizon} (CER {r.cer_at_retention:.2E}, BLER {r.bler_at_retention:.2E} "
+        f"vs target {r.target_bler:.2E})"
+    )
+    nonvolatile = r.retention_years >= 10.0
+    print("nonvolatile (>10 years):", "yes" if nonvolatile else "no")
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    model = RefreshModel(device_bytes=args.device_gb * 2**30)
+    iv = args.interval_min * 60.0
+    print(f"device refresh pass: {model.device_refresh_pass_s:.0f} s")
+    print(f"device availability: {model.device_availability(iv):.3f}")
+    print(f"bank availability:   {model.bank_availability(iv):.3f}")
+    print(
+        f"write bandwidth left: {1 - model.refresh_write_fraction(iv):.2f} "
+        f"of {model.write_throughput_bytes_per_s / 1e6:.0f} MB/s"
+    )
+    return 0
+
+
+def _cmd_capacity(_args: argparse.Namespace) -> int:
+    for name, c in TABLE3_CAPACITIES.items():
+        print(
+            f"{name:>12}: {c.data_cells} data + {c.overhead_cells} overhead "
+            f"= {c.total_cells} cells -> {c.bits_per_cell:.3f} bits/cell"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.runner import run_fig16
+
+    rows = run_fig16(workloads=[args.workload], n_accesses=args.accesses)
+    r = rows[0]
+    print(f"workload {r.workload} (normalized to 4LC-REF):")
+    for variant in r.exec_time:
+        print(
+            f"  {variant:>12}: time {r.exec_time[variant]:.3f}  "
+            f"energy {r.energy[variant]:.3f}  power {r.power[variant]:.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="MLC-PCM drift/nonvolatility analyses (SC'13 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the canonical cell designs").set_defaults(
+        func=_cmd_designs
+    )
+
+    c = sub.add_parser("cer", help="drift cell error rate of a design")
+    c.add_argument("--design", default="3LCo", choices=sorted(_BLOCK_CELLS))
+    c.add_argument("--years", type=float, nargs="+", default=[1.0, 10.0])
+    c.set_defaults(func=_cmd_cer)
+
+    r = sub.add_parser("retention", help="refresh period meeting the target")
+    r.add_argument("--design", default="3LCo", choices=sorted(_BLOCK_CELLS))
+    r.add_argument("--ecc", type=int, default=1, help="BCH correction strength t")
+    r.add_argument("--cells", type=int, default=None, help="block size in cells")
+    r.set_defaults(func=_cmd_retention)
+
+    a = sub.add_parser("availability", help="refresh availability model")
+    a.add_argument("--device-gb", type=int, default=16)
+    a.add_argument("--interval-min", type=float, default=17.0)
+    a.set_defaults(func=_cmd_availability)
+
+    sub.add_parser("capacity", help="Table-3 storage densities").set_defaults(
+        func=_cmd_capacity
+    )
+
+    s = sub.add_parser("simulate", help="run the Figure-16 simulator")
+    s.add_argument("--workload", default="STREAM")
+    s.add_argument("--accesses", type=int, default=30_000)
+    s.set_defaults(func=_cmd_simulate)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Enumerative coding for non-power-of-two-level cells (Section 8, [10]).
+
+The 3-ON-2 encoding is the smallest instance of a general scheme: a group
+of ``n`` cells with ``q`` levels has ``q^n`` states; reserving one (all
+cells at the top level) as the INV marker leaves ``q^n - 1`` codepoints,
+of which ``2^k <= q^n - 1`` carry ``k`` bits via mixed-radix enumeration.
+For ``q=3, n=2`` this is exactly Table 2 (k=3, INV = [S4, S4]).
+
+Section 8 proposes exactly this generalization for future 5- and 6-level
+cells; :func:`best_group` searches group sizes for the densest practical
+encoding, and the generalized mark-and-spare of
+:mod:`repro.wearout.mark_and_spare` works unchanged because the INV
+marker remains "force every cell to the top level" — the state any
+stuck-reset cell can reach.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = ["EnumerativeCode", "best_group"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnumerativeCode:
+    """k bits on n q-level cells, top-of-everything reserved as INV."""
+
+    q_levels: int
+    n_cells: int
+    reserve_inv: bool = True
+
+    def __post_init__(self) -> None:
+        if self.q_levels < 2:
+            raise ValueError("need at least two levels")
+        if self.n_cells < 1:
+            raise ValueError("need at least one cell per group")
+        if self.capacity_bits < 1:
+            raise ValueError("group too small to store any bits")
+
+    @property
+    def n_states(self) -> int:
+        return self.q_levels**self.n_cells
+
+    @property
+    def inv_value(self) -> int:
+        """Group value of the INV marker (all cells at the top level)."""
+        return self.n_states - 1
+
+    @property
+    def capacity_bits(self) -> int:
+        usable = self.n_states - (1 if self.reserve_inv else 0)
+        return usable.bit_length() - 1  # floor(log2(usable))
+
+    @property
+    def bits_per_cell(self) -> float:
+        return self.capacity_bits / self.n_cells
+
+    @property
+    def ideal_bits_per_cell(self) -> float:
+        return math.log2(self.q_levels)
+
+    # ------------------------------------------------------------------
+    def encode_group(self, value: int) -> np.ndarray:
+        """Message value -> per-cell levels (most significant cell first)."""
+        if not 0 <= value < (1 << self.capacity_bits):
+            raise ValueError(f"value {value} out of range")
+        digits = np.empty(self.n_cells, dtype=np.int64)
+        v = value
+        for i in range(self.n_cells - 1, -1, -1):
+            digits[i] = v % self.q_levels
+            v //= self.q_levels
+        return digits
+
+    def decode_group(self, levels: np.ndarray) -> int | None:
+        """Per-cell levels -> message value, or ``None`` for INV."""
+        lv = np.asarray(levels, dtype=np.int64)
+        if lv.shape != (self.n_cells,):
+            raise ValueError(f"expected {self.n_cells} levels")
+        if np.any((lv < 0) | (lv >= self.q_levels)):
+            raise ValueError("level out of range")
+        value = 0
+        for d in lv:
+            value = value * self.q_levels + int(d)
+        if self.reserve_inv and value == self.inv_value:
+            return None
+        if value >= (1 << self.capacity_bits):
+            # Legal cell state but outside the message range (can only
+            # appear through drift corruption); report as None too.
+            return None
+        return value
+
+    # Vectorized block forms -------------------------------------------
+    def encode_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Bit array -> flat level array (zero-padded to whole groups)."""
+        b = np.asarray(bits, dtype=np.int64)
+        k = self.capacity_bits
+        n_groups = -(-b.size // k)
+        padded = np.zeros(n_groups * k, dtype=np.int64)
+        padded[: b.size] = b
+        shifts = (1 << np.arange(k - 1, -1, -1)).astype(np.int64)
+        values = padded.reshape(n_groups, k) @ shifts
+        out = np.empty((n_groups, self.n_cells), dtype=np.int64)
+        v = values.copy()
+        for i in range(self.n_cells - 1, -1, -1):
+            out[:, i] = v % self.q_levels
+            v //= self.q_levels
+        return out.reshape(-1)
+
+    def decode_bits(
+        self, levels: np.ndarray, n_bits: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat level array -> ``(bits, inv_flags)`` (INV groups read 0)."""
+        lv = np.asarray(levels, dtype=np.int64)
+        if lv.size % self.n_cells:
+            raise ValueError("level array must hold whole groups")
+        groups = lv.reshape(-1, self.n_cells)
+        values = np.zeros(groups.shape[0], dtype=np.int64)
+        for i in range(self.n_cells):
+            values = values * self.q_levels + groups[:, i]
+        inv = values >= (1 << self.capacity_bits)
+        safe = np.where(inv, 0, values)
+        k = self.capacity_bits
+        shifts = np.arange(k - 1, -1, -1)
+        bits = ((safe[:, None] >> shifts[None, :]) & 1).astype(np.uint8).reshape(-1)
+        if n_bits > bits.size:
+            raise ValueError(f"only {bits.size} bits stored")
+        return bits[:n_bits], inv
+
+
+def best_group(
+    q_levels: int, max_cells: int = 12, data_bits: int = 512
+) -> EnumerativeCode:
+    """Densest group size for a q-level cell (ties -> smaller group).
+
+    Larger groups approach the ideal log2(q) bits/cell but cost wider
+    decode logic; ``max_cells`` bounds the search like the paper's
+    512-bit row-buffer granularity bounds practical group sizes.
+    """
+    best: EnumerativeCode | None = None
+    for n in range(1, max_cells + 1):
+        try:
+            code = EnumerativeCode(q_levels, n)
+        except ValueError:
+            continue
+        if best is None or code.bits_per_cell > best.bits_per_cell + 1e-12:
+            best = code
+    if best is None:
+        raise ValueError("no feasible group size")
+    return best

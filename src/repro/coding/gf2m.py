@@ -1,0 +1,166 @@
+"""Arithmetic in the finite field GF(2^m).
+
+Log/antilog-table implementation supporting the vectorized syndrome and
+Chien-search loops of the BCH decoder.  Field elements are represented as
+integers in ``[0, 2^m)`` whose bits are the polynomial coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GF2m", "PRIMITIVE_POLYS"]
+
+#: Primitive polynomials (as integer bitmasks, degree m) for GF(2^m).
+#: Standard choices from Lin & Costello, Table 2.7.
+PRIMITIVE_POLYS: dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+    15: 0b1000000000000011,
+    16: 0b10001000000001011,
+}
+
+
+class GF2m:
+    """The field GF(2^m) with a fixed primitive element ``alpha = x``."""
+
+    def __init__(self, m: int, prim_poly: int | None = None):
+        if m not in PRIMITIVE_POLYS and prim_poly is None:
+            raise ValueError(f"no built-in primitive polynomial for m={m}")
+        self.m = m
+        self.order = 1 << m
+        self.n = self.order - 1  # multiplicative group order
+        self.prim_poly = prim_poly if prim_poly is not None else PRIMITIVE_POLYS[m]
+
+        # exp table doubled in length so products of logs need no modulo.
+        exp = np.zeros(2 * self.n, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        x = 1
+        for i in range(self.n):
+            if x == 1 and i > 0:
+                # alpha's multiplicative order divides i < n: not primitive.
+                raise ValueError(
+                    f"polynomial {self.prim_poly:#x} is not primitive for m={m}"
+                )
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.order:
+                x ^= self.prim_poly
+        if x != 1:
+            raise ValueError(f"polynomial {self.prim_poly:#x} is not primitive for m={m}")
+        exp[self.n : 2 * self.n] = exp[: self.n]
+        self._exp = exp
+        self._log = log
+        log[0] = -1  # sentinel; callers must not use log(0)
+
+    # -- scalar/elementwise ops (accept ints or integer ndarrays) ---------
+    def mul(self, a, b):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        nz = (a != 0) & (b != 0)
+        if np.any(nz):
+            la = self._log[np.broadcast_to(a, out.shape)[nz]]
+            lb = self._log[np.broadcast_to(b, out.shape)[nz]]
+            out[nz] = self._exp[la + lb]
+        return out if out.ndim else int(out)
+
+    def div(self, a, b):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        nz = np.broadcast_to(a, out.shape) != 0
+        if np.any(nz):
+            la = self._log[np.broadcast_to(a, out.shape)[nz]]
+            lb = self._log[np.broadcast_to(b, out.shape)[nz]]
+            out[nz] = self._exp[(la - lb) % self.n]
+        return out if out.ndim else int(out)
+
+    def inv(self, a):
+        return self.div(1, a)
+
+    def pow(self, a, k):
+        """a**k with integer exponent k (vectorized in a)."""
+        a = np.asarray(a)
+        k = int(k)
+        if k == 0:
+            return np.ones_like(a) if a.ndim else 1
+        out = np.zeros(a.shape, dtype=np.int64)
+        nz = a != 0
+        if np.any(nz):
+            la = self._log[a[nz]]
+            out[nz] = self._exp[(la * k) % self.n]
+        return out if out.ndim else int(out)
+
+    def alpha_pow(self, k):
+        """alpha**k for scalar or array exponents (any sign)."""
+        k = np.asarray(k)
+        return (
+            self._exp[np.mod(k, self.n)]
+            if k.ndim
+            else int(self._exp[int(k) % self.n])
+        )
+
+    def log(self, a):
+        """Discrete log base alpha; error on zero."""
+        a = np.asarray(a)
+        if np.any(a == 0):
+            raise ValueError("log of zero")
+        out = self._log[a]
+        return out if out.ndim else int(out)
+
+    # -- polynomial helpers (coefficient lists, lowest degree first) ------
+    def poly_eval(self, coeffs: np.ndarray, x):
+        """Evaluate a polynomial with GF coefficients at point(s) x (Horner)."""
+        x = np.asarray(x)
+        res = np.zeros(x.shape, dtype=np.int64) if x.ndim else 0
+        for c in np.asarray(coeffs)[::-1]:
+            res = self.mul(res, x) ^ int(c)
+        return res
+
+    def poly_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = np.zeros(len(a) + len(b) - 1, dtype=np.int64)
+        for i, ai in enumerate(a):
+            if ai:
+                out[i : i + len(b)] ^= self.mul(ai, b)
+        return out
+
+    def minimal_polynomial(self, elem: int) -> int:
+        """Minimal polynomial of ``elem`` over GF(2), as an integer bitmask."""
+        # Conjugacy class {elem, elem^2, elem^4, ...}
+        conj = []
+        e = elem
+        while e not in conj:
+            conj.append(e)
+            e = self.mul(e, e)
+        # Product of (x - c) over the class, coefficients in GF(2^m)
+        poly = np.array([1], dtype=np.int64)  # constant 1, will build up
+        for c in conj:
+            poly = self.poly_mul(poly, np.array([c, 1], dtype=np.int64))
+        # Coefficients must land in GF(2)
+        if any(int(c) not in (0, 1) for c in poly):
+            raise AssertionError("minimal polynomial has non-binary coefficients")
+        mask = 0
+        for i, c in enumerate(poly):
+            if c:
+                mask |= 1 << i
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF(2^{self.m}, prim={self.prim_poly:#x})"

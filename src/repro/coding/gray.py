@@ -1,0 +1,60 @@
+"""Gray-code state mapping for MLC cells.
+
+The paper stores 4LC data Gray-coded "so that a drift error manifests as a
+one-bit error" (Section 6.6): drift moves a cell to the *adjacent* state,
+and adjacent Gray codewords differ in exactly one bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "binary_to_gray",
+    "gray_to_binary",
+    "states_to_bits",
+    "bits_to_states",
+]
+
+
+def binary_to_gray(x: np.ndarray | int) -> np.ndarray | int:
+    """Standard reflected binary Gray code."""
+    x = np.asarray(x)
+    out = x ^ (x >> 1)
+    return out if out.ndim else int(out)
+
+
+def gray_to_binary(g: np.ndarray | int) -> np.ndarray | int:
+    """Inverse of :func:`binary_to_gray`.
+
+    The Gray inverse is the bitwise prefix-xor, computed as
+    ``b = g ^ (g >> 1) ^ (g >> 2) ^ ...`` until the shift exhausts the word.
+    """
+    g = np.asarray(g, dtype=np.int64)
+    out = g.copy()
+    shift = 1
+    while np.any(g >> shift):
+        out = out ^ (g >> shift)
+        shift += 1
+    return out if out.ndim else int(out)
+
+
+def states_to_bits(states: np.ndarray, bits_per_cell: int) -> np.ndarray:
+    """Cell state indices -> Gray-coded bit array (MSB first per cell)."""
+    states = np.asarray(states, dtype=np.int64)
+    if np.any((states < 0) | (states >= (1 << bits_per_cell))):
+        raise ValueError("state index out of range for bits_per_cell")
+    gray = states ^ (states >> 1)
+    shifts = np.arange(bits_per_cell - 1, -1, -1)
+    return ((gray[:, None] >> shifts[None, :]) & 1).astype(np.uint8).reshape(-1)
+
+
+def bits_to_states(bits: np.ndarray, bits_per_cell: int) -> np.ndarray:
+    """Gray-coded bit array -> cell state indices (inverse of above)."""
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.size % bits_per_cell:
+        raise ValueError("bit count not a multiple of bits_per_cell")
+    grouped = bits.reshape(-1, bits_per_cell)
+    shifts = np.arange(bits_per_cell - 1, -1, -1)
+    gray = np.sum(grouped << shifts[None, :], axis=1)
+    return np.asarray(gray_to_binary(gray))

@@ -1,0 +1,144 @@
+"""Hamming / Hsiao single-error-correcting codes.
+
+BCH-1 is equivalent to a Hamming code; the paper cites Hamming [13] and
+Hsiao [15] as interchangeable realizations of the 3-ON-2 design's
+transient-error code.  This module provides a fast syndrome-decoded SEC
+code (plain Hamming) and an SEC-DED variant with Hsiao's odd-weight-column
+construction, whose balanced parity-check matrix is what real memory
+controllers implement.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = ["HammingSEC", "HsiaoSECDED"]
+
+
+class HammingSEC:
+    """Systematic Hamming code correcting one bit error in ``k`` data bits.
+
+    Uses ``r`` check bits with ``2^r - r - 1 >= k``.  The parity-check
+    matrix columns for data bits are the non-power-of-two syndromes, so
+    the syndrome directly identifies the flipped position.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be positive")
+        r = 1
+        while (1 << r) - r - 1 < k:
+            r += 1
+        self.k = k
+        self.r = r
+        self.n = k + r
+        # columns: data bits get non-power-of-two values, check bit i gets 2^i
+        data_cols = [v for v in range(3, 1 << r) if v & (v - 1)][:k]
+        self._data_cols = np.asarray(data_cols, dtype=np.int64)
+        self._col_to_pos = {int(c): i for i, c in enumerate(data_cols)}
+
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(data_bits).astype(np.uint8)
+        if bits.shape != (self.k,):
+            raise ValueError(f"expected {self.k} bits, got {bits.shape}")
+        syn = np.bitwise_xor.reduce(self._data_cols[bits.astype(bool)], initial=0)
+        check = ((syn >> np.arange(self.r)) & 1).astype(np.uint8)
+        return np.concatenate([bits, check])
+
+    def _syndrome(self, word: np.ndarray) -> int:
+        data, check = word[: self.k], word[self.k :]
+        syn = np.bitwise_xor.reduce(self._data_cols[data.astype(bool)], initial=0)
+        syn ^= int(np.sum(check.astype(np.int64) << np.arange(self.r)))
+        return int(syn)
+
+    def decode(self, received: np.ndarray) -> tuple[np.ndarray, int]:
+        """Returns ``(data_bits, n_corrected)``; corrects at most 1 error."""
+        word = np.asarray(received).astype(np.uint8).copy()
+        if word.shape != (self.n,):
+            raise ValueError(f"expected {self.n} bits, got {word.shape}")
+        syn = self._syndrome(word)
+        if syn == 0:
+            return word[: self.k].copy(), 0
+        if syn in self._col_to_pos:  # data-bit error
+            word[self._col_to_pos[syn]] ^= 1
+        elif syn & (syn - 1) == 0:  # check-bit error (power of two)
+            word[self.k + int(syn).bit_length() - 1] ^= 1
+        # any other syndrome would indicate a multi-bit error; plain
+        # Hamming cannot flag it, mirroring real SEC behaviour.
+        return word[: self.k].copy(), 1
+
+
+class HsiaoSECDED:
+    """Hsiao single-error-correcting, double-error-detecting code.
+
+    Parity-check columns are distinct odd-weight r-bit vectors (minimum
+    weight first), which makes every single error correctable (odd
+    syndrome weight) and every double error detectable (even, nonzero
+    syndrome weight).
+    """
+
+    def __init__(self, k: int):
+        r = 2
+        while _count_odd_columns(r) - r < k:
+            r += 1
+        self.k = k
+        self.r = r
+        self.n = k + r
+        cols: list[int] = []
+        for weight in range(3, r + 1, 2):
+            for pos in itertools.combinations(range(r), weight):
+                cols.append(sum(1 << p for p in pos))
+                if len(cols) == k:
+                    break
+            if len(cols) == k:
+                break
+        if len(cols) < k:
+            raise AssertionError("column construction fell short")
+        self._data_cols = np.asarray(cols, dtype=np.int64)
+        self._col_to_pos = {int(c): i for i, c in enumerate(cols)}
+
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(data_bits).astype(np.uint8)
+        if bits.shape != (self.k,):
+            raise ValueError(f"expected {self.k} bits, got {bits.shape}")
+        syn = np.bitwise_xor.reduce(self._data_cols[bits.astype(bool)], initial=0)
+        check = ((syn >> np.arange(self.r)) & 1).astype(np.uint8)
+        return np.concatenate([bits, check])
+
+    def decode(self, received: np.ndarray) -> tuple[np.ndarray, int, bool]:
+        """Returns ``(data_bits, n_corrected, detected_uncorrectable)``."""
+        word = np.asarray(received).astype(np.uint8).copy()
+        if word.shape != (self.n,):
+            raise ValueError(f"expected {self.n} bits, got {word.shape}")
+        data, check = word[: self.k], word[self.k :]
+        syn = np.bitwise_xor.reduce(self._data_cols[data.astype(bool)], initial=0)
+        syn ^= int(np.sum(check.astype(np.int64) << np.arange(self.r)))
+        if syn == 0:
+            return word[: self.k].copy(), 0, False
+        weight = bin(syn).count("1")
+        if weight % 2 == 0:
+            return word[: self.k].copy(), 0, True  # double error detected
+        if syn in self._col_to_pos:
+            word[self._col_to_pos[syn]] ^= 1
+            return word[: self.k].copy(), 1, False
+        if weight == 1:  # check-bit error
+            word[self.k + int(syn).bit_length() - 1] ^= 1
+            return word[: self.k].copy(), 1, False
+        # odd-weight syndrome matching no column: >= 3 errors detected
+        return word[: self.k].copy(), 0, True
+
+
+def _count_odd_columns(r: int) -> int:
+    """Number of odd-weight r-bit columns of weight >= 3, plus r singletons."""
+    total = 0
+    for weight in range(3, r + 1, 2):
+        total += _comb(r, weight)
+    return total + r
+
+
+def _comb(n: int, k: int) -> int:
+    import math
+
+    return math.comb(n, k)

@@ -1,0 +1,161 @@
+"""Permutation coding baseline (Mittelholzer et al. [22], Section 3).
+
+Data are encoded in the *relative order* of analog resistance levels
+written to a group of cells: the cells are programmed to distinct levels,
+and the stored value is the permutation relating the written order to the
+sorted order.  Decoding senses the analog resistances, argsorts them, and
+unranks the permutation — no thresholds, so data survive as long as drift
+preserves relative order.
+
+The paper's reference scheme stores 11 bits in 7 cells (7! = 5040 >= 2^11
+= 2048), for 1.57 bits/cell.  Our drift simulation of the scheme (used by
+the Table 3 benchmarks) programs the 7 levels evenly across the
+log-resistance range and applies the same tiered drift model as the
+level-coded designs.  Packing 7 levels into the 3-decade range forces a
+tighter write than the 4LC cells: the default write sigma is half the
+Table-1 value so that adjacent write-and-verify windows do not overlap
+(otherwise the scheme mis-orders at write time) — the patent's analog
+"most likely pattern" decoding is abstracted as exact order recovery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.params import SIGMA_R, T0_SECONDS, alpha_params_for_level
+from repro.montecarlo.rng import alpha_samples, make_rng
+
+__all__ = [
+    "rank_permutation",
+    "unrank_permutation",
+    "PermutationCode",
+    "permutation_group_error_rate",
+]
+
+
+def rank_permutation(perm: np.ndarray) -> int:
+    """Lehmer-code rank of a permutation of 0..n-1 (lexicographic)."""
+    p = list(np.asarray(perm, dtype=np.int64))
+    n = len(p)
+    if sorted(p) != list(range(n)):
+        raise ValueError("not a permutation of 0..n-1")
+    rank = 0
+    available = list(range(n))
+    for i, v in enumerate(p):
+        idx = available.index(v)
+        rank += idx * math.factorial(n - 1 - i)
+        available.pop(idx)
+    return rank
+
+
+def unrank_permutation(rank: int, n: int) -> np.ndarray:
+    """Inverse of :func:`rank_permutation`."""
+    if not 0 <= rank < math.factorial(n):
+        raise ValueError(f"rank {rank} out of range for n={n}")
+    available = list(range(n))
+    out = []
+    for i in range(n):
+        f = math.factorial(n - 1 - i)
+        idx, rank = divmod(rank, f)
+        out.append(available.pop(idx))
+    return np.asarray(out, dtype=np.int64)
+
+
+@dataclasses.dataclass(frozen=True)
+class PermutationCode:
+    """Permutation code storing ``bits`` bits in ``cells`` cells."""
+
+    cells: int = 7
+    bits: int = 11
+
+    def __post_init__(self) -> None:
+        if math.factorial(self.cells) < (1 << self.bits):
+            raise ValueError(
+                f"{self.cells}! < 2^{self.bits}: message does not fit"
+            )
+
+    @property
+    def bits_per_cell(self) -> float:
+        return self.bits / self.cells
+
+    def encode(self, value: int) -> np.ndarray:
+        """Message value -> level ordering (level index per cell)."""
+        if not 0 <= value < (1 << self.bits):
+            raise ValueError(f"value {value} out of range")
+        return unrank_permutation(value, self.cells)
+
+    def decode(self, levels: np.ndarray) -> int:
+        """Level ordering (or any values with the same order) -> message.
+
+        Accepts raw analog readings: only the argsort matters.
+        """
+        order = np.argsort(np.asarray(levels), kind="stable")
+        perm = np.empty(self.cells, dtype=np.int64)
+        perm[order] = np.arange(self.cells)
+        return rank_permutation(perm)
+
+
+def permutation_group_error_rate(
+    times_s: np.ndarray,
+    n_groups: int = 200_000,
+    code: PermutationCode = PermutationCode(),
+    lr_lo: float = 3.0,
+    lr_hi: float = 6.0,
+    sigma_lr: float = SIGMA_R / 2,
+    schedule: TieredDrift = PAPER_ESCALATION,
+    seed: int = 0,
+) -> np.ndarray:
+    """Monte Carlo group-error rate of the permutation code under drift.
+
+    Cells are programmed to ``code.cells`` evenly spaced nominal levels
+    (write noise ``sigma_lr``), drift with level-appropriate exponents
+    (and tier escalation), and a group errs once any adjacent pair of the
+    written order swaps.  Returned per time point.
+
+    Note the granularity difference vs level-coded CER: one group error
+    corrupts up to ``code.bits`` bits.
+    """
+    rng = make_rng(seed)
+    times = np.asarray(times_s, dtype=float)
+    nominal = np.linspace(lr_lo, lr_hi, code.cells)
+    if 2 * 2.75 * sigma_lr >= nominal[1] - nominal[0]:
+        raise ValueError(
+            "write windows of adjacent levels overlap; tighten sigma_lr"
+        )
+
+    from repro.montecarlo.rng import truncated_normal
+
+    z = truncated_normal(rng, 0.0, 1.0, -2.75, 2.75, n_groups * code.cells)
+    lr0 = nominal[None, :] + sigma_lr * z.reshape(n_groups, code.cells)
+    alphas = np.empty_like(lr0)
+    for j, mu in enumerate(nominal):
+        p = alpha_params_for_level(mu)
+        a, _ = alpha_samples(rng, p.mu_alpha, p.sigma_alpha, n_groups)
+        alphas[:, j] = a
+    # Tier escalation, applied per cell via the critical-crossing closed
+    # form is unnecessary here: for order comparisons we need the actual
+    # lr(t), so evaluate the piecewise trajectory per time point.
+    err = np.zeros(len(times))
+    tier = schedule.tiers[0] if schedule.tiers else None
+    if tier is not None:
+        fresh = rng.standard_normal(lr0.shape)
+        alpha2 = np.maximum(tier.mu_alpha + fresh * tier.sigma_alpha, 0.0)
+    for it, t in enumerate(times):
+        L = np.log10(t / T0_SECONDS)
+        lr = lr0 + alphas * L
+        if tier is not None:
+            started_below = lr0 < tier.lr_break
+            crossed = started_below & (lr > tier.lr_break)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                L_cross = np.where(crossed, (tier.lr_break - lr0) / alphas, 0.0)
+            lr = np.where(
+                crossed, tier.lr_break + alpha2 * (L - L_cross), lr
+            )
+        # order preserved iff each written level stays below the next
+        ordered = np.all(np.diff(lr, axis=1) > 0, axis=1)
+        err[it] = 1.0 - ordered.mean()
+    return err

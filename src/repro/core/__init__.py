@@ -1,0 +1,1 @@
+"""The paper's contribution: canonical cell designs, 3-ON-2, datapath timing, functional devices."""

@@ -1,0 +1,105 @@
+"""Read-datapath timing (Figure 9, Table 5).
+
+The read pipeline is: PCM array read -> transient error correction ->
+hard error correction -> symbol decoding.  This module derives the
+per-design latency adders from the FO4 model of
+:mod:`repro.analysis.latency` and exposes the canonical constants the
+system simulation uses (Table 5 charges +36.25 ns for the 4LC design's
+BCH-10 decode and +5 ns for the full 3LC pipeline on top of the 200 ns
+array read).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.analysis.latency import PAPER_LATENCY_MODEL, BCHLatencyModel
+
+__all__ = [
+    "FO4_PS",
+    "PCM_READ_NS",
+    "PCM_WRITE_NS",
+    "DatapathTiming",
+    "FOUR_LC_TIMING",
+    "THREE_LC_TIMING",
+    "mark_and_spare_fo4",
+]
+
+#: Array-read and MLC-write latencies (Table 5).
+PCM_READ_NS: float = 200.0
+PCM_WRITE_NS: float = 1000.0
+
+#: FO4 delay assumed by the paper's timing: 36.25 ns / 569 FO4 ~ 63.7 ps.
+FO4_PS: float = 36.25e3 / 569.0
+
+
+def mark_and_spare_fo4(
+    n_pairs: int = 177, n_spares: int = 6, network: str = "sklansky"
+) -> float:
+    """FO4 depth of the cascaded mark-and-spare corrector (Figure 12).
+
+    Each of the ``n_spares`` stages evaluates a prefix-OR over the INV
+    flags (depth ``ceil(log2 n)`` OR2 levels for the Sklansky/Kogge-Stone
+    forms, ``n - 1`` for the ripple chain) and one MUX level.
+    """
+    if network == "ripple":
+        or_depth = n_pairs - 1
+    elif network in ("sklansky", "kogge-stone"):
+        or_depth = math.ceil(math.log2(n_pairs))
+    else:
+        raise ValueError(f"unknown network {network!r}")
+    per_stage = or_depth * 2.0 + 2.0  # OR2 ~ 2 FO4, MUX ~ 2 FO4
+    return n_spares * per_stage
+
+
+@dataclasses.dataclass(frozen=True)
+class DatapathTiming:
+    """Per-stage read-path latencies of one design, in nanoseconds."""
+
+    name: str
+    array_read_ns: float
+    tec_decode_ns: float
+    hec_ns: float
+    symbol_decode_ns: float
+
+    @property
+    def adder_ns(self) -> float:
+        """Latency added on top of the raw array read."""
+        return self.tec_decode_ns + self.hec_ns + self.symbol_decode_ns
+
+    @property
+    def total_read_ns(self) -> float:
+        return self.array_read_ns + self.adder_ns
+
+
+def _four_lc_timing(model: BCHLatencyModel = PAPER_LATENCY_MODEL) -> DatapathTiming:
+    # BCH-10 over the 612-bit codeword dominates; ECP substitution is a
+    # single MUX level and symbol decode one XOR level.
+    tec = model.decode_fo4(612, 10) * FO4_PS / 1e3
+    return DatapathTiming(
+        name="4LC",
+        array_read_ns=PCM_READ_NS,
+        tec_decode_ns=tec,
+        hec_ns=2.0 * FO4_PS / 1e3,
+        symbol_decode_ns=2.0 * FO4_PS / 1e3,
+    )
+
+
+def _three_lc_timing(model: BCHLatencyModel = PAPER_LATENCY_MODEL) -> DatapathTiming:
+    # BCH-1 over the 718-bit TEC view, then the (log-depth) mark-and-spare
+    # compaction folded into a single rank-based select, then 3-ON-2
+    # symbol decode.  Totals ~5 ns, the paper's Table 5 adder.
+    tec = model.decode_fo4(718, 1) * FO4_PS / 1e3
+    hec = (math.ceil(math.log2(177)) * 2.0 + 2.0) * FO4_PS / 1e3
+    return DatapathTiming(
+        name="3LC",
+        array_read_ns=PCM_READ_NS,
+        tec_decode_ns=tec,
+        hec_ns=hec,
+        symbol_decode_ns=2.0 * FO4_PS / 1e3,
+    )
+
+
+FOUR_LC_TIMING = _four_lc_timing()
+THREE_LC_TIMING = _three_lc_timing()

@@ -1,0 +1,84 @@
+"""Managed PCM device: mark-and-spare + block remapping, end to end.
+
+The paper's answer to wearout is layered (Section 6.4): mark-and-spare
+absorbs up to six cell failures per block, and blocks that exceed the
+budget are remapped FREE-p style [39] "to provide end-to-end
+protection".  :class:`ManagedPCMDevice` composes the functional
+:class:`PCMDevice` with a :class:`RemapDirectory` so logical blocks
+survive past spare exhaustion, until the spare-block pool itself runs
+dry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.faults import WearoutModel
+from repro.coding.blockcodec import DecodedBlock
+from repro.core.device import PCMDevice
+from repro.wearout.mark_and_spare import SpareExhausted
+from repro.wearout.remap import PoolExhausted, RemapDirectory
+
+__all__ = ["ManagedPCMDevice", "PoolExhausted"]
+
+
+class ManagedPCMDevice:
+    """Logical block space backed by a PCM device plus a spare-block pool."""
+
+    def __init__(
+        self,
+        n_logical_blocks: int,
+        n_spare_blocks: int,
+        cell_kind: str = "3LC",
+        seed: int = 0,
+        wearout: WearoutModel | None = None,
+        schedule: TieredDrift = PAPER_ESCALATION,
+    ):
+        self.directory = RemapDirectory(n_logical_blocks, n_spare_blocks)
+        self.device = PCMDevice(
+            n_logical_blocks + n_spare_blocks,
+            cell_kind,  # type: ignore[arg-type]
+            seed=seed,
+            wearout=wearout,
+            schedule=schedule,
+        )
+        self.retired_blocks = 0
+
+    # ------------------------------------------------------------------
+    def write(self, logical: int, data_bits: np.ndarray, t_now: float) -> None:
+        """Write through the remap directory, retiring exhausted blocks.
+
+        A block whose mark-and-spare budget (or ECP table) fills raises
+        :class:`SpareExhausted`; the directory retires it to a fresh
+        physical block and the write retries there.  Raises
+        :class:`PoolExhausted` when the pool is empty — device end of
+        life.
+        """
+        while True:
+            phys = self.directory.translate(logical)
+            try:
+                self.device.write(phys, data_bits, t_now)
+                return
+            except SpareExhausted:
+                self.directory.retire(logical)  # may raise PoolExhausted
+                self.retired_blocks += 1
+
+    def read(self, logical: int, t_now: float) -> DecodedBlock:
+        return self.device.read(self.directory.translate(logical), t_now)
+
+    def refresh(self, logical: int, t_now: float) -> DecodedBlock:
+        out = self.read(logical, t_now)
+        self.write(logical, out.data_bits, t_now)
+        # Account as a refresh, not a demand write (as PCMDevice.refresh does).
+        self.device.stats.refreshes += 1
+        self.device.stats.writes -= 1
+        return out
+
+    @property
+    def spares_left(self) -> int:
+        return self.directory.spares_left
+
+    @property
+    def stats(self):
+        return self.device.stats

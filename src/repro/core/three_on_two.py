@@ -1,0 +1,143 @@
+"""3-ON-2 information encoding: three bits on two ternary cells (Table 2).
+
+A pair of three-level cells has nine states; eight encode 3 bits of data
+and the ninth — ``[S4, S4]``, both cells at the highest resistance — is
+the INV (invalid) marker reserved for the mark-and-spare wearout
+mechanism (Section 6.2).
+
+Two *views* of a cell coexist (Section 6.3):
+
+- the symbol view used for data: pair state = ``3 * first + second``;
+- the transient-error-correction (TEC) view: each cell is read as two
+  bits — S1: ``00``, S2: ``01``, S4: ``11`` — so a drift error (always a
+  move to the *adjacent higher* state) flips exactly one bit, and the INV
+  state remains representable.  The block ECC (BCH-1) is computed over
+  this view.
+
+State indices here are the three-level design's: 0 = S1, 1 = S2, 2 = S4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BITS_PER_PAIR",
+    "CELLS_PER_PAIR",
+    "INV_VALUE",
+    "INV_PAIR",
+    "encode_values",
+    "decode_values",
+    "values_to_bits",
+    "bits_to_values",
+    "encode_bits",
+    "decode_bits",
+    "states_to_tec_bits",
+    "tec_bits_to_states",
+    "pairs_needed",
+]
+
+BITS_PER_PAIR = 3
+CELLS_PER_PAIR = 2
+
+#: Pair value (0..8) of the INV marker: both cells at S4.
+INV_VALUE = 8
+INV_PAIR = (2, 2)
+
+#: TEC view of each three-level state (Section 6.3): S1=00, S2=01, S4=11.
+_STATE_TO_TEC = np.array([[0, 0], [0, 1], [1, 1]], dtype=np.uint8)
+#: Inverse map from the 2-bit TEC value (b1*2 + b0) to state index.  The
+#: value 2 (bits "10") is not produced by any state nor by a single drift
+#: step; if ECC leaves it behind (multi-error escape) we conservatively
+#: read it as S4, the state one bit-flip away on the high side.
+_TEC_TO_STATE = np.array([0, 1, 2, 2], dtype=np.int64)
+
+
+def pairs_needed(n_bits: int) -> int:
+    """Cell pairs required to store ``n_bits`` (3 bits per pair)."""
+    return -(-n_bits // BITS_PER_PAIR)
+
+
+def encode_values(values: np.ndarray) -> np.ndarray:
+    """Pair values (0..7 data, 8 = INV) -> flat state array (2 per pair)."""
+    v = np.asarray(values, dtype=np.int64)
+    if np.any((v < 0) | (v > INV_VALUE)):
+        raise ValueError("pair values must be in [0, 8]")
+    first, second = v // 3, v % 3
+    return np.stack([first, second], axis=-1).reshape(-1)
+
+
+def decode_values(states: np.ndarray) -> np.ndarray:
+    """Flat state array -> pair values (0..8); 8 marks an INV pair."""
+    s = np.asarray(states, dtype=np.int64)
+    if s.size % CELLS_PER_PAIR:
+        raise ValueError("state array must hold whole pairs")
+    if np.any((s < 0) | (s > 2)):
+        raise ValueError("three-level state indices must be in [0, 2]")
+    pairs = s.reshape(-1, 2)
+    return pairs[:, 0] * 3 + pairs[:, 1]
+
+
+def values_to_bits(values: np.ndarray) -> np.ndarray:
+    """Data pair values (0..7) -> bit array (3 bits per value, MSB first)."""
+    v = np.asarray(values, dtype=np.int64)
+    if np.any((v < 0) | (v > 7)):
+        raise ValueError("data pair values must be in [0, 7] (8 is INV)")
+    shifts = np.array([2, 1, 0])
+    return ((v[:, None] >> shifts[None, :]) & 1).astype(np.uint8).reshape(-1)
+
+
+def bits_to_values(bits: np.ndarray) -> np.ndarray:
+    """Bit array (multiple of 3) -> data pair values (0..7)."""
+    b = np.asarray(bits, dtype=np.int64)
+    if b.size % BITS_PER_PAIR:
+        raise ValueError("bit count must be a multiple of 3")
+    grouped = b.reshape(-1, 3)
+    return grouped[:, 0] * 4 + grouped[:, 1] * 2 + grouped[:, 2]
+
+
+def encode_bits(bits: np.ndarray, n_pairs: int | None = None) -> np.ndarray:
+    """Data bits -> cell states, zero-padding to fill the last pair.
+
+    ``n_pairs`` may request extra capacity (padded with value 0).
+    """
+    b = np.asarray(bits).astype(np.int64)
+    need = pairs_needed(b.size)
+    total = need if n_pairs is None else n_pairs
+    if total < need:
+        raise ValueError(f"{b.size} bits need {need} pairs, got {total}")
+    padded = np.zeros(total * BITS_PER_PAIR, dtype=np.int64)
+    padded[: b.size] = b
+    return encode_values(bits_to_values(padded))
+
+
+def decode_bits(states: np.ndarray, n_bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cell states -> ``(data bits, inv_flags)``.
+
+    INV pairs decode as value 0; callers use ``inv_flags`` (one per pair)
+    to drive mark-and-spare correction before trusting the bits.
+    """
+    values = decode_values(states)
+    inv = values == INV_VALUE
+    safe = np.where(inv, 0, values)
+    bits = values_to_bits(safe)
+    if n_bits > bits.size:
+        raise ValueError(f"only {bits.size} bits stored, requested {n_bits}")
+    return bits[:n_bits].astype(np.uint8), inv
+
+
+def states_to_tec_bits(states: np.ndarray) -> np.ndarray:
+    """Cell states -> TEC bit view (2 bits per cell: S1=00, S2=01, S4=11)."""
+    s = np.asarray(states, dtype=np.int64)
+    if np.any((s < 0) | (s > 2)):
+        raise ValueError("three-level state indices must be in [0, 2]")
+    return _STATE_TO_TEC[s].reshape(-1)
+
+
+def tec_bits_to_states(bits: np.ndarray) -> np.ndarray:
+    """TEC bit view -> cell states (inverse of :func:`states_to_tec_bits`)."""
+    b = np.asarray(bits, dtype=np.int64)
+    if b.size % 2:
+        raise ValueError("TEC bit array must hold whole cells")
+    grouped = b.reshape(-1, 2)
+    return _TEC_TO_STATE[grouped[:, 0] * 2 + grouped[:, 1]]

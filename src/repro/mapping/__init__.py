@@ -1,0 +1,1 @@
+"""Optimal state-mapping search under the Section-5.1 margin constraints (Figures 6/7)."""

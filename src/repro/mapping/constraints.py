@@ -1,0 +1,104 @@
+"""Feasibility constraints of the Section-5.1 state-mapping optimization.
+
+The decision variables of an n-level design are the interior nominal
+levels ``mu_2 .. mu_{n-1}`` (the extremes ``mu_1`` and ``mu_n`` are fixed
+by process technology) and all ``n - 1`` thresholds ``tau_1 .. tau_{n-1}``.
+Each threshold must clear the write windows of both neighbouring states by
+the guard band delta:
+
+    mu_i + 2.75 sigma + delta < tau_i < mu_{i+1} - 2.75 sigma - delta
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cells.params import (
+    GUARD_BAND_DELTA,
+    SIGMA_R,
+    WRITE_TRUNCATION_SIGMA,
+)
+
+__all__ = ["DesignSpace", "MARGIN"]
+
+#: Minimum distance between a nominal level and an adjacent threshold.
+MARGIN: float = WRITE_TRUNCATION_SIGMA * SIGMA_R + GUARD_BAND_DELTA
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignSpace:
+    """Parameter space of an n-level mapping optimization.
+
+    ``x`` packs the free variables as
+    ``[mu_2, .., mu_{n-1}, tau_1, .., tau_{n-1}]``.
+    """
+
+    n_levels: int
+    mu_lo: float = 3.0  # fully crystalline, fixed by process
+    mu_hi: float = 6.0  # fully amorphous, fixed by process
+    margin: float = MARGIN
+
+    def __post_init__(self) -> None:
+        if self.n_levels < 2:
+            raise ValueError("need at least two levels")
+        span_needed = (self.n_levels - 1) * 2 * self.margin
+        if self.mu_hi - self.mu_lo < span_needed:
+            raise ValueError(
+                f"{self.n_levels} levels do not fit in "
+                f"[{self.mu_lo}, {self.mu_hi}] with margin {self.margin:.3f}"
+            )
+
+    @property
+    def n_free_mu(self) -> int:
+        return self.n_levels - 2
+
+    @property
+    def n_free(self) -> int:
+        return self.n_free_mu + (self.n_levels - 1)
+
+    def unpack(self, x: np.ndarray) -> tuple[list[float], list[float]]:
+        """Split a parameter vector into (all nominal levels, thresholds)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_free,):
+            raise ValueError(f"expected {self.n_free} parameters, got {x.shape}")
+        mus = [self.mu_lo, *x[: self.n_free_mu].tolist(), self.mu_hi]
+        taus = x[self.n_free_mu :].tolist()
+        return mus, taus
+
+    def pack(self, mus: list[float], taus: list[float]) -> np.ndarray:
+        if len(mus) != self.n_levels or len(taus) != self.n_levels - 1:
+            raise ValueError("wrong number of levels/thresholds")
+        if mus[0] != self.mu_lo or mus[-1] != self.mu_hi:
+            raise ValueError("end levels are fixed by the design space")
+        return np.asarray(mus[1:-1] + taus, dtype=float)
+
+    def constraint_values(self, x: np.ndarray) -> np.ndarray:
+        """Slack of every inequality constraint (all must be > 0).
+
+        Two constraints per threshold:
+          tau_i - mu_i - margin  and  mu_{i+1} - tau_i - margin.
+        """
+        mus, taus = self.unpack(x)
+        vals = []
+        for i, tau in enumerate(taus):
+            vals.append(tau - mus[i] - self.margin)
+            vals.append(mus[i + 1] - tau - self.margin)
+        return np.asarray(vals)
+
+    def is_feasible(self, x: np.ndarray, tol: float = -1e-12) -> bool:
+        return bool(np.all(self.constraint_values(x) >= tol))
+
+    def naive_start(self) -> np.ndarray:
+        """Evenly spaced levels with midpoint thresholds (the naive mapping)."""
+        mus = np.linspace(self.mu_lo, self.mu_hi, self.n_levels)
+        taus = (mus[:-1] + mus[1:]) / 2.0
+        return self.pack(mus.tolist(), taus.tolist())
+
+    def bounds(self) -> list[tuple[float, float]]:
+        """Loose box bounds for the free variables."""
+        lo, hi = self.mu_lo, self.mu_hi
+        mu_bounds = [(lo + self.margin, hi - self.margin)] * self.n_free_mu
+        tau_bounds = [(lo + self.margin, hi - self.margin)] * (self.n_levels - 1)
+        return mu_bounds + tau_bounds

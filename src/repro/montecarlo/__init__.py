@@ -1,0 +1,1 @@
+"""Drift cell-error-rate engines: chunked Monte Carlo and semi-analytic deep-tail evaluation."""

@@ -1,0 +1,206 @@
+"""Monte Carlo cell-error-rate (CER) estimation.
+
+The drift law is linear in ``L = log10(t / t0)``, so every sampled cell has
+a *critical log-time* ``L*`` at which its resistance first crosses the
+error threshold.  A whole time sweep then reduces to one sort of ``L*`` and
+a ``searchsorted`` per chunk — this is what lets the engine reach the
+paper's 1e9-sample scale on a laptop.
+
+Tier escalation (Section 5.3's conservative two-phase drift) is folded into
+the closed form: the trajectory is piecewise linear in ``L`` with slopes
+``alpha_0, alpha_1, ...`` switching at tier boundaries, so
+
+    L* = sum_k (segment height of phase k) / alpha_k .
+
+Cells programmed above a tier boundary keep their own exponent draw (their
+state's distribution already reflects that tier); only cells that drift
+across a boundary escalate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA, StateParams
+from repro.core.levels import LevelDesign
+from repro.montecarlo.rng import alpha_samples, make_rng, truncated_normal
+
+__all__ = [
+    "critical_log_times",
+    "sample_state_cells",
+    "state_cer",
+    "design_cer",
+    "CERResult",
+    "DEFAULT_CHUNK",
+]
+
+#: Default chunk size: bounds peak memory to ~a few hundred MB.
+DEFAULT_CHUNK = 4_000_000
+
+
+def sample_state_cells(
+    state: StateParams, n: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample written cells of one state: ``(lr0, alpha, z)``.
+
+    ``lr0`` is the initial log10 resistance after write-and-verify (truncated
+    Gaussian), ``alpha`` the per-cell drift exponent (Gaussian truncated at
+    zero), and ``z`` its standardized quantile.
+    """
+    lr0 = truncated_normal(
+        rng,
+        state.mu_lr,
+        state.sigma_lr,
+        -WRITE_TRUNCATION_SIGMA,
+        WRITE_TRUNCATION_SIGMA,
+        n,
+    )
+    alpha, z = alpha_samples(rng, state.drift.mu_alpha, state.drift.sigma_alpha, n)
+    return lr0, alpha, z
+
+
+def critical_log_times(
+    lr0: np.ndarray,
+    alpha0: np.ndarray,
+    z0: np.ndarray,
+    mu_orig: float,
+    tau: float,
+    schedule: TieredDrift = PAPER_ESCALATION,
+    tier_z: Sequence[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Per-cell ``L* = log10(t*/t0)`` at which resistance first reaches ``tau``.
+
+    ``inf`` means the cell never errs.  ``tier_z`` supplies one array of
+    fresh standard-normal quantiles per schedule tier (only consumed in
+    ``"independent"`` mode; tiers the cell does not cross are ignored).
+    """
+    lr0 = np.asarray(lr0, dtype=float)
+    cur_alpha = np.asarray(alpha0, dtype=float).copy()
+    z0 = np.asarray(z0, dtype=float)
+    if not np.isfinite(tau):
+        return np.full(lr0.shape, np.inf)
+
+    tiers = schedule.tiers_between(-np.inf, tau)
+    if schedule.mode == "independent" and tiers:
+        if tier_z is None or len(tier_z) < len(tiers):
+            raise ValueError(
+                f"independent escalation across {len(tiers)} tier(s) requires tier_z"
+            )
+
+    L_star = np.zeros(lr0.shape)
+    cur_lr = lr0.copy()
+
+    for k, tier in enumerate(tiers):
+        # Cells below the boundary spend part of their budget reaching it.
+        below = cur_lr < tier.lr_break
+        seg = np.where(below, tier.lr_break - cur_lr, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dL = np.where(seg > 0, seg / cur_alpha, 0.0)
+        dL = np.where((seg > 0) & (cur_alpha <= 0), np.inf, dL)
+        L_star = L_star + dL
+        # Only cells that crossed the boundary (finite budget so far and
+        # started below it) escalate; cells programmed above keep their draw.
+        crossed = below & np.isfinite(L_star)
+        if np.any(crossed):
+            z_fresh = tier_z[k] if tier_z is not None else None
+            esc = schedule.escalated_alpha(tier, cur_alpha, z0, mu_orig, z_fresh)
+            cur_alpha = np.where(crossed, esc, cur_alpha)
+        cur_lr = np.maximum(cur_lr, tier.lr_break)
+
+    seg = np.maximum(tau - cur_lr, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dL = np.where(seg > 0, seg / cur_alpha, 0.0)
+    dL = np.where((seg > 0) & (cur_alpha <= 0), np.inf, dL)
+    L_star = L_star + dL
+    # Cells written at/above tau (possible only if tau intrudes into the
+    # write window) err immediately.
+    return np.where(lr0 >= tau, 0.0, L_star)
+
+
+@dataclasses.dataclass(frozen=True)
+class CERResult:
+    """CER estimates over a time grid, with the MC resolution floor."""
+
+    times_s: np.ndarray
+    cer: np.ndarray
+    n_samples: int
+
+    @property
+    def floor(self) -> float:
+        """Smallest resolvable nonzero rate (one error in ``n_samples``)."""
+        return 1.0 / self.n_samples
+
+
+def state_cer(
+    state: StateParams,
+    tau_up: float,
+    times_s: Sequence[float],
+    n_samples: int,
+    seed: int | np.random.Generator = 0,
+    schedule: TieredDrift = PAPER_ESCALATION,
+    chunk: int = DEFAULT_CHUNK,
+) -> CERResult:
+    """Monte Carlo CER of one state against its upper threshold.
+
+    Chunked so arbitrarily large ``n_samples`` fit in memory; all time
+    points are evaluated from a single sorted pass per chunk.
+    """
+    times = np.asarray(sorted(times_s), dtype=float)
+    if np.any(times < T0_SECONDS):
+        raise ValueError("all times must be >= t0")
+    rng = make_rng(seed)
+    L_grid = np.log10(times / T0_SECONDS)
+    n_tiers = len(schedule.tiers_between(-np.inf, tau_up)) if np.isfinite(tau_up) else 0
+
+    counts = np.zeros(len(times), dtype=np.int64)
+    remaining = int(n_samples)
+    while remaining > 0:
+        m = min(remaining, chunk)
+        lr0, alpha, z = sample_state_cells(state, m, rng)
+        tier_z = None
+        if schedule.mode == "independent" and n_tiers:
+            tier_z = [rng.standard_normal(m) for _ in range(n_tiers)]
+        L_star = critical_log_times(
+            lr0, alpha, z, state.drift.mu_alpha, tau_up, schedule, tier_z
+        )
+        L_star = np.sort(L_star)
+        # errors by time t  <=>  L* <= L(t)
+        counts += np.searchsorted(L_star, L_grid, side="right")
+        remaining -= m
+
+    return CERResult(
+        times_s=times, cer=counts / float(n_samples), n_samples=int(n_samples)
+    )
+
+
+def design_cer(
+    design: LevelDesign,
+    times_s: Sequence[float],
+    n_samples: int,
+    seed: int | None = 0,
+    schedule: TieredDrift = PAPER_ESCALATION,
+    chunk: int = DEFAULT_CHUNK,
+) -> CERResult:
+    """Occupancy-weighted CER of a whole level design over a time grid.
+
+    ``n_samples`` counts total written cells; each state receives its
+    occupancy share (matching the paper's methodology of sampling from the
+    written-cell population).
+    """
+    times = np.asarray(sorted(times_s), dtype=float)
+    total = np.zeros(len(times))
+    rng = make_rng(seed)
+    for i, (state, p_occ) in enumerate(zip(design.states, design.occupancy)):
+        tau = design.upper_threshold(i)
+        if not np.isfinite(tau) or p_occ == 0.0:
+            continue  # top state never drift-errs
+        n_state = max(int(round(n_samples * p_occ)), 1)
+        res = state_cer(
+            state, tau, times, n_state, seed=rng, schedule=schedule, chunk=chunk
+        )
+        total += p_occ * res.cer
+    return CERResult(times_s=times, cer=total, n_samples=int(n_samples))

@@ -1,0 +1,63 @@
+"""Reproducible random sampling utilities for the Monte Carlo engine."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.special import ndtr, ndtri
+
+__all__ = ["make_rng", "spawn_rngs", "truncated_normal", "alpha_samples"]
+
+
+def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
+    """Return a Generator; pass through if one is given already."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """n independent generators from one seed (for chunked / parallel MC)."""
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def truncated_normal(
+    rng: np.random.Generator,
+    mu: float,
+    sigma: float,
+    z_lo: float,
+    z_hi: float,
+    size: int,
+) -> np.ndarray:
+    """Samples from N(mu, sigma) truncated to ``[mu + z_lo*sigma, mu + z_hi*sigma]``.
+
+    Uses the inverse-CDF method (vectorized, no rejection loop), which is
+    exact and fast for the mild truncations used here.
+    """
+    if sigma == 0.0:
+        return np.full(size, mu)
+    if z_lo >= z_hi:
+        raise ValueError("z_lo must be < z_hi")
+    p_lo, p_hi = ndtr(z_lo), ndtr(z_hi)
+    u = rng.random(size)
+    z = ndtri(p_lo + u * (p_hi - p_lo))
+    return mu + sigma * z
+
+
+def alpha_samples(
+    rng: np.random.Generator, mu_alpha: float, sigma_alpha: float, size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drift exponents truncated at zero, plus their standardized quantiles.
+
+    Returns ``(alpha, z)`` where ``alpha = mu + z * sigma`` and ``z`` is used
+    by correlated tier escalation (a fast cell stays fast after escalation).
+    """
+    if mu_alpha == 0.0 or sigma_alpha == 0.0:
+        return np.full(size, mu_alpha), np.zeros(size)
+    z_lo = -mu_alpha / sigma_alpha  # alpha >= 0
+    p_lo = ndtr(z_lo)
+    u = rng.random(size)
+    z = ndtri(p_lo + u * (1.0 - p_lo))
+    return mu_alpha + sigma_alpha * z, z

@@ -1,0 +1,119 @@
+"""Time-sweep drivers for the drift-error figures (Figures 3 and 8).
+
+The paper's x-axis runs over powers of two from 2 s to 2**40 s
+("34865 years"), sampled every 2**5.  These helpers run the per-state
+sweep of Figure 3 and the per-design sweep of Figure 8 and return labeled
+results ready for the benchmark harness to print.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.core.designs import all_designs, four_level_naive
+from repro.core.levels import LevelDesign
+from repro.montecarlo.analytic import analytic_design_cer
+from repro.montecarlo.cer import CERResult, design_cer, state_cer
+
+__all__ = [
+    "PAPER_TIME_GRID_S",
+    "PAPER_TIME_LABELS",
+    "fig3_state_sweep",
+    "fig8_design_sweep",
+    "SweepResult",
+]
+
+#: 2**1, 2**5, 2**10, ... 2**40 seconds — the nine x-axis points of
+#: Figures 3 and 8 ("2s" through "34865year").
+PAPER_TIME_GRID_S: tuple[float, ...] = tuple(
+    2.0**k for k in (1, 5, 10, 15, 20, 25, 30, 35, 40)
+)
+
+PAPER_TIME_LABELS: tuple[str, ...] = (
+    "2s",
+    "32s",
+    "17min",
+    "9hour",
+    "12day",
+    "1year",
+    "34year",
+    "1089year",
+    "34865year",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """CER curves keyed by series name, over a common time grid."""
+
+    times_s: np.ndarray
+    series: Mapping[str, np.ndarray]
+    n_samples: int
+
+    @property
+    def floor(self) -> float:
+        return 1.0 / self.n_samples
+
+
+def fig3_state_sweep(
+    n_samples: int = 10_000_000,
+    times_s: Sequence[float] = PAPER_TIME_GRID_S,
+    seed: int = 0,
+    schedule: TieredDrift = PAPER_ESCALATION,
+) -> SweepResult:
+    """Figure 3: per-state drift error rates of the naive four-level cell.
+
+    S1 and S4 are included for completeness (the paper notes they are
+    "practically zero"); the plotted curves are S2 and S3.
+    """
+    design = four_level_naive()
+    series: dict[str, np.ndarray] = {}
+    for i, state in enumerate(design.states):
+        tau = design.upper_threshold(i)
+        if not np.isfinite(tau):
+            series[state.name] = np.zeros(len(times_s))
+            continue
+        res = state_cer(
+            state, tau, times_s, n_samples, seed=seed + i, schedule=schedule
+        )
+        series[state.name] = res.cer
+    return SweepResult(
+        times_s=np.asarray(sorted(times_s), dtype=float),
+        series=series,
+        n_samples=n_samples,
+    )
+
+
+def fig8_design_sweep(
+    n_samples: int = 10_000_000,
+    times_s: Sequence[float] = PAPER_TIME_GRID_S,
+    seed: int = 0,
+    schedule: TieredDrift = PAPER_ESCALATION,
+    designs: Mapping[str, LevelDesign] | None = None,
+    analytic_floor: bool = True,
+) -> SweepResult:
+    """Figure 8: design-level CER of 4LCn/4LCs/4LCo/3LCn/3LCo.
+
+    The paper runs 1e9 Monte Carlo cells; the default here is 1e7 so the
+    whole benchmark suite stays fast — pass ``n_samples=1_000_000_000``
+    to reproduce at full scale.  With ``analytic_floor=True`` the
+    semi-analytic CER fills in points the MC cannot resolve (below
+    ``1/n_samples``), which is how the 3LC curves' deep tails are
+    reported.
+    """
+    designs = dict(designs) if designs is not None else all_designs()
+    times = np.asarray(sorted(times_s), dtype=float)
+    series: dict[str, np.ndarray] = {}
+    for j, (name, design) in enumerate(designs.items()):
+        mc = design_cer(design, times, n_samples, seed=seed + 17 * j, schedule=schedule)
+        curve = mc.cer.copy()
+        if analytic_floor:
+            an = analytic_design_cer(design, times, schedule=schedule)
+            unresolved = curve < (1.0 / n_samples)
+            curve[unresolved] = an[unresolved]
+        series[name] = curve
+    return SweepResult(times_s=times, series=series, n_samples=n_samples)

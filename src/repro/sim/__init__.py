@@ -1,0 +1,1 @@
+"""Cycle-based memory-system simulation: caches, PCM timing, refresh policies, energy (Figure 16)."""

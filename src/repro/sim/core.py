@@ -1,0 +1,144 @@
+"""Trace-driven core model.
+
+A simple out-of-order abstraction sufficient for the Figure-16 memory
+study:
+
+- CPU work between memory accesses advances time directly;
+- cache hits add their fixed hit latencies;
+- L2-miss **reads** go to the PCM controller; up to
+  ``max_outstanding_reads`` overlap (memory-level parallelism), except
+  *dependent* reads (pointer chasing), which serialize;
+- dirty evictions enter a finite write buffer that drains to PCM; the
+  core stalls only when the buffer is full — but PCM's four-write window
+  makes that a frequent event for write-heavy workloads, which is
+  exactly the contention Figure 16 measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.cache import Hierarchy
+from repro.sim.config import DesignVariant, MachineConfig
+from repro.sim.controller import PCMController, WritePolicy
+from repro.sim.engine import CompletionTracker
+from repro.sim.pcm_timing import PCMTimingModel
+from repro.workloads.synthetic import Trace
+
+__all__ = ["CoreResult", "run_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreResult:
+    """Outcome of executing one trace on one design variant."""
+
+    exec_time_ns: float
+    pcm_reads: int
+    pcm_writes: int
+    pcm_refreshes: int
+    read_stall_ns: float
+    write_window_stall_ns: float
+    l1_miss_rate: float
+    l2_miss_rate: float
+    row_hits: int = 0
+    refreshes_skipped: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.pcm_reads if self.pcm_reads else 0.0
+
+
+def run_trace(
+    trace: Trace,
+    machine: MachineConfig,
+    variant: DesignVariant,
+    write_policy: WritePolicy | None = None,
+) -> CoreResult:
+    """Execute a trace to completion; returns timing and traffic stats.
+
+    ``write_policy`` optionally routes requests through the read-priority
+    controller (write pausing/cancellation [25]); the default preserves
+    the base arrival-order bank model.
+    """
+    caches = Hierarchy(
+        machine.l1_size_bytes,
+        machine.l1_assoc,
+        machine.l2_size_bytes,
+        machine.l2_assoc,
+        machine.line_bytes,
+    )
+    if write_policy is not None:
+        ctrl = PCMController(machine, variant, policy=write_policy)
+        pcm = ctrl.timing
+
+        def sched_read(addr, t):
+            return ctrl.read(addr, t)
+
+        def sched_write(addr, t):
+            return ctrl.write(addr, t)
+
+    else:
+        pcm = PCMTimingModel(machine, variant)
+        sched_read = pcm.schedule_read
+        sched_write = pcm.schedule_write
+    reads_in_flight = CompletionTracker(machine.max_outstanding_reads)
+    write_buffer = CompletionTracker(machine.write_buffer_entries)
+
+    t = 0.0
+    gaps = trace.gap_ns
+    writes = trace.is_write
+    addrs = trace.line_addr
+    deps = trace.dependent
+    l1_hit_ns = machine.l1_hit_ns
+    l2_hit_ns = machine.l2_hit_ns
+
+    for i in range(len(trace)):
+        t += float(gaps[i])
+        traffic = caches.access(int(addrs[i]), bool(writes[i]))
+        t += l1_hit_ns  # every access probes L1
+
+        for _ in range(traffic.writebacks):
+            # Stall only when the write buffer is full.
+            t = write_buffer.wait_for_slot(t)
+            _, done = sched_write(int(addrs[i]), t)
+            write_buffer.add(done)
+
+        if traffic.fill_read:
+            t += l2_hit_ns  # L2 lookup before going to memory
+            if deps[i]:
+                # Dependent miss: the core waits for the data itself.
+                done = sched_read(int(addrs[i]), t)
+                t = done
+            else:
+                t = reads_in_flight.wait_for_slot(t)
+                done = sched_read(int(addrs[i]), t)
+                reads_in_flight.add(done)
+        elif not traffic.fill_read and not bool(writes[i]):
+            # hit somewhere: L2 hits pay the L2 latency
+            pass
+
+    # Retire everything outstanding.
+    if len(reads_in_flight):
+        t = max(t, reads_in_flight.earliest())
+        while len(reads_in_flight):
+            t = max(t, reads_in_flight.earliest())
+            reads_in_flight.retire_until(t)
+    while len(write_buffer):
+        t = max(t, write_buffer.earliest())
+        write_buffer.retire_until(t)
+    pcm.drain(t)
+
+    l1 = caches.l1
+    l2 = caches.l2
+    return CoreResult(
+        exec_time_ns=t,
+        pcm_reads=pcm.counts.reads,
+        pcm_writes=pcm.counts.writes,
+        pcm_refreshes=pcm.counts.refreshes,
+        read_stall_ns=pcm.counts.read_stall_ns,
+        write_window_stall_ns=pcm.counts.write_window_stall_ns,
+        l1_miss_rate=l1.misses / max(l1.hits + l1.misses, 1),
+        l2_miss_rate=l2.misses / max(l2.hits + l2.misses, 1),
+        row_hits=pcm.counts.row_hits,
+        refreshes_skipped=pcm.counts.refreshes_skipped,
+    )

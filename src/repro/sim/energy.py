@@ -1,0 +1,51 @@
+"""Energy and power accounting (Figure 16's right-hand metrics).
+
+PCM idle power is essentially zero (Section 1), so the memory-subsystem
+energy is the sum of per-operation energies:
+
+- demand read:  array read + ECC decode;
+- demand write: iterative MLC write-and-verify (dominant);
+- refresh:      a read (with ECC correction) plus a write.
+
+Power is energy over execution time — the paper's Figure 16 notes that
+3LC's *power* rises slightly with its speedup while total energy drops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.config import MachineConfig
+from repro.sim.pcm_timing import OpCounts
+
+__all__ = ["EnergyBreakdown", "account_energy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-class energy in nanojoules (RD / WR / REF of Figure 16)."""
+
+    read_nj: float
+    write_nj: float
+    refresh_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.read_nj + self.write_nj + self.refresh_nj
+
+    def power_w(self, exec_time_ns: float) -> float:
+        if exec_time_ns <= 0:
+            raise ValueError("execution time must be positive")
+        return self.total_nj / exec_time_ns  # nJ/ns == W
+
+
+def account_energy(counts: OpCounts, machine: MachineConfig) -> EnergyBreakdown:
+    """Energy of a finished simulation run."""
+    read = counts.reads * (machine.read_energy_nj + machine.ecc_decode_energy_nj)
+    write = counts.writes * machine.write_energy_nj
+    refresh = counts.refreshes * (
+        machine.read_energy_nj
+        + machine.ecc_decode_energy_nj
+        + machine.write_energy_nj
+    )
+    return EnergyBreakdown(read_nj=read, write_nj=write, refresh_nj=refresh)

@@ -1,0 +1,56 @@
+"""Tiny discrete-event helpers for the system simulation.
+
+The simulator is trace-driven with non-decreasing request times, so a
+full event calendar is unnecessary; what the core model needs is a
+min-heap of outstanding completion times (reads in flight, write-buffer
+entries) with O(log n) retire-earliest.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["CompletionTracker"]
+
+
+class CompletionTracker:
+    """Min-heap of in-flight operation completion times."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._heap: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def add(self, completion_ns: float) -> None:
+        heapq.heappush(self._heap, completion_ns)
+
+    def retire_until(self, t: float) -> int:
+        """Drop all operations completed by time ``t``; returns count."""
+        n = 0
+        while self._heap and self._heap[0] <= t:
+            heapq.heappop(self._heap)
+            n += 1
+        return n
+
+    def earliest(self) -> float:
+        """Completion time of the oldest in-flight operation."""
+        if not self._heap:
+            raise IndexError("no operations in flight")
+        return self._heap[0]
+
+    def wait_for_slot(self, t: float) -> float:
+        """Earliest time a new operation can enter (stall if full)."""
+        self.retire_until(t)
+        if not self.full:
+            return t
+        t_free = self.earliest()
+        self.retire_until(t_free)
+        return max(t, t_free)

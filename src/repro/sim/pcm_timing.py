@@ -1,0 +1,168 @@
+"""PCM device timing: banks, the four-write window, refresh interleaving.
+
+Implements the Section-7 memory-device model:
+
+- per-bank service (one operation at a time; reads 200 ns + ECC adder,
+  writes 1 us);
+- the global **four-write window**: at most ``writes_per_window`` write
+  *starts* inside any rolling ``write_window_ns`` interval — this is the
+  40 MB/s sustained write-throughput cap of Table 5 (64B x 4 / 6.4 us =
+  40 MB/s);
+- a steady-state **refresh stream**: refreshing ``n_blocks`` every
+  interval means one block refresh (a 1 us write occupying a bank and a
+  write-window slot) every ``interval / n_blocks`` — ~3.9 us device-wide
+  at 17 minutes.  BLOCKING mode charges both bank and window; OPTIMIZED
+  charges only the window (ideal contention-free scheduling); NONE skips
+  refresh entirely.
+
+Demand requests must arrive in non-decreasing time order (the core model
+guarantees this); refreshes due before each arrival are retired first.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+from repro.sim.config import DesignVariant, MachineConfig, RefreshMode
+from repro.sim.refresh import RefreshStream
+
+__all__ = ["PCMTimingModel", "OpCounts"]
+
+
+@dataclasses.dataclass
+class OpCounts:
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    read_stall_ns: float = 0.0  # waiting for a busy bank
+    write_window_stall_ns: float = 0.0
+    row_hits: int = 0
+    refreshes_skipped: int = 0  # write-aware scrub cancellations
+
+
+class _WriteWindow:
+    """Rolling limit on write starts (four-write window).
+
+    Only the ``max_writes`` most recent start times can ever constrain a
+    future write (the k-th next write must start at least ``window_ns``
+    after the k-th most recent), so a sorted list of the largest
+    ``max_writes`` starts is sufficient state.  Starts are not guaranteed
+    monotone across calls — a bank-conflicted write can be pushed past a
+    later-arriving write on another bank — hence the sorted insert.
+    """
+
+    def __init__(self, window_ns: float, max_writes: int):
+        self.window_ns = window_ns
+        self.max_writes = max_writes
+        self._starts: list[float] = []  # ascending, length <= max_writes
+
+    def earliest_start(self, t: float) -> float:
+        if len(self._starts) < self.max_writes:
+            return t
+        return max(t, self._starts[0] + self.window_ns)
+
+    def commit(self, start: float) -> None:
+        bisect.insort(self._starts, start)
+        if len(self._starts) > self.max_writes:
+            self._starts.pop(0)
+
+
+class PCMTimingModel:
+    """Bank/window/refresh timing for one PCM device."""
+
+    def __init__(self, machine: MachineConfig, variant: DesignVariant):
+        self.machine = machine
+        self.variant = variant
+        self.bank_free = [0.0] * machine.n_banks
+        self.window = _WriteWindow(
+            machine.write_window_ns, machine.writes_per_window
+        )
+        self.counts = OpCounts()
+        if variant.refreshes:
+            interval = variant.refresh_interval_s
+            assert interval is not None
+            obligated = machine.n_blocks
+            if variant.refresh_mode is RefreshMode.WRITE_AWARE:
+                # Blocks the demand stream rewrites each interval carry no
+                # refresh obligation (write-aware scrub, after [2]).
+                obligated = max(
+                    int(round(obligated * (1.0 - variant.refresh_coverage))), 1
+                )
+            self.refresh_stream: RefreshStream | None = RefreshStream.for_device(
+                obligated, interval
+            )
+        else:
+            self.refresh_stream = None
+        self._refresh_bank = 0
+        # Open row per bank (row index, or None); Section 6.7 notes PCM
+        # devices keep DRAM-like row buffers.
+        self._open_row: list[int | None] = [None] * machine.n_banks
+
+    # ------------------------------------------------------------------
+    def bank_of(self, line_addr: int) -> int:
+        return line_addr % self.machine.n_banks
+
+    def _advance_refresh(self, t: float) -> None:
+        """Retire refreshes that fell due before ``t``."""
+        stream = self.refresh_stream
+        if stream is None:
+            return
+        while stream.due(t):
+            due = stream.pop()
+            start = self.window.earliest_start(due)
+            if self.variant.refresh_mode is RefreshMode.BLOCKING:
+                bank = self._refresh_bank
+                self._refresh_bank = (bank + 1) % self.machine.n_banks
+                start = max(start, self.bank_free[bank])
+                self.bank_free[bank] = start + self.machine.pcm_write_ns
+                self._open_row[bank] = None  # refresh closes the row
+            self.window.commit(start)
+            self.counts.refreshes += 1
+
+    # ------------------------------------------------------------------
+    def _row_of(self, line_addr: int) -> int | None:
+        rb = self.machine.row_buffer_blocks
+        if rb <= 0:
+            return None
+        return (line_addr // self.machine.n_banks) // rb
+
+    def schedule_read(self, line_addr: int, t_arrive: float) -> float:
+        """Returns the completion time of a demand read."""
+        self._advance_refresh(t_arrive)
+        bank = self.bank_of(line_addr)
+        start = max(t_arrive, self.bank_free[bank])
+        self.counts.read_stall_ns += start - t_arrive
+        row = self._row_of(line_addr)
+        if row is not None and self._open_row[bank] == row:
+            array_ns = self.machine.row_hit_ns
+            self.counts.row_hits += 1
+        else:
+            array_ns = self.machine.pcm_read_ns
+            if row is not None:
+                self._open_row[bank] = row
+        done = start + array_ns + self.variant.read_adder_ns
+        self.bank_free[bank] = start + array_ns
+        self.counts.reads += 1
+        return done
+
+    def schedule_write(self, line_addr: int, t_arrive: float) -> tuple[float, float]:
+        """Returns ``(start, completion)`` of a demand write."""
+        self._advance_refresh(t_arrive)
+        bank = self.bank_of(line_addr)
+        start = max(t_arrive, self.bank_free[bank])
+        w_start = self.window.earliest_start(start)
+        self.counts.write_window_stall_ns += w_start - start
+        start = w_start
+        self.window.commit(start)
+        done = start + self.machine.pcm_write_ns
+        self.bank_free[bank] = done
+        self.counts.writes += 1
+        row = self._row_of(line_addr)
+        if row is not None:
+            self._open_row[bank] = row
+        return start, done
+
+    def drain(self, t: float) -> None:
+        """Advance refresh bookkeeping to the end of simulation."""
+        self._advance_refresh(t)

@@ -1,0 +1,109 @@
+"""End-to-end Figure 16 runner: workloads x design variants.
+
+Produces the normalized execution time, energy breakdown (RD/WR/REF) and
+power of each (workload, variant) pair, normalized to 4LC-REF exactly as
+the paper plots them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.sim.config import DesignVariant, MachineConfig, PAPER_VARIANTS
+from repro.sim.core import CoreResult, run_trace
+from repro.sim.energy import EnergyBreakdown, account_energy
+from repro.sim.pcm_timing import OpCounts
+from repro.workloads.spec_like import PAPER_WORKLOADS, make_workload
+
+__all__ = ["VariantResult", "Fig16Row", "run_variant", "run_fig16"]
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantResult:
+    """Raw results of one (workload, variant) simulation."""
+
+    workload: str
+    variant: str
+    core: CoreResult
+    energy: EnergyBreakdown
+
+    @property
+    def power_w(self) -> float:
+        return self.energy.power_w(self.core.exec_time_ns)
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig16Row:
+    """One workload's bars, normalized to the 4LC-REF baseline."""
+
+    workload: str
+    exec_time: Mapping[str, float]
+    energy: Mapping[str, float]
+    power: Mapping[str, float]
+    energy_breakdown: Mapping[str, tuple[float, float, float]]  # RD, WR, REF
+
+
+def run_variant(
+    workload: str,
+    variant: DesignVariant,
+    machine: MachineConfig | None = None,
+    n_accesses: int = 200_000,
+    seed: int = 0,
+) -> VariantResult:
+    machine = machine or MachineConfig()
+    trace = make_workload(workload, n_accesses=n_accesses, seed=seed)
+    core = run_trace(trace, machine, variant)
+    counts = OpCounts(
+        reads=core.pcm_reads,
+        writes=core.pcm_writes,
+        refreshes=core.pcm_refreshes,
+    )
+    energy = account_energy(counts, machine)
+    return VariantResult(
+        workload=workload, variant=variant.name, core=core, energy=energy
+    )
+
+
+def run_fig16(
+    workloads: Sequence[str] | None = None,
+    variants: Mapping[str, DesignVariant] | None = None,
+    machine: MachineConfig | None = None,
+    n_accesses: int = 200_000,
+    seed: int = 0,
+    baseline: str = "4LC-REF",
+) -> list[Fig16Row]:
+    """Run the full Figure 16 grid and normalize to the baseline."""
+    workloads = list(workloads) if workloads is not None else list(PAPER_WORKLOADS)
+    variants = dict(variants) if variants is not None else dict(PAPER_VARIANTS)
+    if baseline not in variants:
+        raise ValueError(f"baseline {baseline!r} not among variants")
+    machine = machine or MachineConfig()
+
+    rows: list[Fig16Row] = []
+    for wl in workloads:
+        results = {
+            name: run_variant(wl, v, machine, n_accesses, seed)
+            for name, v in variants.items()
+        }
+        base = results[baseline]
+        t0 = base.core.exec_time_ns
+        e0 = base.energy.total_nj
+        p0 = base.power_w
+        rows.append(
+            Fig16Row(
+                workload=wl,
+                exec_time={n: r.core.exec_time_ns / t0 for n, r in results.items()},
+                energy={n: r.energy.total_nj / e0 for n, r in results.items()},
+                power={n: r.power_w / p0 for n, r in results.items()},
+                energy_breakdown={
+                    n: (
+                        r.energy.read_nj / e0,
+                        r.energy.write_nj / e0,
+                        r.energy.refresh_nj / e0,
+                    )
+                    for n, r in results.items()
+                },
+            )
+        )
+    return rows

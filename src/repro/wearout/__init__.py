@@ -1,0 +1,1 @@
+"""Hard-error tolerance: mark-and-spare, ECP, prefix-OR netlists, wear leveling, remapping."""

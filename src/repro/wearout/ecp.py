@@ -1,0 +1,106 @@
+"""Error-Correcting Pointers (ECP) for SLC and MLC PCM (Figure 14).
+
+ECP [27] tolerates wearout (stuck-at) failures by pairing each failed
+cell with a pointer + replacement cell.  The original design targets
+SLC; the paper adapts it to 4LC-PCM (Figure 14): an 8-bit pointer into a
+256-cell block is stored in four 2-bit cells, plus one replacement cell —
+five cells per corrected failure — and one extra cell holds the "full"
+flag, giving 31 cells for ECP-6.
+
+Entry priority follows the original ECP: a *later* entry may point at the
+replacement cell of an earlier one (correcting a worn-out ECP cell), so
+entries are applied first-to-last with later entries winning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = ["ECPConfig", "ECPTable", "ecp_cells_slc", "ecp_cells_mlc"]
+
+
+def ecp_cells_mlc(
+    n_data_cells: int, n_entries: int, bits_per_cell: int = 2
+) -> int:
+    """Storage cost of ECP-n for an MLC block, in cells (Figure 14).
+
+    Pointer bits are packed into MLC cells; each entry adds one
+    replacement cell; one extra cell stores the full flag.
+    """
+    ptr_bits = max(1, math.ceil(math.log2(n_data_cells)))
+    ptr_cells = math.ceil(ptr_bits / bits_per_cell)
+    return n_entries * (ptr_cells + 1) + 1
+
+
+def ecp_cells_slc(n_data_bits: int, n_entries: int) -> int:
+    """Storage cost of ECP-n in SLC mode (1 bit per cell), in cells."""
+    ptr_bits = max(1, math.ceil(math.log2(n_data_bits)))
+    return n_entries * (ptr_bits + 1) + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ECPConfig:
+    n_data_cells: int = 256
+    n_entries: int = 6
+    bits_per_cell: int = 2
+
+    @property
+    def pointer_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.n_data_cells)))
+
+    @property
+    def total_cells(self) -> int:
+        return ecp_cells_mlc(self.n_data_cells, self.n_entries, self.bits_per_cell)
+
+
+class ECPTable:
+    """Functional ECP state for one block."""
+
+    def __init__(self, config: ECPConfig = ECPConfig()):
+        self.config = config
+        self._entries: list[tuple[int, int]] = []  # (pointer, replacement)
+
+    @property
+    def n_used(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return self.n_used >= self.config.n_entries
+
+    def allocate(self, pointer: int, replacement_value: int) -> bool:
+        """Record a failed cell; returns False when the table is full."""
+        if not 0 <= pointer < self.config.n_data_cells:
+            raise ValueError(f"pointer {pointer} out of range")
+        if not 0 <= replacement_value < (1 << self.config.bits_per_cell):
+            raise ValueError("replacement value out of cell range")
+        if self.full:
+            return False
+        self._entries.append((pointer, replacement_value))
+        return True
+
+    def update(self, pointer: int, replacement_value: int) -> bool:
+        """Refresh the replacement value of an existing entry (on write)."""
+        for i in range(len(self._entries) - 1, -1, -1):
+            if self._entries[i][0] == pointer:
+                self._entries[i] = (pointer, replacement_value)
+                return True
+        return False
+
+    def covers(self, pointer: int) -> bool:
+        return any(p == pointer for p, _ in self._entries)
+
+    def apply(self, states: np.ndarray) -> np.ndarray:
+        """Substitute replacement values into a read cell-state array."""
+        s = np.asarray(states, dtype=np.int64)
+        if s.shape != (self.config.n_data_cells,):
+            raise ValueError(
+                f"expected {self.config.n_data_cells} states, got {s.shape}"
+            )
+        out = s.copy()
+        for pointer, value in self._entries:  # later entries win
+            out[pointer] = value
+        return out

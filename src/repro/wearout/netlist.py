@@ -1,0 +1,156 @@
+"""Gate-level model of the mark-and-spare correction logic (Figs 12-13).
+
+Each correction stage consists of an OR-gate chain over the INV flags and
+a row of 2:1 MUXes that shift data pairs left past the first marked pair.
+The OR chain is a *prefix-OR* network; the paper shows the O(n) ripple
+form and an O(log n) Sklansky form, and mentions Kogge-Stone as an
+alternative.  We build all three as explicit gate lists, evaluate them,
+and report gate count and depth — reproducing the Figure 13 latency
+argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "PrefixNetwork",
+    "ripple_prefix_or",
+    "sklansky_prefix_or",
+    "kogge_stone_prefix_or",
+    "mux_stage",
+    "NETWORK_BUILDERS",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixNetwork:
+    """An explicit 2-input OR network computing all prefix ORs.
+
+    ``gates`` is a topologically ordered list of
+    ``(out_node, in_a, in_b)``; nodes ``0..n-1`` are the inputs, outputs
+    are published in ``outputs[i]`` = node holding ``a_0 | ... | a_i``.
+    """
+
+    n: int
+    gates: tuple[tuple[int, int, int], ...]
+    outputs: tuple[int, ...]
+    name: str
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    @property
+    def depth(self) -> int:
+        """Longest gate path from any input to any output."""
+        depths = {i: 0 for i in range(self.n)}
+        for out, a, b in self.gates:
+            depths[out] = 1 + max(depths[a], depths[b])
+        return max((depths[o] for o in self.outputs), default=0)
+
+    def evaluate(self, inputs: np.ndarray) -> np.ndarray:
+        """Prefix ORs of a boolean input vector (also vectorized over rows)."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=bool))
+        if x.shape[1] != self.n:
+            raise ValueError(f"expected {self.n} inputs, got {x.shape[1]}")
+        max_node = max(
+            [self.n - 1]
+            + [out for out, _, _ in self.gates]
+        )
+        nodes = np.zeros((x.shape[0], max_node + 1), dtype=bool)
+        nodes[:, : self.n] = x
+        for out, a, b in self.gates:
+            nodes[:, out] = nodes[:, a] | nodes[:, b]
+        result = nodes[:, list(self.outputs)]
+        return result[0] if np.asarray(inputs).ndim == 1 else result
+
+
+def ripple_prefix_or(n: int) -> PrefixNetwork:
+    """O(n)-depth serial chain, Figure 13(a)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    gates: list[tuple[int, int, int]] = []
+    outputs = [0]
+    next_node = n
+    prev = 0
+    for i in range(1, n):
+        gates.append((next_node, prev, i))
+        outputs.append(next_node)
+        prev = next_node
+        next_node += 1
+    return PrefixNetwork(n=n, gates=tuple(gates), outputs=tuple(outputs), name="ripple")
+
+
+def sklansky_prefix_or(n: int) -> PrefixNetwork:
+    """Divide-and-conquer prefix network, O(log n) depth, Figure 13(b)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    gates: list[tuple[int, int, int]] = []
+    cur = list(range(n))  # node currently holding prefix ending at i
+    next_node = n
+    span = 1
+    while span < n:
+        for i in range(n):
+            # combine blocks: positions whose (i // span) is odd take the
+            # last node of the previous block
+            if (i // span) % 2 == 1:
+                src = ((i // span) * span) - 1
+                gates.append((next_node, cur[src], cur[i]))
+                cur[i] = next_node
+                next_node += 1
+        span *= 2
+    return PrefixNetwork(n=n, gates=tuple(gates), outputs=tuple(cur), name="sklansky")
+
+
+def kogge_stone_prefix_or(n: int) -> PrefixNetwork:
+    """Kogge-Stone prefix network: O(log n) depth, minimal fanout."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    gates: list[tuple[int, int, int]] = []
+    cur = list(range(n))
+    next_node = n
+    dist = 1
+    while dist < n:
+        new = cur[:]
+        for i in range(dist, n):
+            gates.append((next_node, cur[i - dist], cur[i]))
+            new[i] = next_node
+            next_node += 1
+        cur = new
+        dist *= 2
+    return PrefixNetwork(
+        n=n, gates=tuple(gates), outputs=tuple(cur), name="kogge-stone"
+    )
+
+
+NETWORK_BUILDERS = {
+    "ripple": ripple_prefix_or,
+    "sklansky": sklansky_prefix_or,
+    "kogge-stone": kogge_stone_prefix_or,
+}
+
+
+def mux_stage(
+    values: np.ndarray, inv_flags: np.ndarray, network: PrefixNetwork
+) -> tuple[np.ndarray, np.ndarray]:
+    """One mark-and-spare correction stage (Figure 12) at the gate level.
+
+    MUX select signals are the prefix ORs of the INV flags: every position
+    at or after the first INV pair takes its right-hand neighbour,
+    squeezing that pair out.  Returns the shifted ``(values, inv_flags)``
+    (the vacated last slot reads as value 0 / flag False, matching spares
+    exhausted).
+    """
+    v = np.asarray(values)
+    f = np.asarray(inv_flags, dtype=bool)
+    if v.shape != f.shape or v.ndim != 1:
+        raise ValueError("values and inv_flags must be equal-length vectors")
+    if network.n != v.size:
+        raise ValueError(f"network width {network.n} != vector size {v.size}")
+    sel = network.evaluate(f)
+    shifted_v = np.append(v[1:], 0)
+    shifted_f = np.append(f[1:], False)
+    return np.where(sel, shifted_v, v), np.where(sel, shifted_f, f)

@@ -1,0 +1,119 @@
+"""Start-Gap wear leveling (Qureshi et al. [26], Section 1 prior work).
+
+PCM lines wear out under write-hot workloads; Start-Gap spreads writes
+across the device with two registers and one spare line instead of a
+remapping table:
+
+- a **gap** line is kept empty; every ``gap_move_interval`` writes the
+  line above the gap moves into it and the gap shifts down by one;
+- once the gap has walked the whole device, **start** advances by one,
+  rotating the logical-to-physical mapping.
+
+The logical->physical translation is pure arithmetic (the paper's
+appeal): ``physical = (logical + start) % N``, bumped by one if it is at
+or past the gap.  Over time every logical line visits every physical
+line, converting a hot spot into uniform wear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["StartGap", "wear_stats", "simulate_wear"]
+
+
+@dataclasses.dataclass
+class StartGap:
+    """Start-Gap address rotation over ``n_lines`` physical lines.
+
+    One extra physical line (index ``n_lines``) serves as the roaming
+    gap, so physical indices span ``0 .. n_lines``.
+    """
+
+    n_lines: int
+    gap_move_interval: int = 100  # writes between gap moves (paper: 100)
+
+    def __post_init__(self) -> None:
+        if self.n_lines < 1:
+            raise ValueError("need at least one line")
+        if self.gap_move_interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.start = 0
+        self.gap = self.n_lines  # gap begins past the last line
+        self._writes_since_move = 0
+        self.gap_moves = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    def translate(self, logical: int) -> int:
+        """Logical line -> physical line (O(1), no tables)."""
+        if not 0 <= logical < self.n_lines:
+            raise IndexError(f"logical line {logical} out of range")
+        phys = (logical + self.start) % self.n_lines
+        if phys >= self.gap:
+            phys += 1
+        return phys
+
+    def on_write(self) -> int | None:
+        """Charge one write; returns the physical line whose contents
+        must be copied when the gap moves (or ``None``)."""
+        self._writes_since_move += 1
+        if self._writes_since_move < self.gap_move_interval:
+            return None
+        self._writes_since_move = 0
+        self.gap_moves += 1
+        if self.gap == 0:
+            # Gap wraps to the top; the start register advances.
+            self.gap = self.n_lines
+            self.start = (self.start + 1) % self.n_lines
+            self.rotations += 1
+            return None
+        moved = self.gap - 1  # line above the gap slides into it
+        self.gap -= 1
+        return moved
+
+    @property
+    def write_overhead(self) -> float:
+        """Extra writes per demand write (1 copy per interval)."""
+        return 1.0 / self.gap_move_interval
+
+
+def wear_stats(write_counts: np.ndarray) -> dict[str, float]:
+    """Summary of a wear distribution: max/mean ratio is the leveling
+    figure of merit (1.0 = perfectly level)."""
+    w = np.asarray(write_counts, dtype=float)
+    if w.size == 0 or np.all(w == 0):
+        raise ValueError("no writes recorded")
+    mean = float(np.mean(w))
+    return {
+        "max": float(np.max(w)),
+        "mean": mean,
+        "max_over_mean": float(np.max(w)) / mean if mean else np.inf,
+        "cv": float(np.std(w) / mean) if mean else np.inf,
+    }
+
+
+def simulate_wear(
+    n_lines: int,
+    writes: np.ndarray,
+    leveler: StartGap | None = None,
+) -> np.ndarray:
+    """Physical per-line write counts for a logical write stream.
+
+    ``writes`` is a sequence of logical line indices; with a leveler the
+    gap-move copy writes are charged too.
+    """
+    counts = np.zeros(n_lines + (1 if leveler is not None else 0), dtype=np.int64)
+    for logical in np.asarray(writes, dtype=np.int64):
+        if leveler is None:
+            counts[int(logical)] += 1
+            continue
+        counts[leveler.translate(int(logical))] += 1
+        moved = leveler.on_write()
+        if moved is not None:
+            # The copy reads physical ``moved`` and writes it into the old
+            # gap slot at ``moved + 1``; only the write wears a cell.
+            counts[moved + 1] += 1
+    return counts

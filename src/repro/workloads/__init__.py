@@ -1,0 +1,1 @@
+"""Access-trace generators (SPEC-like profiles, synthetic patterns) and trace persistence."""

@@ -1,0 +1,104 @@
+"""SPEC CPU 2006 / STREAM-like workload profiles (Figure 16's x-axis).
+
+The paper drives McSim with SPEC traces; those are proprietary, so each
+benchmark is substituted by a synthetic trace calibrated to its published
+memory character (see DESIGN.md).  What Figure 16 actually stresses is
+the *memory intensity and read/write mix* of each workload — which these
+profiles expose directly:
+
+===========  =====================================================
+STREAM       streaming triad, 1/3 writes, tiny compute gaps
+bzip2        moderate mixed traffic, part cache-resident
+mcf          pointer-chasing dependent reads over a large footprint
+namd         compute-bound: cache-resident working set, rare misses
+libquantum   streaming reads, very few writes
+lbm          streaming stencil, write-heavy (~1/2 writes)
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.synthetic import (
+    Trace,
+    interleave,
+    pointer_chase_trace,
+    random_trace,
+    stream_trace,
+)
+
+__all__ = ["PAPER_WORKLOADS", "make_workload"]
+
+#: 1M lines = 64 MB footprint: far beyond the 512kB L2.
+_BIG = 1_000_000
+#: 4k lines = 256 kB: fits in L2, mostly misses L1.
+_L2_RESIDENT = 4_096
+#: 192 lines = 12 kB: fits in the 16 kB L1.
+_L1_RESIDENT = 192
+
+
+def _stream(n: int, seed: int) -> Trace:
+    return stream_trace(
+        n, footprint_lines=_BIG, write_fraction=1 / 3, gap_ns=10.0,
+        name="STREAM", seed=seed,
+    )
+
+
+def _bzip2(n: int, seed: int) -> Trace:
+    hot = random_trace(
+        int(n * 0.7), _L2_RESIDENT, write_fraction=0.3, gap_ns=6.0,
+        name="bzip2-hot", seed=seed,
+    )
+    cold = stream_trace(
+        n - len(hot), footprint_lines=_BIG // 4, write_fraction=0.4,
+        gap_ns=25.0, name="bzip2-cold", seed=seed + 1,
+    )
+    return interleave("bzip2", [(hot, 0.7), (cold, 0.3)], seed=seed)
+
+
+def _mcf(n: int, seed: int) -> Trace:
+    return pointer_chase_trace(
+        n, footprint_lines=2 * _BIG, gap_ns=12.0, write_fraction=0.15,
+        name="mcf", seed=seed,
+    )
+
+
+def _namd(n: int, seed: int) -> Trace:
+    return random_trace(
+        n, _L1_RESIDENT, write_fraction=0.25, gap_ns=4.0, name="namd",
+        seed=seed,
+    )
+
+
+def _libquantum(n: int, seed: int) -> Trace:
+    return stream_trace(
+        n, footprint_lines=_BIG, write_fraction=0.1, gap_ns=8.0,
+        name="libquantum", seed=seed, n_arrays=10,
+    )
+
+
+def _lbm(n: int, seed: int) -> Trace:
+    return stream_trace(
+        n, footprint_lines=_BIG, write_fraction=0.5, gap_ns=14.0,
+        name="lbm", seed=seed, n_arrays=2,
+    )
+
+
+PAPER_WORKLOADS: dict[str, Callable[[int, int], Trace]] = {
+    "STREAM": _stream,
+    "bzip2": _bzip2,
+    "mcf": _mcf,
+    "namd": _namd,
+    "libquantum": _libquantum,
+    "lbm": _lbm,
+}
+
+
+def make_workload(name: str, n_accesses: int = 200_000, seed: int = 0) -> Trace:
+    """Build one of the Figure-16 workloads."""
+    if name not in PAPER_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(PAPER_WORKLOADS)}"
+        )
+    return PAPER_WORKLOADS[name](n_accesses, seed)

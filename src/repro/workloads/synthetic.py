@@ -1,0 +1,198 @@
+"""Synthetic memory-trace building blocks.
+
+Traces are line-granular: each record is one data-cache access (a 64B
+line touch) annotated with the CPU work preceding it, whether it writes,
+and whether it *depends* on the previous memory value (pointer chasing —
+the core cannot overlap dependent misses).
+
+The SPEC-like profiles of :mod:`repro.workloads.spec_like` compose these
+generators; they are the paper-trace substitution documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "Trace",
+    "stream_trace",
+    "random_trace",
+    "pointer_chase_trace",
+    "zipfian_trace",
+    "interleave",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Trace:
+    """A line-granular memory access trace."""
+
+    name: str
+    gap_ns: np.ndarray  # CPU work before each access (ns)
+    is_write: np.ndarray
+    line_addr: np.ndarray
+    dependent: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.gap_ns)
+        for f in ("is_write", "line_addr", "dependent"):
+            if len(getattr(self, f)) != n:
+                raise ValueError(f"{f} length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.gap_ns)
+
+    @property
+    def write_fraction(self) -> float:
+        return float(np.mean(self.is_write))
+
+
+def stream_trace(
+    n: int,
+    footprint_lines: int,
+    write_fraction: float = 1 / 3,
+    gap_ns: float = 10.0,
+    name: str = "stream",
+    seed: int = 0,
+    n_arrays: int = 3,
+) -> Trace:
+    """Sequential sweeps over ``n_arrays`` disjoint arrays (STREAM-like).
+
+    With the default three arrays and ``write_fraction=1/3`` this is the
+    triad pattern: read a[i], read b[i], write c[i].
+    """
+    if footprint_lines < n_arrays:
+        raise ValueError("footprint too small")
+    per_array = footprint_lines // n_arrays
+    idx = np.arange(n)
+    stream_pos = (idx // n_arrays) % per_array
+    which = idx % n_arrays
+    addr = which * per_array + stream_pos
+    n_writing = max(int(round(n_arrays * write_fraction)), 0)
+    is_write = which >= (n_arrays - n_writing) if n_writing else np.zeros(n, bool)
+    return Trace(
+        name=name,
+        gap_ns=np.full(n, float(gap_ns)),
+        is_write=np.asarray(is_write, dtype=bool),
+        line_addr=addr.astype(np.int64),
+        dependent=np.zeros(n, dtype=bool),
+    )
+
+
+def random_trace(
+    n: int,
+    footprint_lines: int,
+    write_fraction: float = 0.2,
+    gap_ns: float = 15.0,
+    dependent: bool = False,
+    name: str = "random",
+    seed: int = 0,
+) -> Trace:
+    """Uniform random accesses over a footprint."""
+    rng = np.random.default_rng(seed)
+    addr = rng.integers(0, footprint_lines, n)
+    is_write = rng.random(n) < write_fraction
+    dep = np.zeros(n, dtype=bool)
+    if dependent:
+        dep = ~is_write  # every read chases the previous one
+    return Trace(
+        name=name,
+        gap_ns=np.full(n, float(gap_ns)),
+        is_write=is_write,
+        line_addr=addr.astype(np.int64),
+        dependent=dep,
+    )
+
+
+def pointer_chase_trace(
+    n: int,
+    footprint_lines: int,
+    gap_ns: float = 15.0,
+    write_fraction: float = 0.0,
+    name: str = "chase",
+    seed: int = 0,
+) -> Trace:
+    """A dependent random walk (mcf-like): each read feeds the next."""
+    return random_trace(
+        n,
+        footprint_lines,
+        write_fraction=write_fraction,
+        gap_ns=gap_ns,
+        dependent=True,
+        name=name,
+        seed=seed,
+    )
+
+
+def zipfian_trace(
+    n: int,
+    footprint_lines: int,
+    skew: float = 0.99,
+    write_fraction: float = 0.1,
+    gap_ns: float = 10.0,
+    name: str = "zipf",
+    seed: int = 0,
+) -> Trace:
+    """Zipf-distributed accesses (key-value-store / OLTP locality).
+
+    ``skew`` is the Zipf exponent (YCSB's default 0.99): a handful of hot
+    lines absorb most traffic, which stresses wear leveling and rewards
+    caches very differently from uniform-random access.
+    """
+    if footprint_lines < 2:
+        raise ValueError("footprint too small")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, footprint_lines + 1, dtype=float)
+    probs = ranks**-skew
+    probs /= probs.sum()
+    # Shuffle rank->address so hot lines are scattered across banks.
+    perm = rng.permutation(footprint_lines)
+    addr = perm[rng.choice(footprint_lines, size=n, p=probs)]
+    is_write = rng.random(n) < write_fraction
+    return Trace(
+        name=name,
+        gap_ns=np.full(n, float(gap_ns)),
+        is_write=is_write,
+        line_addr=addr.astype(np.int64),
+        dependent=np.zeros(n, dtype=bool),
+    )
+
+
+def interleave(name: str, traces: list[tuple[Trace, float]], seed: int = 0) -> Trace:
+    """Mix traces by weight, preserving each component's internal order.
+
+    Address spaces are offset so components do not alias.
+    """
+    if not traces:
+        raise ValueError("need at least one component")
+    rng = np.random.default_rng(seed)
+    weights = np.array([w for _, w in traces], dtype=float)
+    weights /= weights.sum()
+    total = sum(len(t) for t, _ in traces)
+    choice = rng.choice(len(traces), size=total, p=weights)
+    cursors = [0] * len(traces)
+    offsets = np.cumsum([0] + [int(t.line_addr.max()) + 1 for t, _ in traces[:-1]])
+
+    gaps, writes, addrs, deps = [], [], [], []
+    for c in choice:
+        t, _ = traces[c]
+        i = cursors[c]
+        if i >= len(t):
+            continue
+        cursors[c] = i + 1
+        gaps.append(t.gap_ns[i])
+        writes.append(t.is_write[i])
+        addrs.append(t.line_addr[i] + offsets[c])
+        deps.append(t.dependent[i])
+    return Trace(
+        name=name,
+        gap_ns=np.asarray(gaps, dtype=float),
+        is_write=np.asarray(writes, dtype=bool),
+        line_addr=np.asarray(addrs, dtype=np.int64),
+        dependent=np.asarray(deps, dtype=bool),
+    )

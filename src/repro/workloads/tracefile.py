@@ -1,0 +1,54 @@
+"""Trace persistence: save/load access traces for reproducible runs.
+
+Synthetic traces regenerate from seeds, but pinned trace files make
+cross-machine comparisons and regression baselines exact.  The format is
+a plain ``.npz`` with the four column arrays plus the name, so traces
+are portable and diffable with standard NumPy tooling.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.workloads.synthetic import Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    p = pathlib.Path(path)
+    np.savez_compressed(
+        p,
+        version=np.int64(_FORMAT_VERSION),
+        name=np.bytes_(trace.name.encode()),
+        gap_ns=trace.gap_ns,
+        is_write=trace.is_write,
+        line_addr=trace.line_addr,
+        dependent=trace.dependent,
+    )
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    p = pathlib.Path(path)
+    if not p.exists() and p.with_suffix(p.suffix + ".npz").exists():
+        p = p.with_suffix(p.suffix + ".npz")
+    with np.load(p) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"trace format version {version} unsupported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return Trace(
+            name=bytes(data["name"]).decode(),
+            gap_ns=np.asarray(data["gap_ns"], dtype=float),
+            is_write=np.asarray(data["is_write"], dtype=bool),
+            line_addr=np.asarray(data["line_addr"], dtype=np.int64),
+            dependent=np.asarray(data["dependent"], dtype=bool),
+        )

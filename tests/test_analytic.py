@@ -1,0 +1,109 @@
+"""Semi-analytic CER vs Monte Carlo, and its deep-tail behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cells.drift import NO_ESCALATION, escalation_schedule
+from repro.cells.params import TABLE1
+from repro.core.designs import (
+    four_level_naive,
+    three_level_naive,
+    three_level_optimal,
+)
+from repro.montecarlo.analytic import analytic_design_cer, analytic_state_cer
+from repro.montecarlo.cer import design_cer, state_cer
+
+
+class TestAgainstMC:
+    """Where MC resolves, analytic must agree within sampling error."""
+
+    @pytest.mark.parametrize("state,tau", [("S2", 4.5), ("S3", 5.5)])
+    def test_4lcn_states(self, state, tau):
+        s = TABLE1[state]
+        times = [32.0, 1024.0, 2.0**20]
+        mc = state_cer(s, tau, times, 4_000_000, seed=1).cer
+        an = analytic_state_cer(s, tau, times)
+        for m, a in zip(mc, an):
+            assert a == pytest.approx(m, rel=0.15, abs=2e-6)
+
+    def test_3lcn_design(self):
+        times = [2.0**25, 2.0**30]
+        mc = design_cer(three_level_naive(), times, 20_000_000, seed=2).cer
+        an = analytic_design_cer(three_level_naive(), times)
+        for m, a in zip(mc, an):
+            assert a == pytest.approx(m, rel=0.15)
+
+    def test_no_escalation_mode(self):
+        s = TABLE1["S2"]
+        times = [2.0**20]
+        mc = state_cer(s, 5.0, times, 5_000_000, seed=3, schedule=NO_ESCALATION).cer
+        an = analytic_state_cer(s, 5.0, times, schedule=NO_ESCALATION)
+        assert an[0] == pytest.approx(mc[0], rel=0.1, abs=1e-6)
+
+    @pytest.mark.parametrize("mode", ["correlated", "mean"])
+    def test_deterministic_modes(self, mode):
+        sched = escalation_schedule(mode)
+        s = TABLE1["S2"]
+        times = [2.0**30]
+        mc = state_cer(s, 5.5, times, 5_000_000, seed=4, schedule=sched).cer
+        an = analytic_state_cer(s, 5.5, times, schedule=sched)
+        assert an[0] == pytest.approx(mc[0], rel=0.1, abs=1e-6)
+
+
+class TestDeepTails:
+    def test_resolves_below_mc_floor(self):
+        cer = analytic_design_cer(three_level_optimal(), [2.0**15])
+        assert 0 <= cer[0] < 1e-12
+
+    def test_monotone_in_time(self):
+        times = np.logspace(1, 11, 40)
+        cer = analytic_design_cer(three_level_optimal(), times)
+        assert np.all(np.diff(cer) >= -1e-30)
+
+    def test_monotone_in_threshold(self):
+        s = TABLE1["S2"]
+        taus = [4.6, 4.8, 5.0, 5.2, 5.4]
+        vals = [analytic_state_cer(s, t, [2.0**25])[0] for t in taus]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_top_state_zero(self):
+        assert analytic_state_cer(TABLE1["S4"], np.inf, [1e9])[0] == 0.0
+
+    def test_quadrature_converged(self):
+        s = TABLE1["S2"]
+        lo = analytic_state_cer(s, 5.5, [2.0**30], z_points=401)[0]
+        hi = analytic_state_cer(s, 5.5, [2.0**30], z_points=2401)[0]
+        assert lo == pytest.approx(hi, rel=0.02)
+
+    def test_rejects_times_before_t0(self):
+        with pytest.raises(ValueError):
+            analytic_state_cer(TABLE1["S2"], 4.5, [0.1])
+
+    def test_multi_tier_independent_unsupported(self):
+        from repro.cells.drift import DriftTier, TieredDrift
+
+        two = TieredDrift(
+            tiers=(DriftTier(4.5, 0.06, 0.024), DriftTier(5.5, 0.1, 0.04)),
+            mode="independent",
+        )
+        with pytest.raises(NotImplementedError):
+            analytic_state_cer(TABLE1["S2"], 5.8, [1e6], schedule=two)
+
+
+class TestOccupancyWeighting:
+    def test_zero_occupancy_state_excluded(self):
+        d = four_level_naive().with_(occupancy=(0.5, 0.5, 0.0, 0.0))
+        full = analytic_design_cer(four_level_naive(), [1024.0])[0]
+        part = analytic_design_cer(d, [1024.0])[0]
+        # S3 dominates 4LCn errors; removing it cuts the CER drastically.
+        assert part < full / 3
+
+    def test_linear_in_occupancy(self):
+        base = four_level_naive()
+        half_s3 = base.with_(occupancy=(0.375, 0.25, 0.125, 0.25))
+        t = [1024.0]
+        s2 = analytic_state_cer(base.states[1], 4.5, t)[0]
+        s3 = analytic_state_cer(base.states[2], 5.5, t)[0]
+        expect = 0.25 * s2 + 0.125 * s3
+        got = analytic_design_cer(half_s3, t)[0]
+        assert got == pytest.approx(expect, rel=1e-6)

@@ -1,0 +1,47 @@
+"""ASCII log-chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciichart import log_chart
+
+
+class TestLogChart:
+    def test_basic_render(self):
+        out = log_chart(
+            {"a": [1e-2, 1e-4, 1e-6], "b": [1e-1, 1e-3, 1e-5]},
+            ["t1", "t2", "t3"],
+        )
+        assert "o=a" in out and "x=b" in out
+        assert "t2" in out
+        assert "|" in out and "+---" in out
+
+    def test_zero_values_clamp_to_floor(self):
+        out = log_chart({"a": [0.0, 1e-3]}, ["x1", "x2"], floor=1e-9)
+        assert "1E-009" in out or "1E-09" in out
+
+    def test_monotone_series_descends(self):
+        """Higher values must be drawn on higher rows."""
+        out = log_chart({"a": [1e-1, 1e-9]}, ["hi", "lo"], height=10)
+        lines = [l for l in out.split("\n") if "o" in l and "|" in l]
+        first = next(i for i, l in enumerate(out.split("\n")) if "o" in l)
+        last = max(i for i, l in enumerate(out.split("\n")) if "o" in l)
+        assert first < last
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            log_chart({"a": [1.0]}, ["x", "y"])
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            log_chart({}, ["x"])
+
+    def test_collision_prefers_first_series(self):
+        out = log_chart({"first": [1e-3], "second": [1e-3]}, ["t"])
+        # both map to the same cell; 'o' (first) must win
+        assert any("o" in l and "|" in l for l in out.split("\n"))
+        assert not any("x" in l and "|" in l and "x=" not in l for l in out.split("\n"))
+
+    def test_title_included(self):
+        out = log_chart({"a": [1.0]}, ["x"], title="MY TITLE")
+        assert out.startswith("MY TITLE")

@@ -1,0 +1,148 @@
+"""BCH encode/decode: round trips, error correction, failure detection."""
+
+import numpy as np
+import pytest
+
+from repro.coding.bch import BCH, BCHDecodeFailure, bch_for_message
+
+
+@pytest.fixture(scope="module")
+def bch1():
+    """The 3-ON-2 design's TEC code: BCH-1 over a 708-bit message."""
+    return BCH(10, 1, 708)
+
+
+@pytest.fixture(scope="module")
+def bch10():
+    """The 4LC design's TEC code: BCH-10 over a 512-bit message."""
+    return BCH(10, 10, 512)
+
+
+def _flip(word, positions):
+    out = word.copy()
+    out[list(positions)] ^= 1
+    return out
+
+
+class TestGeometry:
+    def test_bch1_check_bits(self, bch1):
+        assert bch1.n_check == 10  # paper: 10 check bits over 64B+spares
+        assert bch1.n == 718
+
+    def test_bch10_check_bits(self, bch10):
+        assert bch10.n_check == 100  # paper: 100 check bits over 64B
+        assert bch10.n == 612
+
+    def test_message_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            BCH(4, 1, 100)
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ValueError):
+            BCH(10, 1, 0)
+
+    def test_bch_for_message_picks_smallest_field(self):
+        code = bch_for_message(20, 2)
+        assert code.m <= 6
+        assert code.k == 20
+
+
+class TestEncode:
+    def test_systematic(self, bch1):
+        data = np.random.default_rng(0).integers(0, 2, 708).astype(np.uint8)
+        cw = bch1.encode(data)
+        assert np.array_equal(cw[:708], data)
+
+    def test_wrong_length_rejected(self, bch1):
+        with pytest.raises(ValueError):
+            bch1.encode(np.zeros(100, dtype=np.uint8))
+
+    def test_zero_data_zero_check(self, bch10):
+        cw = bch10.encode(np.zeros(512, dtype=np.uint8))
+        assert not np.any(cw)
+
+    def test_linear(self, bch10):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, 512).astype(np.uint8)
+        b = rng.integers(0, 2, 512).astype(np.uint8)
+        assert np.array_equal(
+            bch10.encode(a) ^ bch10.encode(b), bch10.encode(a ^ b)
+        )
+
+
+class TestDecode:
+    def test_clean_roundtrip(self, bch1):
+        data = np.random.default_rng(2).integers(0, 2, 708).astype(np.uint8)
+        out, n = bch1.decode(bch1.encode(data))
+        assert np.array_equal(out, data) and n == 0
+
+    @pytest.mark.parametrize("n_err", [1])
+    def test_bch1_corrects_single(self, bch1, n_err):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, 708).astype(np.uint8)
+        cw = bch1.encode(data)
+        for _ in range(20):
+            pos = rng.choice(bch1.n, n_err, replace=False)
+            out, n = bch1.decode(_flip(cw, pos))
+            assert np.array_equal(out, data) and n == n_err
+
+    @pytest.mark.parametrize("n_err", [1, 4, 7, 10])
+    def test_bch10_corrects_up_to_t(self, bch10, n_err):
+        rng = np.random.default_rng(4 + n_err)
+        data = rng.integers(0, 2, 512).astype(np.uint8)
+        cw = bch10.encode(data)
+        for _ in range(5):
+            pos = rng.choice(bch10.n, n_err, replace=False)
+            out, n = bch10.decode(_flip(cw, pos))
+            assert np.array_equal(out, data) and n == n_err
+
+    def test_errors_in_check_bits_corrected(self, bch10):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2, 512).astype(np.uint8)
+        cw = bch10.encode(data)
+        pos = 512 + rng.choice(100, 3, replace=False)  # all in check region
+        out, n = bch10.decode(_flip(cw, pos))
+        assert np.array_equal(out, data) and n == 3
+
+    def test_beyond_t_detected_or_rare_miscorrect(self, bch10):
+        """t+2 errors: a bounded-distance decoder must not return the
+        original data claiming success; it either raises or (rarely)
+        miscorrects to a *different* codeword."""
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 2, 512).astype(np.uint8)
+        cw = bch10.encode(data)
+        detected = 0
+        for _ in range(10):
+            pos = rng.choice(bch10.n, 12, replace=False)
+            try:
+                out, _ = bch10.decode(_flip(cw, pos))
+                assert not np.array_equal(out, data)
+            except BCHDecodeFailure:
+                detected += 1
+        assert detected >= 8  # overwhelmingly detected
+
+    def test_wrong_length_rejected(self, bch1):
+        with pytest.raises(ValueError):
+            bch1.decode(np.zeros(10, dtype=np.uint8))
+
+
+class TestShortening:
+    def test_shortened_code_still_corrects(self):
+        code = BCH(8, 2, 50)  # heavily shortened from k=239
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 2, 50).astype(np.uint8)
+        cw = code.encode(data)
+        pos = rng.choice(code.n, 2, replace=False)
+        out, n = code.decode(_flip(cw, pos))
+        assert np.array_equal(out, data) and n == 2
+
+    def test_various_fields(self):
+        rng = np.random.default_rng(8)
+        for m, t, k in [(5, 1, 10), (6, 3, 20), (7, 5, 60), (10, 6, 300)]:
+            code = BCH(m, t, k)
+            data = rng.integers(0, 2, k).astype(np.uint8)
+            cw = code.encode(data)
+            pos = rng.choice(code.n, t, replace=False)
+            out, n = code.decode(_flip(cw, pos))
+            assert np.array_equal(out, data), (m, t, k)
+            assert n == t

@@ -1,0 +1,79 @@
+"""Binomial BLER model (Figure 5)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.bler import binom_tail, block_error_rate, fig5_cell_counts
+
+
+class TestBinomTail:
+    def test_matches_scipy(self):
+        for n, t, p in [(306, 10, 1e-3), (354, 1, 1e-6), (100, 0, 0.01)]:
+            assert binom_tail(n, t, p) == pytest.approx(
+                stats.binom.sf(t, n, p), rel=1e-9
+            )
+
+    def test_vectorized(self):
+        p = np.array([1e-5, 1e-3, 1e-1])
+        out = binom_tail(306, 10, p)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_edge_t_negative(self):
+        assert binom_tail(10, -1, 0.01) == 1.0
+
+    def test_edge_t_ge_n(self):
+        assert binom_tail(10, 10, 0.9) == 0.0
+
+    def test_p_zero(self):
+        assert binom_tail(306, 10, 0.0) == 0.0
+
+    def test_p_one(self):
+        assert binom_tail(306, 10, 1.0) == 1.0
+
+    def test_deep_tail_no_underflow_to_garbage(self):
+        """Below the betainc floor the dominant-term series takes over and
+        the curve stays positive and monotone."""
+        p = np.array([1e-40, 1e-30, 1e-20])
+        out = binom_tail(306, 10, p)
+        assert np.all(out >= 0)
+        assert np.all(np.diff(out) >= 0)
+        # dominant term check at p=1e-20: C(306,11) p^11
+        from scipy.special import comb
+
+        expect = comb(306, 11, exact=True) * (1e-20) ** 11
+        assert out[2] == pytest.approx(expect, rel=1e-3)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            binom_tail(10, 2, 1.5)
+
+
+class TestBlockErrorRate:
+    def test_stronger_ecc_lower_bler(self):
+        cer = 1e-3
+        blers = [block_error_rate(cer, 306, t) for t in range(0, 11)]
+        assert all(a > b for a, b in zip(blers, blers[1:]))
+
+    def test_paper_bch10_point(self):
+        """4LCo at 17 minutes: CER ~1e-3 with BCH-10 keeps BLER below the
+        1.2e-14 target (Section 5.3)."""
+        bler = block_error_rate(8.7e-4, 306, 10)
+        assert bler < 1.2e-14
+
+    def test_needs_cells(self):
+        with pytest.raises(ValueError):
+            block_error_rate(1e-3, 0, 1)
+
+
+class TestFig5CellCounts:
+    def test_counts(self):
+        counts = fig5_cell_counts()
+        assert counts[0] == 256
+        assert counts[10] == 306  # 256 + 100 bits / 2 per cell
+        assert counts[1] == 261
+
+    def test_overhead_axis(self):
+        """The figure's 0..20% ECC-overhead axis is 10t/512."""
+        assert 10 * 10 / 512 == pytest.approx(0.195, abs=0.001)

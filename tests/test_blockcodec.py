@@ -1,0 +1,219 @@
+"""Block codecs: the full 64B datapaths end to end."""
+
+import numpy as np
+import pytest
+
+from repro.coding.blockcodec import (
+    FourLevelBlockCodec,
+    ThreeOnTwoBlockCodec,
+    UncorrectableBlock,
+)
+from repro.coding.smart import RotationSmartCode
+from repro.core import three_on_two as t32
+
+
+@pytest.fixture
+def bits():
+    return np.random.default_rng(0).integers(0, 2, 512).astype(np.uint8)
+
+
+class TestThreeOnTwoGeometry:
+    def test_paper_cell_budget(self):
+        c = ThreeOnTwoBlockCodec()
+        assert c.ms_config.n_data_pairs == 171
+        assert c.n_mlc_cells == 354
+        assert c.n_slc_cells == 10
+        assert c.total_cells == 364
+
+    def test_density(self):
+        assert ThreeOnTwoBlockCodec().bits_per_cell == pytest.approx(1.406, abs=0.001)
+
+    def test_tec_message_length(self):
+        """Section 6.3: 708-bit message = 2 bits x (342 data + 12 spare)."""
+        assert ThreeOnTwoBlockCodec().tec.k == 708
+
+
+class TestThreeOnTwoRoundTrip:
+    def test_clean(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 0 and out.hec_pairs_dropped == 0
+
+    def test_single_drift_error(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        i = int(np.nonzero(states < 2)[0][0])
+        states[i] += 1  # one drift step up
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 1
+
+    def test_drift_into_inv_state_corrected(self, bits):
+        """A drift error that turns a valid pair into INV must be fixed by
+        TEC *before* mark-and-spare would mis-drop the pair (Section 6.2)."""
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        pairs = states.reshape(-1, 2)
+        target = int(np.nonzero((pairs[:, 0] == 2) & (pairs[:, 1] == 1))[0][0])
+        states[2 * target + 1] = 2  # [S4,S2] -> [S4,S4] = INV
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 1 and out.hec_pairs_dropped == 0
+
+    def test_marked_pairs_round_trip(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        blk = c.new_block_state()
+        for p in (0, 50, 170):
+            blk.mark(p)
+        states, check = c.encode(bits, blk)
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.hec_pairs_dropped == 3
+
+    def test_marked_pair_plus_drift_error(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        blk = c.new_block_state()
+        blk.mark(7)
+        states, check = c.encode(bits, blk)
+        i = int(np.nonzero(states < 2)[0][-1])
+        states[i] += 1
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 1 and out.hec_pairs_dropped == 1
+
+    def test_two_drift_errors_uncorrectable(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        low = np.nonzero(states < 2)[0]
+        states[low[0]] += 1
+        states[low[1]] += 1
+        with pytest.raises(UncorrectableBlock):
+            c.decode(states, check)
+
+    def test_check_bit_error_corrected(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        check = check.copy()
+        check[3] ^= 1
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 1
+
+    def test_shape_validation(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        with pytest.raises(ValueError):
+            c.encode(bits[:100])
+        states, check = c.encode(bits)
+        with pytest.raises(ValueError):
+            c.decode(states[:-1], check)
+        with pytest.raises(ValueError):
+            c.decode(states, check[:-1])
+
+
+class TestFourLevelGeometry:
+    def test_paper_cell_budget(self):
+        c = FourLevelBlockCodec()
+        assert c.n_data_cells == 256
+        assert c.n_check_cells == 50
+        assert c.n_ecp_cells == 31
+        assert c.total_cells == 337
+
+    def test_density(self):
+        assert FourLevelBlockCodec().bits_per_cell == pytest.approx(1.52, abs=0.01)
+
+
+class TestFourLevelRoundTrip:
+    def test_clean(self, bits):
+        c = FourLevelBlockCodec()
+        states, _ = c.encode(bits)
+        out = c.decode(states)
+        assert np.array_equal(out.data_bits, bits)
+
+    def test_ten_drift_errors(self, bits):
+        c = FourLevelBlockCodec()
+        states, _ = c.encode(bits)
+        movable = np.nonzero(states < 3)[0][:10]
+        states[movable] += 1
+        out = c.decode(states)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 10
+
+    def test_eleven_drift_errors_fail(self, bits):
+        c = FourLevelBlockCodec()
+        states, _ = c.encode(bits)
+        movable = np.nonzero(states < 3)[0][:11]
+        states[movable] += 1
+        with pytest.raises(UncorrectableBlock):
+            c.decode(states)
+
+    def test_ecp_covers_stuck_cells(self, bits):
+        c = FourLevelBlockCodec()
+        states, _ = c.encode(bits)
+        ecp = c.new_block_state()
+        for cell in (0, 17, 99, 200, 255):
+            ecp.allocate(cell, int(states[cell]))
+            states[cell] = 3  # stuck-reset garbage
+        out = c.decode(states, ecp=ecp)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.hec_pairs_dropped == 5
+
+    def test_smart_encoding_roundtrip(self, bits):
+        c = FourLevelBlockCodec(smart=RotationSmartCode())
+        states, tags = c.encode(bits)
+        assert tags is not None
+        out = c.decode(states, smart_tags=tags)
+        assert np.array_equal(out.data_bits, bits)
+
+    def test_smart_decode_needs_tags(self, bits):
+        c = FourLevelBlockCodec(smart=RotationSmartCode())
+        states, _ = c.encode(bits)
+        with pytest.raises(ValueError):
+            c.decode(states)
+
+    def test_smart_with_drift_errors(self, bits):
+        c = FourLevelBlockCodec(smart=RotationSmartCode())
+        states, tags = c.encode(bits)
+        movable = np.nonzero(states < 3)[0][:6]
+        states[movable] += 1
+        out = c.decode(states, smart_tags=tags)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 6
+
+    def test_odd_data_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FourLevelBlockCodec(data_bits=511)
+
+
+class TestSmartCodeVariants:
+    """The 4LC codec accepts any of the three smart-encoding schemes."""
+
+    @pytest.mark.parametrize("factory", ["rotation", "helmet", "frequency"])
+    def test_roundtrip_each_smart_code(self, bits, factory):
+        from repro.coding.smart import (
+            FrequencySmartCode,
+            HelmetSmartCode,
+            RotationSmartCode,
+        )
+
+        code = {
+            "rotation": RotationSmartCode(),
+            "helmet": HelmetSmartCode(),
+            "frequency": FrequencySmartCode(),
+        }[factory]
+        c = FourLevelBlockCodec(smart=code)
+        states, tags = c.encode(bits)
+        out = c.decode(states, smart_tags=tags)
+        assert np.array_equal(out.data_bits, bits)
+
+    def test_helmet_with_drift_errors(self, bits):
+        from repro.coding.smart import HelmetSmartCode
+
+        c = FourLevelBlockCodec(smart=HelmetSmartCode())
+        states, tags = c.encode(bits)
+        movable = np.nonzero(states < 3)[0][:8]
+        states[movable] += 1
+        out = c.decode(states, smart_tags=tags)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 8

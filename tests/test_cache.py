@@ -1,0 +1,105 @@
+"""Set-associative write-back caches."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import Cache, Hierarchy
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        c = Cache(16 * 1024, 4, 64)
+        assert c.n_sets == 64
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(1000, 3, 64)
+
+    def test_cold_miss_then_hit(self):
+        c = Cache(1024, 2, 64)
+        assert not c.access(5, False).hit
+        assert c.access(5, False).hit
+
+    def test_lru_eviction(self):
+        c = Cache(2 * 2 * 64, 2, 64)  # 2 sets x 2 ways
+        # Three tags mapping to set 0: 0, 2, 4
+        c.access(0, False)
+        c.access(2, False)
+        c.access(0, False)  # 0 is now MRU
+        c.access(4, False)  # evicts 2 (LRU)
+        assert c.access(0, False).hit
+        assert not c.access(2, False).hit
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache(2 * 64, 1, 64)  # direct mapped, 2 sets
+        c.access(0, False)
+        r = c.access(2, False)  # evicts clean line 0
+        assert r.writeback_line is None
+
+    def test_dirty_eviction_writes_back(self):
+        c = Cache(2 * 64, 1, 64)
+        c.access(0, True)
+        r = c.access(2, False)
+        assert r.writeback_line == 0
+
+    def test_write_hit_dirties(self):
+        c = Cache(2 * 64, 1, 64)
+        c.access(0, False)
+        c.access(0, True)  # dirty it via a hit
+        r = c.access(2, False)
+        assert r.writeback_line == 0
+
+    def test_stats(self):
+        c = Cache(1024, 2, 64)
+        c.access(1, False)
+        c.access(1, False)
+        c.access(2, False)
+        assert c.hits == 1 and c.misses == 2
+
+    def test_writeback_address_reconstruction(self):
+        c = Cache(8 * 64, 2, 64)  # 4 sets
+        line = 4 * 7 + 2  # tag 7, set 2
+        c.access(line, True)
+        c.access(4 * 9 + 2, False)
+        r = c.access(4 * 11 + 2, False)
+        assert r.writeback_line == line
+
+
+class TestHierarchy:
+    def _h(self):
+        return Hierarchy(16 * 1024, 4, 512 * 1024, 8, 64)
+
+    def test_miss_generates_fill(self):
+        h = self._h()
+        out = h.access(12345, False)
+        assert out.fill_read
+
+    def test_l1_hit_no_traffic(self):
+        h = self._h()
+        h.access(1, False)
+        out = h.access(1, False)
+        assert not out.fill_read and out.writebacks == 0
+
+    def test_l2_resident_set_misses_l1_only(self):
+        h = self._h()
+        # touch 8k lines (512kB) twice: second pass hits L2, not memory
+        for line in range(4096):
+            h.access(line, False)
+        fills = 0
+        for line in range(4096):
+            fills += h.access(line, False).fill_read
+        assert fills == 0
+
+    def test_streaming_writes_generate_writebacks(self):
+        h = self._h()
+        writebacks = 0
+        for line in range(40_000):
+            out = h.access(line, True)
+            writebacks += out.writebacks
+        # every dirty line eventually evicts once caches warm up
+        assert writebacks > 20_000
+
+    def test_read_only_stream_no_writebacks(self):
+        h = self._h()
+        wb = sum(h.access(line, False).writebacks for line in range(40_000))
+        assert wb == 0

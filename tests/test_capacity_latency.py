@@ -1,0 +1,133 @@
+"""Capacity models (Tables 3-4, Figure 15) and FO4 latency (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import (
+    TABLE3_CAPACITIES,
+    TABLE4_CAPACITIES,
+    capacity_vs_hard_errors,
+    density,
+    four_lc_cells,
+    permutation_cells,
+    three_on_two_cells,
+)
+from repro.analysis.latency import PAPER_LATENCY_MODEL, table3_latencies
+
+
+class TestCellBudgets:
+    def test_4lc_337(self):
+        assert four_lc_cells() == 337
+
+    def test_3on2_364(self):
+        assert three_on_two_cells() == 364
+
+    def test_permutation_400(self):
+        assert permutation_cells() == 400
+
+    def test_4lc_breakdown(self):
+        # 256 data + 50 check + 31 ECP
+        assert four_lc_cells(hard_errors=0) == 306
+        assert four_lc_cells(t=0, hard_errors=0) == 256
+
+    def test_3on2_breakdown(self):
+        # 342 data + 12 spares + 10 SLC check
+        assert three_on_two_cells(hard_errors=0) == 352
+
+
+class TestTable3:
+    def test_densities(self):
+        assert TABLE3_CAPACITIES["4LCo"].bits_per_cell == pytest.approx(1.52, abs=0.01)
+        assert TABLE3_CAPACITIES["3-ON-2"].bits_per_cell == pytest.approx(1.41, abs=0.01)
+        assert TABLE3_CAPACITIES["Permutation"].bits_per_cell == pytest.approx(
+            1.29, abs=0.02
+        )
+
+    def test_3on2_gap_is_7_4_percent(self):
+        """Section 6.5: the 3-ON-2 design is only ~7.4% less dense than 4LCo."""
+        gap = 1 - (
+            TABLE3_CAPACITIES["3-ON-2"].bits_per_cell
+            / TABLE3_CAPACITIES["4LCo"].bits_per_cell
+        )
+        assert gap == pytest.approx(0.074, abs=0.005)
+
+    def test_data_cells_column(self):
+        assert TABLE3_CAPACITIES["4LCo"].data_cells == 256
+        assert TABLE3_CAPACITIES["Permutation"].data_cells == 329
+        assert TABLE3_CAPACITIES["3-ON-2"].data_cells == 342
+
+
+class TestTable4:
+    def test_seong_4lc(self):
+        assert TABLE4_CAPACITIES["4LC [29]"].bits_per_cell == pytest.approx(1.23, abs=0.01)
+
+    def test_seong_3lc(self):
+        assert TABLE4_CAPACITIES["3LC [29]"].bits_per_cell == pytest.approx(1.33, abs=0.01)
+
+    def test_ours_beat_seong(self):
+        assert (
+            TABLE4_CAPACITIES["4LCo (ours)"].bits_per_cell
+            > TABLE4_CAPACITIES["4LC [29]"].bits_per_cell
+        )
+        assert (
+            TABLE4_CAPACITIES["3LCo (ours)"].bits_per_cell
+            > TABLE4_CAPACITIES["3LC [29]"].bits_per_cell
+        )
+
+
+class TestFigure15:
+    def test_curves(self):
+        data = capacity_vs_hard_errors(20)
+        assert data["k"][0] == 0 and data["k"][-1] == 20
+        for key in ("4LC", "3-ON-2", "Permutation"):
+            assert np.all(np.diff(data[key]) < 0)  # more spares, less density
+
+    def test_3on2_degrades_slowest(self):
+        """Figure 15: mark-and-spare's 2 cells/failure beats ECP's 5 and 10."""
+        data = capacity_vs_hard_errors(20)
+        loss = lambda c: (c[0] - c[-1]) / c[0]
+        assert loss(data["3-ON-2"]) < loss(data["4LC"])
+        assert loss(data["3-ON-2"]) < loss(data["Permutation"])
+
+    def test_crossover_at_high_k(self):
+        """With many tolerated failures, 3-ON-2 overtakes 4LC in density."""
+        data = capacity_vs_hard_errors(40)
+        assert data["3-ON-2"][0] < data["4LC"][0]
+        assert data["3-ON-2"][-1] > data["4LC"][-1]
+
+    def test_density_helper(self):
+        assert density(512, 256) == 2.0
+
+
+class TestLatencyModel:
+    def test_table3_values_exact(self):
+        lat = table3_latencies()
+        assert lat["4LCo BCH-10"] == (18.0, 569.0)
+        assert lat["3-ON-2 BCH-1"] == (18.0, 68.0)
+
+    def test_8x_decode_speedup(self):
+        """Section 6.6: BCH-1 decodes more than 8x faster than BCH-10."""
+        lat = table3_latencies()
+        assert lat["4LCo BCH-10"][1] / lat["3-ON-2 BCH-1"][1] > 8
+
+    def test_comparable_encode(self):
+        lat = table3_latencies()
+        assert lat["4LCo BCH-10"][0] == lat["3-ON-2 BCH-1"][0]
+
+    def test_decode_monotone_in_t(self):
+        m = PAPER_LATENCY_MODEL
+        vals = [m.decode_fo4(612, t) for t in range(2, 11)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_decode_ns_table5(self):
+        """Table 5 charges 36.25 ns for the BCH-10 decode."""
+        m = PAPER_LATENCY_MODEL
+        fo4_ps = 36.25e3 / 569.0
+        assert m.decode_ns(612, 10, fo4_ps) == pytest.approx(36.25, abs=0.01)
+
+    def test_t0_free(self):
+        assert PAPER_LATENCY_MODEL.decode_fo4(612, 0) == 0.0
+
+    def test_short_codeword_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_LATENCY_MODEL.encode_fo4(1)

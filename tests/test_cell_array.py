@@ -1,0 +1,179 @@
+"""CellArray: program / drift / sense / wearout lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell_array import CellArray
+from repro.cells.drift import NO_ESCALATION, escalation_schedule
+from repro.cells.faults import FaultMode, WearoutModel
+from repro.core.designs import four_level_naive, three_level_optimal
+
+
+@pytest.fixture
+def arr():
+    return CellArray(1000, four_level_naive(), rng=0)
+
+
+class TestProgramSense:
+    def test_fresh_sense_matches_target(self, arr):
+        idx = np.arange(1000)
+        states = np.tile(np.arange(4), 250)
+        ok = arr.program(idx, states, t_now=0.0)
+        assert ok.all()
+        assert np.array_equal(arr.sense(0.0), states)
+
+    def test_write_window_respected(self, arr):
+        idx = np.arange(1000)
+        arr.program(idx, np.ones(1000, dtype=np.int64), 0.0)
+        lr = arr.log_resistance(0.0)
+        assert lr.min() >= 4.0 - 2.75 / 6 - 1e-9
+        assert lr.max() <= 4.0 + 2.75 / 6 + 1e-9
+
+    def test_drift_monotone(self, arr):
+        idx = np.arange(1000)
+        arr.program(idx, np.full(1000, 2), 0.0)
+        lr1 = arr.log_resistance(1e3)
+        lr2 = arr.log_resistance(1e6)
+        assert np.all(lr2 >= lr1 - 1e-12)
+
+    def test_s3_drifts_into_s4_eventually(self, arr):
+        idx = np.arange(1000)
+        arr.program(idx, np.full(1000, 2), 0.0)
+        sensed = arr.sense(2.0**40)
+        assert (sensed == 3).mean() > 0.3
+
+    def test_s1_stable_forever(self, arr):
+        idx = np.arange(1000)
+        arr.program(idx, np.zeros(1000, dtype=np.int64), 0.0)
+        assert np.array_equal(arr.sense(2.0**40), np.zeros(1000))
+
+    def test_reprogram_resets_drift(self, arr):
+        idx = np.arange(1000)
+        arr.program(idx, np.full(1000, 2), 0.0)
+        t = 2.0**25
+        arr.program(idx, np.full(1000, 2), t)  # refresh-like rewrite
+        assert (arr.sense(t) == 2).all()
+
+    def test_program_time_offsets(self, arr):
+        """Drift is measured from each cell's own program time."""
+        arr.program(np.arange(500), np.full(500, 2), 0.0)
+        arr.program(np.arange(500, 1000), np.full(500, 2), 1e6)
+        lr = arr.log_resistance(1e6 + 10)
+        old = lr[:500].mean()
+        fresh = lr[500:].mean()
+        assert old > fresh + 0.05
+
+    def test_state_bounds_checked(self, arr):
+        with pytest.raises(ValueError):
+            arr.program(np.array([0]), np.array([4]), 0.0)
+
+    def test_escalation_applies_above_tier(self):
+        """3LC S2 cells drifting past 4.5 accelerate (Section 5.3)."""
+        sched = escalation_schedule("mean")
+        slow = CellArray(40_000, three_level_optimal(), rng=1, schedule=NO_ESCALATION)
+        fast = CellArray(40_000, three_level_optimal(), rng=1, schedule=sched)
+        idx = np.arange(40_000)
+        slow.program(idx, np.ones(40_000, dtype=np.int64), 0.0)
+        fast.program(idx, np.ones(40_000, dtype=np.int64), 0.0)
+        t = 2.0**38
+        assert fast.log_resistance(t).mean() > slow.log_resistance(t).mean()
+
+
+class TestWearout:
+    def test_cells_fail_after_endurance(self):
+        arr = CellArray(
+            100,
+            four_level_naive(),
+            rng=2,
+            wearout=WearoutModel(mean_endurance=10, endurance_sigma=0.05),
+        )
+        idx = np.arange(100)
+        states = np.zeros(100, dtype=np.int64)
+        for _ in range(20):
+            arr.program(idx, states, 0.0)
+        assert arr.stuck_mask().all()
+
+    def test_verify_reports_failures(self):
+        arr = CellArray(
+            200,
+            four_level_naive(),
+            rng=3,
+            wearout=WearoutModel(mean_endurance=5, endurance_sigma=0.01),
+        )
+        idx = np.arange(200)
+        for i in range(10):
+            ok = arr.program(idx, np.ones(200, dtype=np.int64), 0.0)
+            if not ok.all():
+                break
+        assert not ok.all()
+
+    def test_stuck_reset_reads_top(self):
+        arr = CellArray(
+            300,
+            four_level_naive(),
+            rng=4,
+            wearout=WearoutModel(mean_endurance=2, endurance_sigma=0.01, p_stuck_reset=1.0),
+        )
+        idx = np.arange(300)
+        for _ in range(5):
+            arr.program(idx, np.zeros(300, dtype=np.int64), 0.0)
+        assert (arr.sense(0.0) == 3).all()
+
+    def test_stuck_set_reads_bottom(self):
+        arr = CellArray(
+            300,
+            four_level_naive(),
+            rng=5,
+            wearout=WearoutModel(mean_endurance=2, endurance_sigma=0.01, p_stuck_reset=0.0),
+        )
+        idx = np.arange(300)
+        for _ in range(5):
+            arr.program(idx, np.full(300, 3), 0.0)
+        assert (arr.sense(0.0) == 0).all()
+
+    def test_force_highest_revives_stuck_set(self):
+        arr = CellArray(
+            300,
+            four_level_naive(),
+            rng=6,
+            wearout=WearoutModel(
+                mean_endurance=2, endurance_sigma=0.01,
+                p_stuck_reset=0.0, p_revive=1.0,
+            ),
+        )
+        idx = np.arange(300)
+        for _ in range(5):
+            arr.program(idx, np.full(300, 3), 0.0)
+        ok = arr.force_highest(idx, 0.0)
+        assert ok.all()
+        assert (arr.sense(0.0) == 3).all()
+
+    def test_stuck_reset_passes_verify_for_top_state(self):
+        arr = CellArray(
+            50,
+            four_level_naive(),
+            rng=7,
+            wearout=WearoutModel(mean_endurance=2, endurance_sigma=0.01, p_stuck_reset=1.0),
+        )
+        idx = np.arange(50)
+        for _ in range(5):
+            arr.program(idx, np.zeros(50, dtype=np.int64), 0.0)
+        ok = arr.program(idx, np.full(50, 3), 0.0)
+        assert ok.all()
+
+
+class TestValidation:
+    def test_needs_cells(self):
+        with pytest.raises(ValueError):
+            CellArray(0, four_level_naive())
+
+    def test_shape_mismatch(self, arr):
+        with pytest.raises(ValueError):
+            arr.program(np.arange(3), np.zeros(2, dtype=np.int64), 0.0)
+
+    def test_offset_mode_rejected(self):
+        arr = CellArray(
+            10, three_level_optimal(), rng=8, schedule=escalation_schedule("offset")
+        )
+        with pytest.raises(ValueError):
+            arr.program(np.arange(10), np.ones(10, dtype=np.int64), 0.0)

@@ -1,0 +1,174 @@
+"""Monte Carlo CER engine: closed-form crossing times and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.cells.drift import (
+    NO_ESCALATION,
+    PAPER_ESCALATION,
+    DriftTier,
+    TieredDrift,
+    escalation_schedule,
+)
+from repro.cells.params import TABLE1
+from repro.core.designs import four_level_naive, three_level_optimal
+from repro.montecarlo.cer import (
+    critical_log_times,
+    design_cer,
+    sample_state_cells,
+    state_cer,
+)
+
+
+class TestCriticalLogTimes:
+    def test_single_phase_exact(self):
+        L = critical_log_times(
+            np.array([4.0]), np.array([0.05]), np.array([0.0]), 0.02, 4.5,
+            NO_ESCALATION,
+        )
+        assert L[0] == pytest.approx(0.5 / 0.05)
+
+    def test_already_at_tau(self):
+        L = critical_log_times(
+            np.array([4.6]), np.array([0.05]), np.array([0.0]), 0.02, 4.5,
+            NO_ESCALATION,
+        )
+        assert L[0] == 0.0
+
+    def test_zero_alpha_infinite(self):
+        L = critical_log_times(
+            np.array([4.0]), np.array([0.0]), np.array([0.0]), 0.02, 4.5,
+            NO_ESCALATION,
+        )
+        assert L[0] == np.inf
+
+    def test_infinite_tau(self):
+        L = critical_log_times(
+            np.array([4.0]), np.array([0.05]), np.array([0.0]), 0.02, np.inf,
+            NO_ESCALATION,
+        )
+        assert L[0] == np.inf
+
+    def test_two_phase_mean_mode(self):
+        """lr0=4, alpha=0.02 to 4.5, then mean 0.06 to 5.5."""
+        sched = escalation_schedule("mean")
+        L = critical_log_times(
+            np.array([4.0]), np.array([0.02]), np.array([0.0]), 0.02, 5.5,
+            sched,
+        )
+        expected = 0.5 / 0.02 + 1.0 / 0.06
+        assert L[0] == pytest.approx(expected)
+
+    def test_two_phase_correlated(self):
+        sched = escalation_schedule("correlated")
+        z = np.array([1.0])
+        L = critical_log_times(
+            np.array([4.0]), np.array([0.028]), z, 0.02, 5.5, sched
+        )
+        expected = 0.5 / 0.028 + 1.0 / (0.06 + 0.024)
+        assert L[0] == pytest.approx(expected)
+
+    def test_two_phase_independent(self):
+        sched = escalation_schedule("independent")
+        L = critical_log_times(
+            np.array([4.0]), np.array([0.02]), np.array([0.0]), 0.02, 5.5,
+            sched, tier_z=[np.array([2.0])],
+        )
+        expected = 0.5 / 0.02 + 1.0 / (0.06 + 2 * 0.024)
+        assert L[0] == pytest.approx(expected)
+
+    def test_independent_requires_tier_z(self):
+        with pytest.raises(ValueError):
+            critical_log_times(
+                np.array([4.0]), np.array([0.02]), np.array([0.0]), 0.02, 5.5,
+                escalation_schedule("independent"),
+            )
+
+    def test_start_above_tier_keeps_own_alpha(self):
+        """Cells programmed above the boundary must NOT escalate."""
+        sched = escalation_schedule("mean")
+        L = critical_log_times(
+            np.array([5.0]), np.array([0.01]), np.array([0.0]), 0.06, 5.5,
+            sched,
+        )
+        assert L[0] == pytest.approx(0.5 / 0.01)
+
+    def test_monotone_in_lr0(self):
+        lr0 = np.linspace(3.8, 4.4, 50)
+        L = critical_log_times(
+            lr0, np.full(50, 0.02), np.zeros(50), 0.02, 5.5,
+            escalation_schedule("mean"),
+        )
+        assert np.all(np.diff(L) < 0)
+
+
+class TestSampleStateCells:
+    def test_shapes_and_bounds(self):
+        rng = np.random.default_rng(0)
+        s = TABLE1["S2"]
+        lr0, alpha, z = sample_state_cells(s, 10_000, rng)
+        assert lr0.shape == alpha.shape == z.shape == (10_000,)
+        assert lr0.min() >= s.mu_lr - 2.75 * s.sigma_lr
+        assert lr0.max() <= s.mu_lr + 2.75 * s.sigma_lr
+        assert alpha.min() >= 0.0
+
+
+class TestStateCER:
+    def test_monotone_in_time(self):
+        s = TABLE1["S3"]
+        res = state_cer(s, 5.5, [2.0**k for k in range(1, 30, 4)], 200_000, seed=0)
+        assert np.all(np.diff(res.cer) >= 0)
+
+    def test_reproducible(self):
+        s = TABLE1["S2"]
+        a = state_cer(s, 4.5, [1024.0], 100_000, seed=5).cer
+        b = state_cer(s, 4.5, [1024.0], 100_000, seed=5).cer
+        assert np.array_equal(a, b)
+
+    def test_chunking_consistent(self):
+        s = TABLE1["S3"]
+        a = state_cer(s, 5.5, [1024.0], 200_000, seed=9, chunk=200_000).cer[0]
+        b = state_cer(s, 5.5, [1024.0], 200_000, seed=9, chunk=37_000).cer[0]
+        # Different chunking reorders draws; estimates agree statistically.
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_floor(self):
+        res = state_cer(TABLE1["S2"], 4.5, [2.0], 1000, seed=0)
+        assert res.floor == pytest.approx(1e-3)
+
+    def test_rejects_times_before_t0(self):
+        with pytest.raises(ValueError):
+            state_cer(TABLE1["S2"], 4.5, [0.5], 1000)
+
+    def test_s3_order_of_magnitude_above_s2(self):
+        """Figure 3's key observation at the 17-minute point."""
+        t = [1024.0]
+        s2 = state_cer(TABLE1["S2"], 4.5, t, 1_000_000, seed=1).cer[0]
+        s3 = state_cer(TABLE1["S3"], 5.5, t, 1_000_000, seed=2).cer[0]
+        assert 5 * s2 < s3 < 100 * s2
+
+
+class TestDesignCER:
+    def test_weighted_sum_of_states(self):
+        d = four_level_naive()
+        res = design_cer(d, [1024.0], 400_000, seed=3)
+        # S1/S4 contribute ~0; total ~ (S2 + S3) / 4
+        s2 = state_cer(d.states[1], 4.5, [1024.0], 100_000, seed=11).cer[0]
+        s3 = state_cer(d.states[2], 5.5, [1024.0], 100_000, seed=12).cer[0]
+        assert res.cer[0] == pytest.approx(0.25 * (s2 + s3), rel=0.2)
+
+    def test_occupancy_scales_cer(self):
+        d = four_level_naive()
+        skew = d.with_(occupancy=(0.5, 0.0, 0.0, 0.5))
+        res = design_cer(skew, [1024.0], 100_000, seed=4)
+        assert res.cer[0] == 0.0
+
+    def test_top_state_immune(self):
+        d = four_level_naive()
+        only_top = d.with_(occupancy=(0.0, 0.0, 0.0, 1.0))
+        res = design_cer(only_top, [2.0**40], 10_000, seed=5)
+        assert res.cer[0] == 0.0
+
+    def test_3lco_clean_at_one_year(self):
+        res = design_cer(three_level_optimal(), [3.15e7], 1_000_000, seed=6)
+        assert res.cer[0] == 0.0

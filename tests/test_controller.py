@@ -1,0 +1,97 @@
+"""Read-priority controller: write pausing and cancellation [25]."""
+
+import pytest
+
+from repro.sim.config import DesignVariant, MachineConfig, RefreshMode
+from repro.sim.controller import PCMController, WritePolicy
+
+
+def _ctrl(policy, **kw):
+    m = MachineConfig()
+    v = DesignVariant("t", RefreshMode.NONE, None, 0.0)
+    return PCMController(m, v, policy=policy, **kw)
+
+
+class TestNoPolicy:
+    def test_read_waits_full_write(self):
+        c = _ctrl(WritePolicy.NONE)
+        c.write(0, 0.0)  # bank 0 busy to 1000
+        done = c.read(0, 100.0)
+        assert done == pytest.approx(1000.0 + 200.0)
+
+    def test_read_other_bank_unaffected(self):
+        c = _ctrl(WritePolicy.NONE)
+        c.write(0, 0.0)
+        assert c.read(1, 100.0) == pytest.approx(300.0)
+
+
+class TestPause:
+    def test_read_preempts_at_iteration_boundary(self):
+        c = _ctrl(WritePolicy.PAUSE, iteration_ns=125.0)
+        c.write(0, 0.0)
+        done = c.read(0, 100.0)
+        # next boundary after 100 ns is 125 ns; read takes 200 ns
+        assert done == pytest.approx(125.0 + 200.0)
+        assert c.stats.write_pauses == 1
+
+    def test_write_completion_slips(self):
+        c = _ctrl(WritePolicy.PAUSE, iteration_ns=125.0)
+        c.write(0, 0.0)
+        c.read(0, 100.0)
+        # write had 875 ns of iterations left; resumes at 325
+        bank_free = c.timing.bank_free[0]
+        assert bank_free == pytest.approx(325.0 + 875.0)
+
+    def test_pause_budget_exhausts(self):
+        c = _ctrl(WritePolicy.PAUSE, iteration_ns=125.0, max_pauses=1)
+        c.write(0, 0.0)
+        c.read(0, 50.0)
+        done = c.read(0, 200.0)  # budget spent: waits for the write
+        assert done >= c.timing.bank_free[0]
+        assert c.stats.write_pauses == 1
+
+    def test_read_after_write_completes_normal(self):
+        c = _ctrl(WritePolicy.PAUSE)
+        c.write(0, 0.0)
+        done = c.read(0, 2000.0)
+        assert done == pytest.approx(2200.0)
+
+    def test_reads_much_faster_than_none(self):
+        for policy, expect in ((WritePolicy.NONE, 1200.0), (WritePolicy.PAUSE, 325.0)):
+            c = _ctrl(policy, iteration_ns=125.0)
+            c.write(0, 0.0)
+            assert c.read(0, 100.0) == pytest.approx(expect)
+
+
+class TestCancel:
+    def test_young_write_cancelled(self):
+        c = _ctrl(WritePolicy.CANCEL, iteration_ns=125.0)
+        c.write(0, 0.0)
+        done = c.read(0, 100.0)  # only 1 iteration in: cancel
+        assert done == pytest.approx(325.0)
+        assert c.stats.write_cancels == 1
+        # write restarted after the read and pays full latency
+        assert c.timing.bank_free[0] == pytest.approx(325.0 + 1000.0)
+
+    def test_old_write_paused_not_cancelled(self):
+        c = _ctrl(WritePolicy.CANCEL, iteration_ns=125.0)
+        c.write(0, 0.0)
+        c.read(0, 700.0)  # 6 of 8 iterations done: pause instead
+        assert c.stats.write_cancels == 0
+        assert c.stats.write_pauses == 1
+
+
+class TestValidation:
+    def test_iteration_bounds(self):
+        m = MachineConfig()
+        v = DesignVariant("t", RefreshMode.NONE, None, 0.0)
+        with pytest.raises(ValueError):
+            PCMController(m, v, iteration_ns=0.0)
+        with pytest.raises(ValueError):
+            PCMController(m, v, iteration_ns=2000.0)
+
+    def test_stats_counters(self):
+        c = _ctrl(WritePolicy.PAUSE)
+        c.write(0, 0.0)
+        c.read(1, 0.0)
+        assert c.stats.writes == 1 and c.stats.reads == 1

@@ -1,0 +1,119 @@
+"""The five canonical designs of Figure 8."""
+
+import numpy as np
+import pytest
+
+from repro.cells.params import GUARD_BAND_DELTA
+from repro.core.designs import (
+    SMART_OCCUPANCY,
+    all_designs,
+    design_by_name,
+    four_level_naive,
+    four_level_optimal,
+    four_level_smart,
+    three_level_naive,
+    three_level_optimal,
+)
+from repro.mapping.constraints import MARGIN
+
+
+class TestNaiveDesigns:
+    def test_4lcn_mapping(self):
+        d = four_level_naive()
+        assert [s.mu_lr for s in d.states] == [3, 4, 5, 6]
+        assert d.thresholds == (3.5, 4.5, 5.5)
+        assert d.occupancy == (0.25,) * 4
+
+    def test_3lcn_removes_s3(self):
+        d = three_level_naive()
+        assert [s.mu_lr for s in d.states] == [3, 4, 6]
+        assert d.state_names == ("S1", "S2", "S4")
+
+    def test_3lcn_wide_margin(self):
+        d = three_level_naive()
+        # S2's drift margin is far wider than in the 4LC design.
+        assert d.drift_margin(1) > 3 * four_level_naive().drift_margin(1)
+
+
+class TestSmartDesign:
+    def test_occupancy_skew(self):
+        d = four_level_smart()
+        assert d.occupancy == SMART_OCCUPANCY
+        assert d.occupancy[0] == 0.35 and d.occupancy[1] == 0.15
+
+    def test_same_mapping_as_naive(self):
+        assert four_level_smart().thresholds == four_level_naive().thresholds
+
+
+class TestOptimalDesigns:
+    def test_4lco_threshold_pinning(self):
+        d = four_level_optimal()
+        for i, tau in enumerate(d.thresholds):
+            assert tau == pytest.approx(d.states[i + 1].mu_lr - MARGIN)
+
+    def test_4lco_matches_paper_figure6(self):
+        """Figure 6: S2 and S3 shift left, tau3 shifts right."""
+        d = four_level_optimal()
+        naive = four_level_naive()
+        assert d.states[1].mu_lr < naive.states[1].mu_lr
+        assert d.states[2].mu_lr < naive.states[2].mu_lr
+        assert d.thresholds[2] > naive.thresholds[2]
+
+    def test_4lco_s3_margin_widened(self):
+        assert four_level_optimal().drift_margin(2) > 4 * four_level_naive().drift_margin(2)
+
+    def test_4lco_feasible(self):
+        assert four_level_optimal().margin_violations(GUARD_BAND_DELTA * 0.999) == []
+
+    def test_3lco_feasible(self):
+        assert three_level_optimal().margin_violations(GUARD_BAND_DELTA * 0.999) == []
+
+    def test_3lco_tau2_pinned_right(self):
+        d = three_level_optimal()
+        assert d.thresholds[1] == pytest.approx(6.0 - MARGIN)
+
+    def test_3lco_balances_s1(self):
+        """3LCo does not squeeze S1 to the feasibility corner (which would
+        trade S2's rare escalated errors for early S1 errors)."""
+        d = three_level_optimal()
+        assert d.states[1].mu_lr > 3.0 + 2 * MARGIN + 1e-6
+
+
+class TestRegistry:
+    def test_all_designs_names(self):
+        assert set(all_designs()) == {"4LCn", "4LCs", "4LCo", "3LCn", "3LCo"}
+
+    def test_design_by_name(self):
+        assert design_by_name("3LCo").name == "3LCo"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            design_by_name("5LCx")
+
+
+class TestOptimalVsNaiveCER:
+    """The optimized mappings must actually beat the naive ones."""
+
+    def test_4lco_beats_4lcn_at_17min(self):
+        from repro.montecarlo.analytic import analytic_design_cer
+
+        t = [1024.0]
+        naive = analytic_design_cer(four_level_naive(), t)[0]
+        opt = analytic_design_cer(four_level_optimal(), t)[0]
+        assert opt < naive / 4  # paper: ~an order of magnitude
+
+    def test_3lco_beats_3lcn_at_one_year(self):
+        from repro.montecarlo.analytic import analytic_design_cer
+
+        t = [3.15e7]
+        naive = analytic_design_cer(three_level_naive(), t)[0]
+        opt = analytic_design_cer(three_level_optimal(), t)[0]
+        assert opt < naive / 100
+
+    def test_3lc_beats_4lc_by_orders(self):
+        from repro.montecarlo.analytic import analytic_design_cer
+
+        t = [1024.0]
+        lc4 = analytic_design_cer(four_level_optimal(), t)[0]
+        lc3 = analytic_design_cer(three_level_optimal(), t)[0]
+        assert lc3 < lc4 * 1e-6

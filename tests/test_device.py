@@ -1,0 +1,147 @@
+"""PCMDevice integration: the full write/drift/read/refresh lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.cells.faults import WearoutModel
+from repro.core.device import PCMDevice, SpareExhausted
+
+
+@pytest.fixture
+def data():
+    return np.random.default_rng(0).integers(0, 2, 512).astype(np.uint8)
+
+
+class TestBasicLifecycle:
+    @pytest.mark.parametrize("kind", ["3LC", "4LC"])
+    def test_write_read(self, kind, data):
+        dev = PCMDevice(2, kind, seed=1)
+        dev.write(0, data, 0.0)
+        out = dev.read(0, 1.0)
+        assert np.array_equal(out.data_bits, data)
+
+    def test_read_before_write_rejected(self):
+        dev = PCMDevice(1, "3LC", seed=2)
+        with pytest.raises(ValueError):
+            dev.read(0, 0.0)
+
+    def test_block_bounds(self, data):
+        dev = PCMDevice(2, "3LC", seed=3)
+        with pytest.raises(IndexError):
+            dev.write(5, data, 0.0)
+
+    def test_wrong_data_size(self):
+        dev = PCMDevice(1, "3LC", seed=4)
+        with pytest.raises(ValueError):
+            dev.write(0, np.zeros(100, dtype=np.uint8), 0.0)
+
+    def test_blocks_independent(self, data):
+        dev = PCMDevice(3, "3LC", seed=5)
+        other = 1 - data
+        dev.write(0, data, 0.0)
+        dev.write(1, other, 0.0)
+        assert np.array_equal(dev.read(0, 1.0).data_bits, data)
+        assert np.array_equal(dev.read(1, 1.0).data_bits, other)
+
+    def test_stats_counting(self, data):
+        dev = PCMDevice(1, "3LC", seed=6)
+        dev.write(0, data, 0.0)
+        dev.read(0, 1.0)
+        dev.read(0, 2.0)
+        assert dev.stats.writes == 1 and dev.stats.reads == 2
+
+
+class TestRetention:
+    def test_3lc_ten_years_unrefreshed(self, data):
+        dev = PCMDevice(1, "3LC", seed=7)
+        dev.write(0, data, 0.0)
+        out = dev.read(0, 3.15e8)  # ten years
+        assert np.array_equal(out.data_bits, data)
+
+    def test_4lc_loses_data_after_years(self, data):
+        """4LC cells drift beyond BCH-10 if never refreshed (why the paper
+        calls unrefreshed 4LC-PCM volatile)."""
+        from repro.coding.blockcodec import UncorrectableBlock
+
+        failures = 0
+        for seed in range(5):
+            dev = PCMDevice(1, "4LC", seed=seed)
+            dev.write(0, data, 0.0)
+            try:
+                out = dev.read(0, 3.15e8)
+                if not np.array_equal(out.data_bits, data):
+                    failures += 1
+            except UncorrectableBlock:
+                failures += 1
+        assert failures >= 4
+
+    def test_4lc_refresh_preserves_data(self, data):
+        dev = PCMDevice(1, "4LC", seed=8)
+        dev.write(0, data, 0.0)
+        t = 0.0
+        for _ in range(20):
+            t += 1024.0  # 17-minute refresh
+            out = dev.refresh(0, t)
+            assert np.array_equal(out.data_bits, data)
+        assert dev.stats.refreshes == 20
+
+    def test_scrub_refreshes_written_blocks(self, data):
+        dev = PCMDevice(4, "3LC", seed=9)
+        dev.write(0, data, 0.0)
+        dev.write(2, data, 0.0)
+        assert dev.scrub(100.0) == 2
+
+
+class TestWearout:
+    def _worn_model(self):
+        return WearoutModel(mean_endurance=4000, endurance_sigma=0.8)
+
+    def test_3lc_marks_and_survives(self, data):
+        dev = PCMDevice(2, "3LC", seed=10, wearout=self._worn_model())
+        t = 0.0
+        for _ in range(40):
+            t += 100.0
+            dev.write(0, data, t)
+            assert np.array_equal(dev.read(0, t).data_bits, data)
+        assert dev.stats.wearout_marks > 0
+
+    def test_4lc_ecp_covers_and_survives(self, data):
+        dev = PCMDevice(
+            2,
+            "4LC",
+            seed=11,
+            wearout=WearoutModel(mean_endurance=2000, endurance_sigma=0.8),
+        )
+        t = 0.0
+        for _ in range(40):
+            t += 100.0
+            dev.write(0, data, t)
+            assert np.array_equal(dev.read(0, t).data_bits, data)
+        assert dev.stats.wearout_marks > 0
+
+    def test_spare_exhaustion_raises(self, data):
+        dev = PCMDevice(
+            1,
+            "3LC",
+            seed=12,
+            wearout=WearoutModel(mean_endurance=20, endurance_sigma=0.05),
+        )
+        with pytest.raises(SpareExhausted):
+            for i in range(40):
+                dev.write(0, data, float(i))
+
+
+class TestConstruction:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            PCMDevice(1, "5LC")
+
+    def test_design_kind_mismatch(self):
+        from repro.core.designs import four_level_naive
+
+        with pytest.raises(ValueError):
+            PCMDevice(1, "3LC", design=four_level_naive())
+
+    def test_needs_blocks(self):
+        with pytest.raises(ValueError):
+            PCMDevice(0, "3LC")

@@ -1,0 +1,93 @@
+"""Long-horizon device campaign: drift + wearout + refresh + remapping.
+
+A compressed end-to-end mission profile for the managed device — the
+kind of soak test a downstream adopter runs before trusting the stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells.faults import WearoutModel
+from repro.core.managed import ManagedPCMDevice
+
+YEAR_S = 3.156e7
+
+
+class TestThreeLCArchivalCampaign:
+    def test_write_once_read_yearly_for_a_decade(self):
+        """Archive use: write once, audit every year for ten years."""
+        dev = ManagedPCMDevice(6, 2, cell_kind="3LC", seed=0)
+        rng = np.random.default_rng(1)
+        blocks = {b: rng.integers(0, 2, 512).astype(np.uint8) for b in range(6)}
+        for b, data in blocks.items():
+            dev.write(b, data, 0.0)
+        for year in range(1, 11):
+            t = year * YEAR_S
+            for b, data in blocks.items():
+                out = dev.read(b, t)
+                assert np.array_equal(out.data_bits, data), (year, b)
+        assert dev.stats.tec_corrections == 0  # clean for a decade
+
+
+class TestFourLCWorkingSetCampaign:
+    def test_refresh_maintains_integrity_under_wear(self):
+        """Main-memory use: 4LC with 17-minute refresh plus ongoing
+        rewrites under a wearing cell population, across a simulated
+        day — ECC, ECP and the refresh loop all engaged."""
+        dev = ManagedPCMDevice(
+            4,
+            3,
+            cell_kind="4LC",
+            seed=2,
+            wearout=WearoutModel(mean_endurance=5000, endurance_sigma=0.6),
+        )
+        rng = np.random.default_rng(3)
+        blocks = {b: rng.integers(0, 2, 512).astype(np.uint8) for b in range(4)}
+        t = 0.0
+        for b, data in blocks.items():
+            dev.write(b, data, t)
+        # One simulated day at 17-minute refresh = ~85 refresh rounds.
+        for _ in range(85):
+            t += 1024.0
+            for b, data in blocks.items():
+                out = dev.refresh(b, t)
+                assert np.array_equal(out.data_bits, data)
+            # occasional demand rewrite of one hot block
+            blocks[0] = rng.integers(0, 2, 512).astype(np.uint8)
+            dev.write(0, blocks[0], t)
+        assert dev.stats.refreshes == 85 * 4
+
+
+class TestMixedStress:
+    def test_wear_heavy_hot_block_retires_and_survives(self):
+        dev = ManagedPCMDevice(
+            2,
+            4,
+            cell_kind="3LC",
+            seed=4,
+            wearout=WearoutModel(mean_endurance=150, endurance_sigma=0.25),
+        )
+        rng = np.random.default_rng(5)
+        cold = rng.integers(0, 2, 512).astype(np.uint8)
+        dev.write(1, cold, 0.0)
+        t = 0.0
+        # ~46 writes exhaust one backing block's 6 spares at this wear
+        # model; 150 writes walk through ~3 of the 5 available blocks.
+        for i in range(150):
+            t += 300.0
+            hot = rng.integers(0, 2, 512).astype(np.uint8)
+            dev.write(0, hot, t)
+            assert np.array_equal(dev.read(0, t).data_bits, hot)
+        # the hot block burned through backing blocks; the cold one is fine
+        assert dev.retired_blocks >= 1
+        assert np.array_equal(dev.read(1, t).data_bits, cold)
+
+    def test_campaign_is_deterministic(self):
+        def run():
+            dev = ManagedPCMDevice(1, 1, cell_kind="3LC", seed=6)
+            data = np.random.default_rng(7).integers(0, 2, 512).astype(np.uint8)
+            dev.write(0, data, 0.0)
+            out = dev.read(0, YEAR_S)
+            return out.data_bits.tobytes(), dev.stats.tec_corrections
+
+        assert run() == run()

@@ -1,0 +1,136 @@
+"""Drift law, crossing times and tier escalation."""
+
+import numpy as np
+import pytest
+
+from repro.cells.drift import (
+    ESCALATION_MODES,
+    NO_ESCALATION,
+    PAPER_ESCALATION,
+    DriftTier,
+    TieredDrift,
+    crossing_time,
+    drifted_lr,
+    escalation_schedule,
+)
+
+
+class TestDriftLaw:
+    def test_no_drift_at_t0(self):
+        assert drifted_lr(4.0, 0.05, 1.0) == pytest.approx(4.0)
+
+    def test_log_linear_growth(self):
+        assert drifted_lr(4.0, 0.05, 100.0) == pytest.approx(4.0 + 0.05 * 2)
+
+    def test_vectorized(self):
+        lr0 = np.array([3.0, 4.0])
+        alpha = np.array([0.0, 0.1])
+        out = drifted_lr(lr0, alpha, 1000.0)
+        assert out[0] == pytest.approx(3.0)
+        assert out[1] == pytest.approx(4.3)
+
+    def test_rejects_t_before_t0(self):
+        with pytest.raises(ValueError):
+            drifted_lr(4.0, 0.05, 0.5)
+
+    def test_zero_alpha_never_moves(self):
+        assert drifted_lr(4.0, 0.0, 1e12) == pytest.approx(4.0)
+
+
+class TestCrossingTime:
+    def test_basic_inversion(self):
+        t = crossing_time(4.0, 0.05, 4.5)
+        assert drifted_lr(4.0, 0.05, float(t)) == pytest.approx(4.5)
+
+    def test_already_crossed(self):
+        assert crossing_time(4.6, 0.05, 4.5) == pytest.approx(1.0)
+
+    def test_zero_alpha_never_crosses(self):
+        assert crossing_time(4.0, 0.0, 4.5) == np.inf
+
+    def test_vectorized_mixed(self):
+        out = crossing_time(
+            np.array([4.0, 4.6, 4.0]), np.array([0.05, 0.01, 0.0]), 4.5
+        )
+        assert np.isfinite(out[0])
+        assert out[1] == pytest.approx(1.0)
+        assert out[2] == np.inf
+
+
+class TestSchedules:
+    def test_paper_escalation_single_tier(self):
+        assert len(PAPER_ESCALATION.tiers) == 1
+        tier = PAPER_ESCALATION.tiers[0]
+        assert tier.lr_break == 4.5
+        assert tier.mu_alpha == pytest.approx(0.06)
+        assert tier.sigma_alpha == pytest.approx(0.024)
+
+    def test_default_mode_independent(self):
+        assert PAPER_ESCALATION.mode == "independent"
+
+    def test_no_escalation_empty(self):
+        assert NO_ESCALATION.tiers == ()
+
+    def test_tiers_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            TieredDrift(
+                tiers=(DriftTier(5.0, 0.1, 0.04), DriftTier(4.5, 0.06, 0.024))
+            )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TieredDrift(tiers=(), mode="psychic")
+
+    def test_escalation_schedule_factory(self):
+        for mode in ESCALATION_MODES:
+            s = escalation_schedule(mode)
+            assert s.mode == mode
+            assert s.tiers == PAPER_ESCALATION.tiers
+
+    def test_tiers_between(self):
+        s = PAPER_ESCALATION
+        assert s.tiers_between(-np.inf, 5.0) == [s.tiers[0]]
+        assert s.tiers_between(-np.inf, 4.5) == []  # strict
+        assert s.tiers_between(4.6, 6.0) == []
+
+
+class TestEscalatedAlpha:
+    tier = DriftTier(4.5, 0.06, 0.024)
+
+    def test_correlated_keeps_quantile(self):
+        s = escalation_schedule("correlated")
+        z = np.array([0.0, 2.0, -2.0])
+        out = s.escalated_alpha(self.tier, np.zeros(3), z, 0.02)
+        assert out[0] == pytest.approx(0.06)
+        assert out[1] == pytest.approx(0.06 + 2 * 0.024)
+        assert out[2] == pytest.approx(0.06 - 2 * 0.024)
+
+    def test_mean_mode(self):
+        s = escalation_schedule("mean")
+        out = s.escalated_alpha(self.tier, np.array([0.01, 0.05]), np.zeros(2), 0.02)
+        assert np.allclose(out, 0.06)
+
+    def test_offset_mode(self):
+        s = escalation_schedule("offset")
+        out = s.escalated_alpha(self.tier, np.array([0.025]), np.zeros(1), 0.02)
+        assert out[0] == pytest.approx(0.025 + 0.04)
+
+    def test_independent_requires_fresh(self):
+        s = escalation_schedule("independent")
+        with pytest.raises(ValueError):
+            s.escalated_alpha(self.tier, np.zeros(2), np.zeros(2), 0.02)
+
+    def test_independent_uses_fresh(self):
+        s = escalation_schedule("independent")
+        out = s.escalated_alpha(
+            self.tier, np.zeros(2), np.zeros(2), 0.02, z_fresh=np.array([0.0, 1.0])
+        )
+        assert out[0] == pytest.approx(0.06)
+        assert out[1] == pytest.approx(0.084)
+
+    def test_never_negative(self):
+        s = escalation_schedule("correlated")
+        out = s.escalated_alpha(
+            self.tier, np.zeros(1), np.array([-10.0]), 0.02
+        )
+        assert out[0] == 0.0

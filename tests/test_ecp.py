@@ -1,0 +1,83 @@
+"""ECP (error-correcting pointers) for SLC and MLC blocks (Figure 14)."""
+
+import numpy as np
+import pytest
+
+from repro.wearout.ecp import ECPConfig, ECPTable, ecp_cells_mlc, ecp_cells_slc
+
+
+class TestCellBudgets:
+    def test_paper_mlc_budget(self):
+        """Figure 14: 8-bit pointer in 4 cells + 1 replacement = 5 cells
+        per entry; 6 entries + full flag = 31 cells."""
+        assert ecp_cells_mlc(256, 6) == 31
+
+    def test_mlc_single_entry(self):
+        assert ecp_cells_mlc(256, 1) == 6
+
+    def test_slc_budget(self):
+        """Table 3: 10 cells per failure for the 329-cell permutation block."""
+        assert ecp_cells_slc(329, 6) == 61
+
+    def test_slc_512(self):
+        """Original ECP-6 for a 512-bit SLC block: 61 bits."""
+        assert ecp_cells_slc(512, 6) == 61
+
+    def test_pointer_bits(self):
+        assert ECPConfig(256, 6).pointer_bits == 8
+        assert ECPConfig(306, 6).pointer_bits == 9
+
+
+class TestECPTable:
+    def test_allocate_and_apply(self):
+        t = ECPTable(ECPConfig(16, 2))
+        states = np.arange(16) % 4
+        assert t.allocate(3, 2)
+        out = t.apply(states)
+        assert out[3] == 2
+        assert np.array_equal(np.delete(out, 3), np.delete(states, 3))
+
+    def test_full_table_rejects(self):
+        t = ECPTable(ECPConfig(16, 2))
+        assert t.allocate(0, 1) and t.allocate(1, 1)
+        assert t.full
+        assert not t.allocate(2, 1)
+
+    def test_update_existing(self):
+        t = ECPTable(ECPConfig(16, 4))
+        t.allocate(5, 0)
+        assert t.update(5, 3)
+        assert t.apply(np.zeros(16, dtype=np.int64))[5] == 3
+
+    def test_update_missing(self):
+        t = ECPTable(ECPConfig(16, 4))
+        assert not t.update(5, 3)
+
+    def test_covers(self):
+        t = ECPTable(ECPConfig(16, 4))
+        t.allocate(7, 1)
+        assert t.covers(7) and not t.covers(8)
+
+    def test_later_entry_wins(self):
+        """Original ECP priority: later entries override earlier ones."""
+        t = ECPTable(ECPConfig(16, 4))
+        t.allocate(5, 1)
+        t.allocate(5, 2)
+        assert t.apply(np.zeros(16, dtype=np.int64))[5] == 2
+
+    def test_pointer_range_checked(self):
+        t = ECPTable(ECPConfig(16, 2))
+        with pytest.raises(ValueError):
+            t.allocate(16, 0)
+        with pytest.raises(ValueError):
+            t.allocate(0, 4)
+
+    def test_apply_shape_checked(self):
+        t = ECPTable(ECPConfig(16, 2))
+        with pytest.raises(ValueError):
+            t.apply(np.zeros(8, dtype=np.int64))
+
+    def test_empty_table_identity(self):
+        t = ECPTable(ECPConfig(8, 2))
+        states = np.arange(8)
+        assert np.array_equal(t.apply(states), states)

@@ -1,0 +1,140 @@
+"""Enumerative non-power-of-two coding (Section 8 generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.coding.enumerative import EnumerativeCode, best_group
+from repro.core import three_on_two as t32
+
+
+class TestGeometry:
+    def test_3on2_is_the_smallest_instance(self):
+        code = EnumerativeCode(3, 2)
+        assert code.capacity_bits == 3
+        assert code.bits_per_cell == pytest.approx(1.5)
+        assert code.inv_value == 8
+
+    def test_five_level_examples(self):
+        assert EnumerativeCode(5, 3).capacity_bits == 6  # 124 >= 64
+        assert EnumerativeCode(5, 7).capacity_bits == 16  # 78124 >= 65536
+
+    def test_six_level_examples(self):
+        assert EnumerativeCode(6, 5).capacity_bits == 12
+
+    def test_without_inv_reservation(self):
+        # 2^3 = 8 states exactly: reserving INV drops capacity to 2 bits.
+        assert EnumerativeCode(2, 3, reserve_inv=False).capacity_bits == 3
+        assert EnumerativeCode(2, 3, reserve_inv=True).capacity_bits == 2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            EnumerativeCode(1, 2)
+        with pytest.raises(ValueError):
+            EnumerativeCode(3, 0)
+        with pytest.raises(ValueError):
+            EnumerativeCode(2, 1)  # 1 usable state, 0 bits
+
+
+class TestGroupCodec:
+    @pytest.mark.parametrize("q,n", [(3, 2), (3, 5), (5, 3), (6, 5)])
+    def test_roundtrip_all_or_sample(self, q, n):
+        code = EnumerativeCode(q, n)
+        rng = np.random.default_rng(0)
+        space = 1 << code.capacity_bits
+        values = (
+            range(space)
+            if space <= 512
+            else rng.integers(0, space, 200).tolist()
+        )
+        for v in values:
+            assert code.decode_group(code.encode_group(int(v))) == int(v)
+
+    def test_inv_decodes_none(self):
+        code = EnumerativeCode(3, 2)
+        assert code.decode_group(np.array([2, 2])) is None
+
+    def test_out_of_message_range_none(self):
+        # 3^2 - 1 = 8 usable, capacity 3 bits = values 0..7; value 8 is INV
+        # so only INV is out of range here; use q=5,n=2 (24 usable, 16 used)
+        code = EnumerativeCode(5, 2)
+        levels = code.encode_group(15)
+        assert code.decode_group(levels) == 15
+        # group value 20 (> 15, < 24) is a legal state outside the message
+        assert code.decode_group(np.array([4, 0])) is None
+
+    def test_value_range_checked(self):
+        code = EnumerativeCode(3, 2)
+        with pytest.raises(ValueError):
+            code.encode_group(8)
+
+    def test_level_range_checked(self):
+        code = EnumerativeCode(3, 2)
+        with pytest.raises(ValueError):
+            code.decode_group(np.array([3, 0]))
+
+
+class TestBlockCodec:
+    def test_matches_three_on_two_layout(self):
+        """For q=3, n=2 the enumerative block codec and the dedicated
+        3-ON-2 codec produce the same cells."""
+        code = EnumerativeCode(3, 2)
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 512).astype(np.uint8)
+        a = code.encode_bits(bits)
+        b = t32.encode_bits(bits)
+        assert np.array_equal(a, b)
+
+    def test_block_roundtrip(self):
+        code = EnumerativeCode(5, 3)
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 512).astype(np.uint8)
+        levels = code.encode_bits(bits)
+        out, inv = code.decode_bits(levels, 512)
+        assert np.array_equal(out, bits)
+        assert not inv.any()
+
+    def test_inv_groups_flagged(self):
+        code = EnumerativeCode(5, 3)
+        levels = code.encode_bits(np.zeros(12, dtype=np.uint8))
+        levels[:3] = 4  # first group all-top = INV
+        out, inv = code.decode_bits(levels, 12)
+        assert inv[0] and not inv[1:].any()
+
+    def test_partial_group_rejected(self):
+        code = EnumerativeCode(5, 3)
+        with pytest.raises(ValueError):
+            code.decode_bits(np.zeros(4, dtype=np.int64), 4)
+
+
+class TestBestGroup:
+    def test_ternary_best_is_dense(self):
+        code = best_group(3, max_cells=12)
+        # 3^12 - 1 fits 19 bits -> 1.583 b/cell, near log2(3) = 1.585
+        assert code.bits_per_cell > 1.55
+
+    def test_monotone_improvement_with_levels(self):
+        assert best_group(5).bits_per_cell > best_group(3).bits_per_cell
+        assert best_group(6).bits_per_cell > best_group(5).bits_per_cell
+
+    def test_within_ideal(self):
+        for q in (3, 5, 6):
+            code = best_group(q)
+            assert code.bits_per_cell <= code.ideal_bits_per_cell
+
+
+class TestMarkAndSpareGeneralization:
+    def test_generalized_inv_value(self):
+        """Mark-and-spare works for any group codec via inv_value."""
+        from repro.wearout.mark_and_spare import (
+            MarkAndSpareBlock,
+            MarkAndSpareConfig,
+        )
+
+        code = EnumerativeCode(5, 3)  # inv_value = 124
+        cfg = MarkAndSpareConfig(n_data_pairs=10, n_spare_pairs=2)
+        blk = MarkAndSpareBlock(cfg, inv_value=code.inv_value)
+        blk.mark(3)
+        data = np.arange(10, dtype=np.int64) * 6
+        phys = blk.layout(data)
+        assert phys[3] == code.inv_value
+        assert np.array_equal(blk.read(phys), data)

@@ -1,0 +1,151 @@
+"""Failure injection: corrupted check storage, pathological wearout,
+drift collisions with the INV marker, and misbehaving inputs."""
+
+import numpy as np
+import pytest
+
+from repro.cells.faults import WearoutModel
+from repro.coding.blockcodec import (
+    FourLevelBlockCodec,
+    ThreeOnTwoBlockCodec,
+    UncorrectableBlock,
+)
+from repro.core import three_on_two as t32
+from repro.core.device import PCMDevice
+
+
+@pytest.fixture
+def bits():
+    return np.random.default_rng(0).integers(0, 2, 512).astype(np.uint8)
+
+
+class TestCheckBitCorruption:
+    def test_one_slc_bit_flip_recovered(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        for i in range(c.n_slc_cells):
+            bad = check.copy()
+            bad[i] ^= 1
+            out = c.decode(states, bad)
+            assert np.array_equal(out.data_bits, bits)
+
+    def test_check_flip_plus_data_drift_uncorrectable(self, bits):
+        """BCH-1 cannot fix two errors, wherever they land."""
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        check = check.copy()
+        check[0] ^= 1
+        i = int(np.nonzero(states < 2)[0][0])
+        states[i] += 1
+        with pytest.raises(UncorrectableBlock):
+            c.decode(states, check)
+
+    def test_all_check_bits_zeroed_detected(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        if not check.any():
+            pytest.skip("degenerate codeword")
+        with pytest.raises(UncorrectableBlock):
+            c.decode(states, np.zeros_like(check))
+
+
+class TestINVDriftCollisions:
+    def test_every_single_step_inv_collision_is_correctable(self, bits):
+        """Exhaustively: any single S2->S4 drift step that forms an INV
+        pair is undone by TEC before mark-and-spare runs."""
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        pairs = states.reshape(-1, 2)
+        # positions where bumping one cell would create [S4, S4]
+        candidates = []
+        for p in range(pairs.shape[0]):
+            a, b = pairs[p]
+            if a == 2 and b == 1:
+                candidates.append(2 * p + 1)
+            if b == 2 and a == 1:
+                candidates.append(2 * p)
+        assert candidates, "fixture produced no collision candidates"
+        for idx in candidates[:40]:
+            corrupted = states.copy()
+            corrupted[idx] = 2
+            out = c.decode(corrupted, check)
+            assert np.array_equal(out.data_bits, bits)
+            assert out.hec_pairs_dropped == 0
+
+    def test_marked_block_with_inv_collision(self, bits):
+        """A real marked pair and a drift-created INV at once: TEC fixes
+        the drift one, mark-and-spare drops only the real one."""
+        c = ThreeOnTwoBlockCodec()
+        blk = c.new_block_state()
+        blk.mark(100)
+        states, check = c.encode(bits, blk)
+        pairs = states.reshape(-1, 2)
+        p = int(np.nonzero((pairs[:, 0] == 2) & (pairs[:, 1] == 1))[0][0])
+        states[2 * p + 1] = 2
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.hec_pairs_dropped == 1
+
+
+class TestPathologicalWearout:
+    def test_all_cells_stuck_reset_block_is_all_inv(self, bits):
+        dev = PCMDevice(
+            1,
+            "3LC",
+            seed=1,
+            wearout=WearoutModel(
+                mean_endurance=1, endurance_sigma=0.0, p_stuck_reset=1.0
+            ),
+        )
+        from repro.wearout.mark_and_spare import SpareExhausted
+
+        with pytest.raises(SpareExhausted):
+            for i in range(10):
+                dev.write(0, bits, float(i))
+
+    def test_stuck_set_without_revival(self, bits):
+        """Non-revivable stuck-set cells fall back to the BCH-1 budget;
+        one per block is survivable, as the paper argues."""
+        dev = PCMDevice(
+            1,
+            "3LC",
+            seed=2,
+            wearout=WearoutModel(
+                mean_endurance=1e9, endurance_sigma=0.01, p_revive=0.0
+            ),
+        )
+        dev.write(0, bits, 0.0)
+        # Manually break one cell stuck-set (reads as S1).
+        from repro.cells.faults import FaultMode
+
+        dev.array._fault[4] = FaultMode.STUCK_SET.value
+        out = dev.read(0, 1.0)
+        assert np.array_equal(out.data_bits, bits)
+
+    def test_4lc_check_cell_wearout_uses_bch_budget(self, bits):
+        c = FourLevelBlockCodec()
+        states, _ = c.encode(bits)
+        # Three stuck check cells (outside ECP coverage) -> <= 6 bit errors
+        for cell in (260, 280, 300):
+            states[cell] = 3 - states[cell] if states[cell] != 3 else 0
+        out = c.decode(states)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected <= 6
+
+
+class TestBadInputs:
+    def test_device_rejects_non_binary_payload(self):
+        dev = PCMDevice(1, "3LC", seed=3)
+        with pytest.raises(ValueError):
+            dev.write(0, np.full(512, 2, dtype=np.uint8), 0.0)
+
+    def test_codec_rejects_corrupt_state_values(self, bits):
+        c = ThreeOnTwoBlockCodec()
+        states, check = c.encode(bits)
+        states[0] = 7
+        with pytest.raises(ValueError):
+            c.decode(states, check)
+
+    def test_tec_view_rejects_negative(self):
+        with pytest.raises(ValueError):
+            t32.states_to_tec_bits(np.array([-1]))

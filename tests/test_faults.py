@@ -1,0 +1,56 @@
+"""Wearout fault model distributions."""
+
+import numpy as np
+import pytest
+
+from repro.cells.faults import (
+    MLC_ENDURANCE_CYCLES,
+    SLC_ENDURANCE_CYCLES,
+    FaultMode,
+    WearoutModel,
+)
+
+
+class TestEnduranceConstants:
+    def test_paper_values(self):
+        """Section 6.4: 1e5 cycles (MLC) vs 1e8 (SLC)."""
+        assert MLC_ENDURANCE_CYCLES == 1e5
+        assert SLC_ENDURANCE_CYCLES == 1e8
+
+
+class TestWearoutModel:
+    def test_endurance_lognormal_median(self):
+        m = WearoutModel(mean_endurance=1e5, endurance_sigma=0.25)
+        e = m.sample_endurance(np.random.default_rng(0), 100_000)
+        assert np.median(e) == pytest.approx(1e5, rel=0.05)
+
+    def test_endurance_spread(self):
+        m = WearoutModel(endurance_sigma=0.25)
+        e = m.sample_endurance(np.random.default_rng(1), 100_000)
+        assert np.std(np.log10(e)) == pytest.approx(0.25, rel=0.05)
+
+    def test_all_positive(self):
+        m = WearoutModel()
+        e = m.sample_endurance(np.random.default_rng(2), 10_000)
+        assert e.min() > 0
+
+    def test_mode_mix(self):
+        m = WearoutModel(p_stuck_reset=0.7)
+        modes = m.sample_modes(np.random.default_rng(3), 100_000)
+        frac_reset = np.mean(modes == FaultMode.STUCK_RESET.value)
+        assert frac_reset == pytest.approx(0.7, abs=0.01)
+        assert set(np.unique(modes)) <= {
+            FaultMode.STUCK_RESET.value,
+            FaultMode.STUCK_SET.value,
+        }
+
+    def test_revive_probability(self):
+        m = WearoutModel(p_revive=0.9)
+        ok = m.revive(np.random.default_rng(4), 100_000)
+        assert np.mean(ok) == pytest.approx(0.9, abs=0.01)
+
+    def test_deterministic_given_rng(self):
+        m = WearoutModel()
+        a = m.sample_endurance(np.random.default_rng(5), 100)
+        b = m.sample_endurance(np.random.default_rng(5), 100)
+        assert np.array_equal(a, b)

@@ -1,0 +1,138 @@
+"""GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.coding.gf2m import GF2m, PRIMITIVE_POLYS
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+@pytest.fixture(scope="module")
+def gf1024():
+    return GF2m(10)
+
+
+class TestFieldStructure:
+    def test_order(self, gf16):
+        assert gf16.order == 16 and gf16.n == 15
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 8, 10, 12])
+    def test_primitive_element_generates_group(self, m):
+        gf = GF2m(m)
+        seen = set()
+        x = 1
+        for _ in range(gf.n):
+            seen.add(x)
+            x = gf.mul(x, 2)  # multiply by alpha
+        assert len(seen) == gf.n
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive for m=4.
+        with pytest.raises(ValueError):
+            GF2m(4, prim_poly=0b11111)
+
+    def test_unknown_m_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(40)
+
+
+class TestArithmetic:
+    def test_mul_identity(self, gf16):
+        for a in range(16):
+            assert gf16.mul(a, 1) == a
+
+    def test_mul_zero(self, gf16):
+        for a in range(16):
+            assert gf16.mul(a, 0) == 0
+
+    def test_mul_commutative(self, gf16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert gf16.mul(a, b) == gf16.mul(b, a)
+
+    def test_mul_associative_sample(self, gf1024):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b, c = rng.integers(1, 1024, 3)
+            lhs = gf1024.mul(gf1024.mul(int(a), int(b)), int(c))
+            rhs = gf1024.mul(int(a), gf1024.mul(int(b), int(c)))
+            assert lhs == rhs
+
+    def test_distributive_sample(self, gf1024):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b, c = (int(x) for x in rng.integers(0, 1024, 3))
+            assert gf1024.mul(a, b ^ c) == gf1024.mul(a, b) ^ gf1024.mul(a, c)
+
+    def test_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.mul(a, gf16.inv(a)) == 1
+
+    def test_div_roundtrip(self, gf1024):
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            a, b = (int(x) for x in rng.integers(1, 1024, 2))
+            assert gf1024.mul(gf1024.div(a, b), b) == a
+
+    def test_div_by_zero(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.div(3, 0)
+
+    def test_pow(self, gf16):
+        a = 2
+        acc = 1
+        for k in range(10):
+            assert gf16.pow(a, k) == acc
+            acc = gf16.mul(acc, a)
+
+    def test_alpha_pow_wraps(self, gf16):
+        assert gf16.alpha_pow(0) == 1
+        assert gf16.alpha_pow(15) == 1
+        assert gf16.alpha_pow(-1) == gf16.alpha_pow(14)
+
+    def test_log_exp_roundtrip(self, gf1024):
+        for a in (1, 2, 37, 1000):
+            assert gf1024.alpha_pow(gf1024.log(a)) == a
+
+    def test_log_zero_rejected(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.log(0)
+
+    def test_vectorized_mul(self, gf16):
+        a = np.arange(16)
+        out = gf16.mul(a, 7)
+        for i in range(16):
+            assert out[i] == gf16.mul(int(a[i]), 7)
+
+
+class TestPolynomials:
+    def test_poly_eval_horner(self, gf16):
+        # p(x) = 1 + x + x^2 at alpha
+        coeffs = np.array([1, 1, 1])
+        alpha = 2
+        expected = 1 ^ alpha ^ gf16.mul(alpha, alpha)
+        assert gf16.poly_eval(coeffs, alpha) == expected
+
+    def test_poly_mul_degree(self, gf16):
+        a = np.array([1, 2])
+        b = np.array([3, 0, 1])
+        assert len(gf16.poly_mul(a, b)) == 4
+
+    def test_minimal_polynomial_of_alpha(self, gf16):
+        # The minimal polynomial of alpha is the defining primitive poly.
+        assert gf16.minimal_polynomial(2) == PRIMITIVE_POLYS[4]
+
+    def test_minimal_polynomial_divides(self, gf1024):
+        """m_alpha^3(x) must vanish at alpha^3 and its conjugates."""
+        mask = gf1024.minimal_polynomial(gf1024.alpha_pow(3))
+        coeffs = np.array(
+            [(mask >> i) & 1 for i in range(mask.bit_length())], dtype=np.int64
+        )
+        e = gf1024.alpha_pow(3)
+        for _ in range(10):
+            assert gf1024.poly_eval(coeffs, e) == 0
+            e = gf1024.mul(e, e)

@@ -1,0 +1,63 @@
+"""Gray coding: bijection and the single-bit-flip adjacency property."""
+
+import numpy as np
+import pytest
+
+from repro.coding.gray import (
+    binary_to_gray,
+    bits_to_states,
+    gray_to_binary,
+    states_to_bits,
+)
+
+
+class TestScalar:
+    def test_known_values(self):
+        assert [binary_to_gray(i) for i in range(4)] == [0b00, 0b01, 0b11, 0b10]
+
+    def test_roundtrip_16bit(self):
+        for i in range(0, 65536, 257):
+            assert gray_to_binary(binary_to_gray(i)) == i
+
+    def test_adjacent_codes_differ_one_bit(self):
+        for i in range(255):
+            diff = binary_to_gray(i) ^ binary_to_gray(i + 1)
+            assert bin(diff).count("1") == 1
+
+
+class TestVectorized:
+    def test_array_roundtrip(self):
+        x = np.arange(1024)
+        assert np.array_equal(gray_to_binary(binary_to_gray(x)), x)
+
+    def test_states_to_bits_2bpc(self):
+        states = np.array([0, 1, 2, 3])
+        bits = states_to_bits(states, 2)
+        # Gray: 00, 01, 11, 10
+        assert list(bits) == [0, 0, 0, 1, 1, 1, 1, 0]
+
+    def test_bits_to_states_inverse(self):
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 4, 500)
+        assert np.array_equal(bits_to_states(states_to_bits(states, 2), 2), states)
+
+    def test_3bpc_roundtrip(self):
+        rng = np.random.default_rng(1)
+        states = rng.integers(0, 8, 300)
+        assert np.array_equal(bits_to_states(states_to_bits(states, 3), 3), states)
+
+    def test_drift_error_is_one_bit(self):
+        """A drift error moves a cell one state up: exactly one bit flips
+        in the Gray view (the property Section 6.6 relies on)."""
+        for s in range(3):
+            a = states_to_bits(np.array([s]), 2)
+            b = states_to_bits(np.array([s + 1]), 2)
+            assert int(np.sum(a ^ b)) == 1
+
+    def test_out_of_range_state(self):
+        with pytest.raises(ValueError):
+            states_to_bits(np.array([4]), 2)
+
+    def test_partial_cell_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_states(np.zeros(3, dtype=np.uint8), 2)

@@ -1,0 +1,91 @@
+"""Hamming SEC and Hsiao SEC-DED codes."""
+
+import numpy as np
+import pytest
+
+from repro.coding.hamming import HammingSEC, HsiaoSECDED
+
+
+class TestHammingSEC:
+    @pytest.mark.parametrize("k", [4, 11, 26, 57, 120, 708])
+    def test_check_bit_count(self, k):
+        code = HammingSEC(k)
+        assert (1 << code.r) - code.r - 1 >= k
+        assert (1 << (code.r - 1)) - (code.r - 1) - 1 < k
+
+    def test_clean_roundtrip(self):
+        code = HammingSEC(64)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        out, n = code.decode(code.encode(data))
+        assert np.array_equal(out, data) and n == 0
+
+    def test_corrects_every_single_data_error(self):
+        code = HammingSEC(30)
+        data = np.random.default_rng(1).integers(0, 2, 30).astype(np.uint8)
+        cw = code.encode(data)
+        for i in range(30):
+            bad = cw.copy()
+            bad[i] ^= 1
+            out, n = code.decode(bad)
+            assert np.array_equal(out, data) and n == 1
+
+    def test_corrects_every_single_check_error(self):
+        code = HammingSEC(30)
+        data = np.random.default_rng(2).integers(0, 2, 30).astype(np.uint8)
+        cw = code.encode(data)
+        for i in range(30, code.n):
+            bad = cw.copy()
+            bad[i] ^= 1
+            out, n = code.decode(bad)
+            assert np.array_equal(out, data) and n == 1
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            HammingSEC(10).encode(np.zeros(9, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            HammingSEC(10).decode(np.zeros(3, dtype=np.uint8))
+
+    def test_matches_bch1_overhead_for_paper_message(self):
+        """The paper's 708-bit TEC message needs 10 check bits either way."""
+        assert HammingSEC(708).r == 10
+
+
+class TestHsiaoSECDED:
+    def test_corrects_all_singles(self):
+        code = HsiaoSECDED(32)
+        data = np.random.default_rng(3).integers(0, 2, 32).astype(np.uint8)
+        cw = code.encode(data)
+        for i in range(code.n):
+            bad = cw.copy()
+            bad[i] ^= 1
+            out, n, uncorrectable = code.decode(bad)
+            assert not uncorrectable
+            assert np.array_equal(out, data) and n == 1
+
+    def test_detects_all_doubles(self):
+        code = HsiaoSECDED(16)
+        data = np.random.default_rng(4).integers(0, 2, 16).astype(np.uint8)
+        cw = code.encode(data)
+        for i in range(code.n):
+            for j in range(i + 1, code.n):
+                bad = cw.copy()
+                bad[i] ^= 1
+                bad[j] ^= 1
+                _, n, uncorrectable = code.decode(bad)
+                assert uncorrectable and n == 0, (i, j)
+
+    def test_clean(self):
+        code = HsiaoSECDED(64)
+        data = np.random.default_rng(5).integers(0, 2, 64).astype(np.uint8)
+        out, n, bad = code.decode(code.encode(data))
+        assert np.array_equal(out, data) and n == 0 and not bad
+
+    def test_64_bit_uses_8_check_bits(self):
+        """The classic (72, 64) Hsiao geometry."""
+        assert HsiaoSECDED(64).r == 8
+
+    def test_odd_weight_columns(self):
+        code = HsiaoSECDED(64)
+        for col in code._data_cols:
+            assert bin(int(col)).count("1") % 2 == 1

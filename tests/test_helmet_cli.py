@@ -1,0 +1,119 @@
+"""Helmet-style smart encoding and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.coding.smart import HelmetSmartCode, measure_occupancy
+
+
+class TestHelmetSmartCode:
+    def test_roundtrip_random(self):
+        code = HelmetSmartCode()
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 4, 1000)
+        enc, tags = code.encode(states)
+        assert np.array_equal(code.decode(enc, tags), states)
+
+    def test_roundtrip_ragged(self):
+        code = HelmetSmartCode(group_cells=8)
+        states = np.random.default_rng(1).integers(0, 4, 37)
+        enc, tags = code.encode(states)
+        assert enc.size == 37
+        assert np.array_equal(code.decode(enc, tags), states)
+
+    def test_three_tag_bits(self):
+        assert HelmetSmartCode().tag_bits_per_group == 3
+
+    def test_s3_strongly_suppressed(self):
+        """Helmet's goal: reduce the S3 population specifically."""
+        code = HelmetSmartCode()
+        rng = np.random.default_rng(2)
+        states = rng.integers(0, 4, 64_000)
+        enc, _ = code.encode(states)
+        occ = measure_occupancy(enc)
+        assert occ[2] < 0.15  # vs 0.25 uniform; paper assumes 0.15
+
+    def test_beats_plain_rotation_on_s3(self):
+        from repro.coding.smart import RotationSmartCode
+
+        rng = np.random.default_rng(3)
+        states = rng.integers(0, 4, 64_000)
+        helmet, _ = HelmetSmartCode().encode(states)
+        rot, _ = RotationSmartCode().encode(states)
+        assert measure_occupancy(helmet)[2] < measure_occupancy(rot)[2]
+
+    def test_all_s3_eliminated(self):
+        code = HelmetSmartCode()
+        states = np.full(160, 2)
+        enc, tags = code.encode(states)
+        assert not (enc == 2).any()
+        assert np.array_equal(code.decode(enc, tags), states)
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            HelmetSmartCode().encode(np.array([4]))
+
+    def test_tag_count_checked(self):
+        code = HelmetSmartCode(group_cells=8)
+        enc, tags = code.encode(np.zeros(16, dtype=np.int64))
+        with pytest.raises(ValueError):
+            code.decode(enc, tags[:1])
+
+
+class TestCLI:
+    def test_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "3LCo" in out and "5.533" in out
+
+    def test_cer(self, capsys):
+        assert main(["cer", "--design", "4LCn", "--years", "1"]) == 0
+        assert "CER after 1 years" in capsys.readouterr().out
+
+    def test_retention(self, capsys):
+        assert main(["retention", "--design", "3LCo", "--ecc", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "nonvolatile (>10 years): yes" in out
+
+    def test_retention_4lc_volatile(self, capsys):
+        assert main(["retention", "--design", "4LCo", "--ecc", "10"]) == 0
+        assert "nonvolatile (>10 years): no" in capsys.readouterr().out
+
+    def test_availability(self, capsys):
+        assert main(["availability", "--interval-min", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "bank availability:   0.967" in out
+
+    def test_capacity(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "1.519" in out and "1.407" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--workload", "namd", "--accesses", "4000"]) == 0
+        assert "4LC-REF" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCLIEdgeCases:
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cer", "--design", "7LC"])
+
+    def test_retention_custom_cells(self, capsys):
+        assert main(["retention", "--design", "3LCo", "--ecc", "0", "--cells", "342"]) == 0
+        out = capsys.readouterr().out
+        assert "BCH-0" in out
+
+    def test_availability_custom_device(self, capsys):
+        assert main(["availability", "--device-gb", "4", "--interval-min", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "device refresh pass: 67 s" in out
+
+    def test_simulate_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "--workload", "gcc", "--accesses", "100"])

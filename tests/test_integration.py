@@ -1,0 +1,105 @@
+"""Cross-module integration: device + MC models agree; full pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell_array import CellArray
+from repro.core.designs import four_level_naive, three_level_optimal
+from repro.core.device import PCMDevice
+from repro.montecarlo.analytic import analytic_design_cer
+from repro.montecarlo.cer import design_cer
+
+
+class TestCellArrayMatchesCEREngine:
+    """The functional CellArray and the vectorized CER engine implement the
+    same physics; their error rates must agree."""
+
+    def test_4lcn_s3_error_rate(self):
+        design = four_level_naive()
+        n = 300_000
+        arr = CellArray(n, design, rng=0)
+        arr.program(np.arange(n), np.full(n, 2), 0.0)  # all S3
+        t = 2.0**15
+        err_functional = float(np.mean(arr.sense(t) != 2))
+        from repro.cells.params import TABLE1
+        from repro.montecarlo.cer import state_cer
+
+        err_mc = state_cer(TABLE1["S3"], 5.5, [t], 1_000_000, seed=1).cer[0]
+        assert err_functional == pytest.approx(err_mc, rel=0.1)
+
+    def test_design_level_agreement(self):
+        design = four_level_naive()
+        n = 400_000
+        arr = CellArray(n, design, rng=2)
+        rng = np.random.default_rng(3)
+        states = rng.integers(0, 4, n)
+        arr.program(np.arange(n), states, 0.0)
+        t = 2.0**15
+        err_functional = float(np.mean(arr.sense(t) != states))
+        err_model = analytic_design_cer(design, [t])[0]
+        assert err_functional == pytest.approx(err_model, rel=0.1)
+
+
+class TestDeviceRefreshLoop:
+    def test_17min_refresh_keeps_4lc_clean_and_counts_corrections(self):
+        rng = np.random.default_rng(4)
+        dev = PCMDevice(8, "4LC", seed=5)
+        blocks = {}
+        for b in range(8):
+            blocks[b] = rng.integers(0, 2, 512).astype(np.uint8)
+            dev.write(b, blocks[b], 0.0)
+        t = 0.0
+        for _ in range(10):
+            t += 1024.0
+            for b in range(8):
+                out = dev.refresh(b, t)
+                assert np.array_equal(out.data_bits, blocks[b])
+        # At CER ~1e-3 per 17-minute period, 306 cells x 80 block-periods
+        # should show at least a few corrected drift errors.
+        assert dev.stats.tec_corrections >= 1
+
+    def test_3lc_never_needs_correction_at_this_scale(self):
+        rng = np.random.default_rng(6)
+        dev = PCMDevice(8, "3LC", seed=7)
+        blocks = {}
+        for b in range(8):
+            blocks[b] = rng.integers(0, 2, 512).astype(np.uint8)
+            dev.write(b, blocks[b], 0.0)
+        t = 3.15e7  # one year, no refresh at all
+        for b in range(8):
+            out = dev.read(b, t)
+            assert np.array_equal(out.data_bits, blocks[b])
+        assert dev.stats.tec_corrections == 0
+
+
+class TestEndToEndStack:
+    def test_full_write_drift_wearout_read(self):
+        """Stress the whole stack at once: wearout + drift + correction."""
+        from repro.cells.faults import WearoutModel
+
+        rng = np.random.default_rng(8)
+        dev = PCMDevice(
+            2,
+            "3LC",
+            seed=9,
+            wearout=WearoutModel(mean_endurance=5000, endurance_sigma=0.7),
+        )
+        data = rng.integers(0, 2, 512).astype(np.uint8)
+        t = 0.0
+        for i in range(25):
+            t += 50_000.0  # ~14 hours between rewrites
+            dev.write(0, data, t)
+            out = dev.read(0, t + 40_000.0)
+            assert np.array_equal(out.data_bits, data), i
+
+    def test_retention_consistent_with_device(self):
+        """The analytic retention solver says 3LCo+BCH-1 survives 10 years;
+        a functional device read at 10 years must indeed succeed."""
+        from repro.analysis.retention import meets_nonvolatility
+
+        assert meets_nonvolatility(three_level_optimal(), 354, 1)
+        dev = PCMDevice(1, "3LC", seed=10)
+        data = np.random.default_rng(11).integers(0, 2, 512).astype(np.uint8)
+        dev.write(0, data, 0.0)
+        out = dev.read(0, 3.156e8)
+        assert np.array_equal(out.data_bits, data)

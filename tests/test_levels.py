@@ -1,0 +1,127 @@
+"""LevelDesign invariants, sensing and the pdf of Figures 1/6/7."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import LevelDesign, uniform_thresholds
+
+
+@pytest.fixture
+def lc4():
+    return LevelDesign.from_levels("4LCn", ["S1", "S2", "S3", "S4"], [3, 4, 5, 6])
+
+
+class TestConstruction:
+    def test_uniform_thresholds(self):
+        assert uniform_thresholds([3, 4, 5, 6]) == [3.5, 4.5, 5.5]
+
+    def test_uniform_thresholds_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            uniform_thresholds([3, 5, 4])
+
+    def test_default_occupancy_uniform(self, lc4):
+        assert lc4.occupancy == (0.25,) * 4
+
+    def test_explicit_occupancy(self):
+        d = LevelDesign.from_levels(
+            "x", ["a", "b"], [3, 6], occupancy=[0.9, 0.1]
+        )
+        assert d.occupancy == (0.9, 0.1)
+
+    def test_occupancy_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            LevelDesign.from_levels("x", ["a", "b"], [3, 6], occupancy=[0.5, 0.4])
+
+    def test_needs_two_states(self):
+        with pytest.raises(ValueError):
+            LevelDesign.from_levels("x", ["a"], [3.0])
+
+    def test_threshold_count_enforced(self):
+        with pytest.raises(ValueError):
+            LevelDesign.from_levels("x", ["a", "b"], [3, 6], thresholds=[4, 5])
+
+    def test_threshold_between_levels(self):
+        with pytest.raises(ValueError):
+            LevelDesign.from_levels("x", ["a", "b"], [3, 6], thresholds=[2.5])
+
+    def test_states_must_increase(self):
+        with pytest.raises(ValueError):
+            LevelDesign.from_levels("x", ["a", "b"], [6, 3])
+
+
+class TestIntrospection:
+    def test_n_levels(self, lc4):
+        assert lc4.n_levels == 4
+
+    def test_ideal_bits(self, lc4):
+        assert lc4.bits_per_cell_ideal == pytest.approx(2.0)
+
+    def test_ideal_bits_ternary(self):
+        d = LevelDesign.from_levels("3", ["a", "b", "c"], [3, 4, 6])
+        assert d.bits_per_cell_ideal == pytest.approx(np.log2(3))
+
+    def test_upper_threshold(self, lc4):
+        assert lc4.upper_threshold(0) == 3.5
+        assert lc4.upper_threshold(2) == 5.5
+        assert lc4.upper_threshold(3) == np.inf
+
+    def test_drift_margin_naive(self, lc4):
+        # S3: write window top = 5 + 2.75/6; threshold 5.5
+        expected = 5.5 - (5 + 2.75 / 6)
+        assert lc4.drift_margin(2) == pytest.approx(expected)
+        assert lc4.drift_margin(3) == np.inf
+
+    def test_state_names(self, lc4):
+        assert lc4.state_names == ("S1", "S2", "S3", "S4")
+
+
+class TestSensing:
+    def test_nominal_values_sense_correctly(self, lc4):
+        lr = np.array([3.0, 4.0, 5.0, 6.0])
+        assert list(lc4.sense(lr)) == [0, 1, 2, 3]
+
+    def test_threshold_edges(self, lc4):
+        # At exactly tau the cell reads as the *higher* state (drift across
+        # the threshold is an error).
+        assert lc4.sense(np.array([3.5]))[0] == 1
+        assert lc4.sense(np.array([3.4999]))[0] == 0
+
+    def test_extremes(self, lc4):
+        assert lc4.sense(np.array([0.0]))[0] == 0
+        assert lc4.sense(np.array([9.0]))[0] == 3
+
+
+class TestPdf:
+    def test_pdf_integrates_to_one(self, lc4):
+        lr = np.linspace(2.0, 7.0, 20001)
+        total = np.trapezoid(lc4.pdf(lr), lr)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_pdf_zero_outside_write_windows(self, lc4):
+        # Midway between S1's window top and S2's window bottom.
+        assert lc4.pdf(np.array([3.5]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_pdf_respects_occupancy(self):
+        skewed = LevelDesign.from_levels(
+            "s", ["a", "b"], [3, 6], occupancy=[0.9, 0.1]
+        )
+        pdf = skewed.pdf(np.array([3.0, 6.0]))
+        assert pdf[0] > 5 * pdf[1]
+
+
+class TestMarginViolations:
+    def test_naive_design_feasible(self, lc4):
+        assert lc4.margin_violations() == []
+
+    def test_tight_threshold_flagged(self):
+        d = LevelDesign.from_levels(
+            "bad", ["a", "b"], [3, 6], thresholds=[3.40]
+        )
+        problems = d.margin_violations()
+        assert len(problems) == 1 and "write window" in problems[0]
+
+    def test_with_updates_name_and_occupancy(self, lc4):
+        d = lc4.with_(name="renamed", occupancy=(0.4, 0.1, 0.1, 0.4))
+        assert d.name == "renamed"
+        assert d.occupancy == (0.4, 0.1, 0.1, 0.4)
+        assert d.states == lc4.states

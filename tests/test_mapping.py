@@ -1,0 +1,112 @@
+"""Mapping optimization: constraints, reduced search, Figures 6/7."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.constraints import MARGIN, DesignSpace
+from repro.mapping.optimizer import (
+    design_from_interior_mus,
+    design_from_vector,
+    optimize_mapping,
+)
+from repro.montecarlo.analytic import analytic_design_cer
+
+
+class TestDesignSpace:
+    def test_margin_value(self):
+        assert MARGIN == pytest.approx(2.75 / 6 + 0.05 / 6)
+
+    def test_free_variable_counts(self):
+        assert DesignSpace(4).n_free == 2 + 3
+        assert DesignSpace(3).n_free == 1 + 2
+
+    def test_pack_unpack_roundtrip(self):
+        s = DesignSpace(4)
+        mus = [3.0, 3.9, 4.9, 6.0]
+        taus = [3.5, 4.4, 5.5]
+        x = s.pack(mus, taus)
+        m2, t2 = s.unpack(x)
+        assert m2 == mus and t2 == taus
+
+    def test_pack_validates_fixed_ends(self):
+        s = DesignSpace(4)
+        with pytest.raises(ValueError):
+            s.pack([3.1, 3.9, 4.9, 6.0], [3.5, 4.4, 5.5])
+
+    def test_naive_start_feasible(self):
+        for n in (2, 3, 4):
+            s = DesignSpace(n)
+            assert s.is_feasible(s.naive_start())
+
+    def test_constraint_values_signs(self):
+        s = DesignSpace(3)
+        good = s.pack([3.0, 4.5, 6.0], [3.75, 5.25])
+        assert np.all(s.constraint_values(good) > 0)
+        bad = s.pack([3.0, 4.5, 6.0], [3.1, 5.25])
+        assert np.any(s.constraint_values(bad) < 0)
+
+    def test_too_many_levels_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(5, mu_lo=3.0, mu_hi=4.0)
+
+    def test_five_levels_need_tighter_writes(self):
+        """Section 8: with Table 1's sigma_R, only four levels fit the
+        3-decade range; 5LC/6LC require reducing write variability."""
+        with pytest.raises(ValueError):
+            DesignSpace(5)
+        # Halving sigma (margin scales with it) makes 5 and 6 levels fit.
+        s5 = DesignSpace(5, margin=MARGIN / 2)
+        s6 = DesignSpace(6, margin=MARGIN / 2)
+        assert s5.is_feasible(s5.naive_start())
+        assert s6.is_feasible(s6.naive_start())
+
+
+class TestDesignBuilders:
+    def test_design_from_vector(self):
+        s = DesignSpace(3)
+        d = design_from_vector(s, s.naive_start(), name="x")
+        assert d.name == "x" and d.n_levels == 3
+
+    def test_interior_pins_thresholds(self):
+        s = DesignSpace(4)
+        d = design_from_interior_mus(s, [3.9, 4.9])
+        for i, tau in enumerate(d.thresholds):
+            assert tau == pytest.approx(d.states[i + 1].mu_lr - MARGIN)
+
+
+class TestOptimizer:
+    def test_4lc_recovers_paper_corner(self):
+        """Figure 6's optimum: every level/threshold packed left."""
+        r = optimize_mapping(4, grid_points_per_dim=16, polish_z_points=401)
+        mus = [s.mu_lr for s in r.design.states]
+        assert mus[1] == pytest.approx(3.0 + 2 * MARGIN, abs=0.02)
+        assert mus[2] == pytest.approx(3.0 + 4 * MARGIN, abs=0.02)
+        assert r.design.thresholds[2] == pytest.approx(6.0 - MARGIN, abs=0.01)
+
+    def test_4lc_improves_on_naive(self):
+        r = optimize_mapping(4, grid_points_per_dim=12, polish_z_points=401)
+        assert r.improvement > 2.0
+
+    def test_3lc_balances_interior(self):
+        r = optimize_mapping(
+            3,
+            eval_time_s=[2.0**15, 2.0**25, 2.0**30],
+            grid_points_per_dim=16,
+            polish_z_points=401,
+        )
+        mu2 = r.design.states[1].mu_lr
+        assert 3.93 < mu2 < 4.3
+        # must beat both the naive start and the feasibility corner
+        t = [2.0**15, 2.0**25, 2.0**30]
+        corner = design_from_interior_mus(DesignSpace(3), [3.0 + 2 * MARGIN])
+        assert r.cer_at_eval < np.sum(analytic_design_cer(corner, t))
+
+    def test_result_metadata(self):
+        r = optimize_mapping(3, grid_points_per_dim=8, polish_z_points=301)
+        assert r.n_evaluations > 8
+        assert r.eval_times_s == (float(2**15),)
+
+    def test_two_level_space_has_no_free_mu(self):
+        r = optimize_mapping(2, grid_points_per_dim=4, polish_z_points=301)
+        assert r.design.n_levels == 2
+        assert r.design.thresholds[0] == pytest.approx(6.0 - MARGIN)

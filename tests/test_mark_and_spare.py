@@ -1,0 +1,124 @@
+"""Mark-and-spare: functional corrector, gate-level corrector, block state."""
+
+import numpy as np
+import pytest
+
+from repro.core.three_on_two import INV_VALUE
+from repro.wearout.mark_and_spare import (
+    MarkAndSpareBlock,
+    MarkAndSpareConfig,
+    SpareExhausted,
+    correct_values,
+    correct_values_gate_level,
+)
+
+
+@pytest.fixture
+def small():
+    """Figure 10's example scale: 4 data pairs + 2 spares."""
+    return MarkAndSpareConfig(n_data_pairs=4, n_spare_pairs=2)
+
+
+class TestConfig:
+    def test_paper_geometry(self):
+        c = MarkAndSpareConfig()
+        assert c.n_data_pairs == 171 and c.n_spare_pairs == 6
+        assert c.n_pairs == 177 and c.n_cells == 354
+
+    def test_two_spare_cells_per_failure(self):
+        assert MarkAndSpareConfig().spare_cells_per_failure == 2
+
+
+class TestFunctionalCorrection:
+    def test_no_marks(self, small):
+        v = np.array([1, 2, 3, 4, 0, 0])
+        assert list(correct_values(v, small)) == [1, 2, 3, 4]
+
+    def test_one_mark(self, small):
+        v = np.array([1, INV_VALUE, 2, 3, 4, 0])
+        assert list(correct_values(v, small)) == [1, 2, 3, 4]
+
+    def test_marks_at_edges(self, small):
+        v = np.array([INV_VALUE, 1, 2, 3, 4, INV_VALUE])
+        assert list(correct_values(v, small)) == [1, 2, 3, 4]
+
+    def test_exhausted(self, small):
+        v = np.array([INV_VALUE, INV_VALUE, INV_VALUE, 1, 2, 3])
+        with pytest.raises(SpareExhausted):
+            correct_values(v, small)
+
+    def test_shape_checked(self, small):
+        with pytest.raises(ValueError):
+            correct_values(np.zeros(5, dtype=np.int64), small)
+
+
+class TestGateLevelAgreesWithFunctional:
+    @pytest.mark.parametrize("network", ["ripple", "sklansky", "kogge-stone"])
+    def test_random_patterns(self, small, network):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            v = rng.integers(0, 8, small.n_pairs)
+            n_marks = rng.integers(0, small.n_spare_pairs + 1)
+            marks = rng.choice(small.n_pairs, n_marks, replace=False)
+            v[marks] = INV_VALUE
+            f = correct_values(v, small)
+            g = correct_values_gate_level(v, small, network=network)
+            assert np.array_equal(f, g)
+
+    def test_paper_scale(self):
+        cfg = MarkAndSpareConfig()
+        rng = np.random.default_rng(4)
+        v = rng.integers(0, 8, cfg.n_pairs)
+        marks = rng.choice(cfg.n_pairs, 6, replace=False)
+        v[marks] = INV_VALUE
+        assert np.array_equal(
+            correct_values(v, cfg), correct_values_gate_level(v, cfg)
+        )
+
+    def test_gate_level_exhaustion(self, small):
+        v = np.full(small.n_pairs, INV_VALUE)
+        with pytest.raises(SpareExhausted):
+            correct_values_gate_level(v, small)
+
+
+class TestMarkAndSpareBlock:
+    def test_layout_skips_marked(self, small):
+        blk = MarkAndSpareBlock(small)
+        blk.mark(1)
+        data = np.array([7, 6, 5, 4])
+        phys = blk.layout(data)
+        assert list(phys) == [7, INV_VALUE, 6, 5, 4, 0]
+
+    def test_layout_read_roundtrip(self):
+        cfg = MarkAndSpareConfig()
+        blk = MarkAndSpareBlock(cfg)
+        rng = np.random.default_rng(5)
+        for p in rng.choice(cfg.n_pairs, 6, replace=False):
+            blk.mark(int(p))
+        data = rng.integers(0, 8, cfg.n_data_pairs)
+        assert np.array_equal(blk.read(blk.layout(data)), data)
+
+    def test_mark_idempotent(self, small):
+        blk = MarkAndSpareBlock(small)
+        blk.mark(2)
+        blk.mark(2)
+        assert blk.n_marked == 1
+
+    def test_mark_budget(self, small):
+        blk = MarkAndSpareBlock(small)
+        blk.mark(0)
+        blk.mark(1)
+        assert not blk.can_mark()
+        with pytest.raises(SpareExhausted):
+            blk.mark(2)
+
+    def test_mark_out_of_range(self, small):
+        with pytest.raises(ValueError):
+            MarkAndSpareBlock(small).mark(6)
+
+    def test_layout_validates_values(self, small):
+        blk = MarkAndSpareBlock(small)
+        with pytest.raises(ValueError):
+            blk.layout(np.array([0, 1, 2, INV_VALUE]))
+        with pytest.raises(ValueError):
+            blk.layout(np.array([0, 1, 2]))

@@ -1,0 +1,92 @@
+"""Cross-validation: the analytic BLER model vs the functional device.
+
+The Figure-5 analysis predicts block error rates from the CER via a
+binomial tail; the functional stack (cells + codecs) measures them
+directly.  These tests close the loop at a scale where both are
+observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bler import block_error_rate
+from repro.cells.cell_array import CellArray
+from repro.coding.bch import BCH, BCHDecodeFailure
+from repro.coding.gray import bits_to_states, states_to_bits
+from repro.core.designs import four_level_naive
+from repro.montecarlo.analytic import analytic_state_cer, analytic_design_cer
+
+
+class TestBLERCrossValidation:
+    def test_measured_block_failures_match_binomial(self):
+        """Write 4LCn blocks (BCH-10, Gray), drift to 9 hours (design CER
+        ~3.2e-2 -> ~10 expected cell errors per 306-cell block), and
+        compare the measured uncorrectable fraction with the model."""
+        design = four_level_naive()
+        age = 2.0**15
+        n_blocks = 250
+        rng = np.random.default_rng(0)
+        code = BCH(10, 10, 512)
+
+        cells_per_block = 306
+        arr = CellArray(n_blocks * cells_per_block, design, rng=1)
+        payloads = []
+        for b in range(n_blocks):
+            bits = rng.integers(0, 2, 512).astype(np.uint8)
+            payloads.append(bits)
+            states = bits_to_states(code.encode(bits), 2)
+            idx = np.arange(b * cells_per_block, (b + 1) * cells_per_block)
+            arr.program(idx, states, 0.0)
+
+        failures = 0
+        cell_errors = 0
+        for b in range(n_blocks):
+            idx = np.arange(b * cells_per_block, (b + 1) * cells_per_block)
+            sensed = arr.sense(age, idx)
+            try:
+                out, n_corr = code.decode(states_to_bits(sensed, 2))
+                if not np.array_equal(out, payloads[b]):
+                    failures += 1
+                else:
+                    cell_errors += n_corr
+            except BCHDecodeFailure:
+                failures += 1
+
+        cer = analytic_design_cer(design, [age])[0]
+        predicted = float(block_error_rate(cer, cells_per_block, 10))
+        measured = failures / n_blocks
+        # Binomial sampling error at 250 blocks is ~ +/-0.06 around ~0.4.
+        assert measured == pytest.approx(predicted, abs=0.10)
+
+    def test_measured_cell_error_rate_matches_analytic(self):
+        """Per-cell error fraction on the same population matches the
+        analytic CER (sanity for the test above)."""
+        design = four_level_naive()
+        age = 2.0**15
+        n = 500_000
+        arr = CellArray(n, design, rng=2)
+        rng = np.random.default_rng(3)
+        states = rng.integers(0, 4, n)
+        arr.program(np.arange(n), states, 0.0)
+        measured = float(np.mean(arr.sense(age) != states))
+        predicted = analytic_design_cer(design, [age])[0]
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+    def test_state_level_error_composition(self):
+        """Errors decompose by state exactly as Figure 3 says: S3 >> S2,
+        S1/S4 negligible."""
+        design = four_level_naive()
+        age = 2.0**15
+        n = 400_000
+        arr = CellArray(n, design, rng=4)
+        states = np.tile(np.arange(4), n // 4)
+        arr.program(np.arange(n), states, 0.0)
+        sensed = arr.sense(age)
+        errs = [
+            float(np.mean(sensed[states == s] != s)) for s in range(4)
+        ]
+        s2_pred = analytic_state_cer(design.states[1], 4.5, [age])[0]
+        s3_pred = analytic_state_cer(design.states[2], 5.5, [age])[0]
+        assert errs[1] == pytest.approx(s2_pred, rel=0.15)
+        assert errs[2] == pytest.approx(s3_pred, rel=0.1)
+        assert errs[0] < 1e-4 and errs[3] == 0.0

@@ -1,0 +1,97 @@
+"""Gate-level prefix-OR networks and the MUX correction stage (Fig 13)."""
+
+import numpy as np
+import pytest
+
+from repro.wearout.netlist import (
+    NETWORK_BUILDERS,
+    kogge_stone_prefix_or,
+    mux_stage,
+    ripple_prefix_or,
+    sklansky_prefix_or,
+)
+
+
+def _reference_prefix_or(x):
+    return np.logical_or.accumulate(np.asarray(x, dtype=bool))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("builder", list(NETWORK_BUILDERS.values()))
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 33, 177])
+    def test_matches_reference(self, builder, n):
+        net = builder(n)
+        rng = np.random.default_rng(n)
+        for _ in range(5):
+            x = rng.random(n) < 0.2
+            assert np.array_equal(net.evaluate(x), _reference_prefix_or(x))
+
+    @pytest.mark.parametrize("builder", list(NETWORK_BUILDERS.values()))
+    def test_vectorized_rows(self, builder):
+        net = builder(12)
+        rng = np.random.default_rng(0)
+        x = rng.random((10, 12)) < 0.3
+        out = net.evaluate(x)
+        for row in range(10):
+            assert np.array_equal(out[row], _reference_prefix_or(x[row]))
+
+    def test_width_validated(self):
+        net = ripple_prefix_or(8)
+        with pytest.raises(ValueError):
+            net.evaluate(np.zeros(7, dtype=bool))
+
+
+class TestComplexity:
+    def test_ripple_depth_linear(self):
+        assert ripple_prefix_or(177).depth == 176
+
+    def test_sklansky_depth_log(self):
+        assert sklansky_prefix_or(177).depth == 8  # ceil(log2 177)
+        assert sklansky_prefix_or(16).depth == 4
+
+    def test_kogge_stone_depth_log(self):
+        assert kogge_stone_prefix_or(177).depth == 8
+
+    def test_gate_counts(self):
+        # ripple: n-1 gates; Kogge-Stone uses more gates than Sklansky.
+        assert ripple_prefix_or(64).gate_count == 63
+        assert (
+            kogge_stone_prefix_or(64).gate_count
+            > sklansky_prefix_or(64).gate_count
+        )
+
+    def test_figure13_speedup(self):
+        """The paper's point: O(n) -> O(log n) for the 177-pair chain."""
+        assert ripple_prefix_or(177).depth > 20 * sklansky_prefix_or(177).depth
+
+
+class TestMuxStage:
+    def test_squeezes_first_marked(self):
+        net = sklansky_prefix_or(5)
+        v = np.array([10, 20, 30, 40, 50])
+        f = np.array([False, True, False, False, False])
+        out_v, out_f = mux_stage(v, f, net)
+        assert list(out_v) == [10, 30, 40, 50, 0]
+        assert not out_f[:4].any()
+
+    def test_no_marks_identity(self):
+        net = ripple_prefix_or(4)
+        v = np.array([1, 2, 3, 4])
+        f = np.zeros(4, dtype=bool)
+        out_v, out_f = mux_stage(v, f, net)
+        assert np.array_equal(out_v, v)
+
+    def test_two_marks_needs_two_stages(self):
+        net = sklansky_prefix_or(6)
+        v = np.array([1, 9, 2, 9, 3, 4])
+        f = np.array([False, True, False, True, False, False])
+        v1, f1 = mux_stage(v, f, net)
+        v2, _ = mux_stage(v1, f1, net)
+        assert list(v2[:4]) == [1, 2, 3, 4]
+
+    def test_shape_mismatch(self):
+        net = ripple_prefix_or(4)
+        with pytest.raises(ValueError):
+            mux_stage(np.zeros(4), np.zeros(3, dtype=bool), net)
+        with pytest.raises(ValueError):
+            mux_stage(np.zeros(5), np.zeros(5, dtype=bool), net)

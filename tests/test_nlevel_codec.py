@@ -1,0 +1,155 @@
+"""Generalized n-level block codec (Section 8 combination)."""
+
+import numpy as np
+import pytest
+
+from repro.coding.blockcodec import ThreeOnTwoBlockCodec, UncorrectableBlock
+from repro.coding.nlevel_codec import NLevelBlockCodec, gray_sequence
+
+
+@pytest.fixture
+def bits():
+    return np.random.default_rng(0).integers(0, 2, 512).astype(np.uint8)
+
+
+class TestGraySequence:
+    @pytest.mark.parametrize("q", [3, 4, 5, 6, 7, 8])
+    def test_adjacent_differ_one_bit(self, q):
+        seq, _bits = gray_sequence(q)
+        for a, b in zip(seq[:-1], seq[1:]):
+            assert bin(int(a) ^ int(b)).count("1") == 1
+
+    def test_bit_width(self):
+        assert gray_sequence(3)[1] == 2
+        assert gray_sequence(5)[1] == 3
+        assert gray_sequence(8)[1] == 3
+
+    def test_codes_distinct(self):
+        for q in (3, 5, 6):
+            seq, _ = gray_sequence(q)
+            assert len(set(seq.tolist())) == q
+
+
+class TestMatchesThreeOnTwo:
+    def test_same_geometry(self):
+        gen = NLevelBlockCodec(3, 2)
+        ded = ThreeOnTwoBlockCodec()
+        assert gen.n_cells == ded.n_mlc_cells == 354
+        assert gen.n_slc_cells == ded.n_slc_cells == 10
+        assert gen.bits_per_cell == pytest.approx(ded.bits_per_cell)
+
+    def test_same_cells_and_check_bits(self, bits):
+        gen = NLevelBlockCodec(3, 2)
+        ded = ThreeOnTwoBlockCodec()
+        gs, gc = gen.encode(bits)
+        ds, dc = ded.encode(bits)
+        assert np.array_equal(gs, ds)
+        assert np.array_equal(gc, dc)
+
+    def test_cross_decode(self, bits):
+        """The dedicated decoder accepts the generic encoder's output."""
+        gen = NLevelBlockCodec(3, 2)
+        ded = ThreeOnTwoBlockCodec()
+        states, check = gen.encode(bits)
+        out = ded.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+
+
+class TestFiveLevel:
+    def test_roundtrip_clean(self, bits):
+        c = NLevelBlockCodec(5, 3)
+        states, check = c.encode(bits)
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 0
+
+    def test_density_beats_3lc(self):
+        c5 = NLevelBlockCodec(5, 3)
+        c3 = NLevelBlockCodec(3, 2)
+        assert c5.bits_per_cell > c3.bits_per_cell
+
+    def test_single_drift_error_corrected(self, bits):
+        c = NLevelBlockCodec(5, 3)
+        states, check = c.encode(bits)
+        i = int(np.nonzero(states < 4)[0][3])
+        states[i] += 1
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 1
+
+    def test_two_errors_uncorrectable(self, bits):
+        c = NLevelBlockCodec(5, 3)
+        states, check = c.encode(bits)
+        low = np.nonzero(states < 4)[0]
+        states[low[0]] += 1
+        states[low[1]] += 1
+        with pytest.raises(UncorrectableBlock):
+            c.decode(states, check)
+
+    def test_marked_groups_squeezed(self, bits):
+        c = NLevelBlockCodec(5, 3)
+        blk = c.new_block_state()
+        blk.mark(0)
+        blk.mark(50)
+        states, check = c.encode(bits, blk)
+        # marked groups are all-top
+        assert np.all(states[:3] == 4)
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.hec_pairs_dropped == 2
+
+    def test_inv_guard_band(self, bits):
+        """At q=5, n=3 the 6-bit message caps the leading digit at 2, so
+        every valid data group is at least TWO drift steps from INV —
+        the Section-6.2 hazard (valid -> INV via one drift error) cannot
+        occur at all, unlike in 3-ON-2 where BCH-1 must repair it."""
+        c = NLevelBlockCodec(5, 3)
+        states, _ = c.encode(bits)
+        groups = states.reshape(-1, 3)
+        assert np.all(groups[:, 0] <= 2)
+        # one drift step anywhere cannot produce [4, 4, 4]
+        for cell in range(3):
+            bumped = groups.copy()
+            bumped[:, cell] = np.minimum(bumped[:, cell] + 1, 4)
+            assert not np.any(np.all(bumped == 4, axis=1))
+
+
+class TestSixLevel:
+    def test_roundtrip_with_error_and_mark(self, bits):
+        c = NLevelBlockCodec(6, 5)
+        blk = c.new_block_state()
+        blk.mark(7)
+        states, check = c.encode(bits, blk)
+        i = int(np.nonzero(states < 5)[0][11])
+        states[i] += 1
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.tec_corrected == 1 and out.hec_pairs_dropped == 1
+
+    def test_density_ladder(self):
+        densities = [
+            NLevelBlockCodec(3, 2).bits_per_cell,
+            NLevelBlockCodec(5, 3).bits_per_cell,
+            NLevelBlockCodec(6, 5).bits_per_cell,
+        ]
+        assert densities == sorted(densities)
+
+
+class TestValidation:
+    def test_wrong_payload_size(self):
+        c = NLevelBlockCodec(5, 3)
+        with pytest.raises(ValueError):
+            c.encode(np.zeros(100, dtype=np.uint8))
+
+    def test_wrong_state_count(self, bits):
+        c = NLevelBlockCodec(5, 3)
+        states, check = c.encode(bits)
+        with pytest.raises(ValueError):
+            c.decode(states[:-1], check)
+
+    def test_state_out_of_range(self, bits):
+        c = NLevelBlockCodec(5, 3)
+        states, check = c.encode(bits)
+        states[0] = 5
+        with pytest.raises(ValueError):
+            c.decode(states, check)

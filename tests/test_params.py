@@ -1,0 +1,96 @@
+"""Table 1 parameters and the drift-tier map."""
+
+import numpy as np
+import pytest
+
+from repro.cells.params import (
+    GUARD_BAND_DELTA,
+    SIGMA_ALPHA_RATIO,
+    SIGMA_R,
+    TABLE1,
+    WRITE_TRUNCATION_SIGMA,
+    DriftParams,
+    StateParams,
+    alpha_params_for_level,
+    state_params_for_levels,
+)
+
+
+class TestTable1:
+    def test_four_states(self):
+        assert set(TABLE1) == {"S1", "S2", "S3", "S4"}
+
+    def test_nominal_levels(self):
+        assert [TABLE1[s].mu_lr for s in ("S1", "S2", "S3", "S4")] == [3, 4, 5, 6]
+
+    def test_sigma_r_is_one_sixth(self):
+        assert all(s.sigma_lr == pytest.approx(1 / 6) for s in TABLE1.values())
+
+    def test_mu_alpha_values(self):
+        expected = {"S1": 0.001, "S2": 0.02, "S3": 0.06, "S4": 0.1}
+        for name, mu in expected.items():
+            assert TABLE1[name].drift.mu_alpha == pytest.approx(mu)
+
+    def test_sigma_alpha_is_40_percent(self):
+        for s in TABLE1.values():
+            assert s.drift.sigma_alpha == pytest.approx(
+                SIGMA_ALPHA_RATIO * s.drift.mu_alpha
+            )
+
+    def test_drift_rate_monotone_in_resistance(self):
+        mus = [TABLE1[s].drift.mu_alpha for s in ("S1", "S2", "S3", "S4")]
+        assert mus == sorted(mus)
+
+
+class TestWriteWindow:
+    def test_window_half_width(self):
+        s = TABLE1["S2"]
+        lo, hi = s.write_window
+        assert hi - lo == pytest.approx(2 * WRITE_TRUNCATION_SIGMA * SIGMA_R)
+
+    def test_window_centered(self):
+        s = TABLE1["S3"]
+        lo, hi = s.write_window
+        assert (lo + hi) / 2 == pytest.approx(s.mu_lr)
+
+    def test_guard_band_is_small(self):
+        assert GUARD_BAND_DELTA == pytest.approx(0.05 * SIGMA_R)
+
+
+class TestTierMap:
+    def test_naive_levels_recover_table1(self):
+        for name, mu in (("S1", 3.0), ("S2", 4.0), ("S3", 5.0), ("S4", 6.0)):
+            assert alpha_params_for_level(mu).mu_alpha == pytest.approx(
+                TABLE1[name].drift.mu_alpha
+            )
+
+    def test_tier_boundaries(self):
+        assert alpha_params_for_level(3.49).mu_alpha == pytest.approx(0.001)
+        assert alpha_params_for_level(3.51).mu_alpha == pytest.approx(0.02)
+        assert alpha_params_for_level(4.51).mu_alpha == pytest.approx(0.06)
+        assert alpha_params_for_level(5.51).mu_alpha == pytest.approx(0.1)
+
+    def test_state_params_for_levels(self):
+        states = state_params_for_levels(["A", "B"], [3.2, 4.8])
+        assert states[0].drift.mu_alpha == pytest.approx(0.001)
+        assert states[1].drift.mu_alpha == pytest.approx(0.06)
+        assert states[0].name == "A"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            state_params_for_levels(["A"], [3.0, 4.0])
+
+
+class TestValidation:
+    def test_negative_mu_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            DriftParams(mu_alpha=-0.01, sigma_alpha=0.001)
+
+    def test_negative_sigma_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            DriftParams(mu_alpha=0.01, sigma_alpha=-0.001)
+
+    def test_state_params_frozen(self):
+        s = TABLE1["S1"]
+        with pytest.raises(Exception):
+            s.mu_lr = 5.0

@@ -1,0 +1,89 @@
+"""Permutation coding baseline: rank/unrank and drift resilience."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coding.permutation import (
+    PermutationCode,
+    permutation_group_error_rate,
+    rank_permutation,
+    unrank_permutation,
+)
+
+
+class TestRankUnrank:
+    def test_identity_rank_zero(self):
+        assert rank_permutation(np.arange(5)) == 0
+
+    def test_reverse_is_max(self):
+        assert rank_permutation(np.arange(4)[::-1]) == math.factorial(4) - 1
+
+    def test_roundtrip_all_4(self):
+        for r in range(24):
+            assert rank_permutation(unrank_permutation(r, 4)) == r
+
+    def test_roundtrip_sample_7(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            r = int(rng.integers(0, math.factorial(7)))
+            assert rank_permutation(unrank_permutation(r, 7)) == r
+
+    def test_not_a_permutation(self):
+        with pytest.raises(ValueError):
+            rank_permutation(np.array([0, 0, 1]))
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            unrank_permutation(math.factorial(4), 4)
+
+
+class TestPermutationCode:
+    def test_paper_geometry(self):
+        code = PermutationCode()
+        assert code.cells == 7 and code.bits == 11
+        assert code.bits_per_cell == pytest.approx(11 / 7)
+
+    def test_message_must_fit(self):
+        with pytest.raises(ValueError):
+            PermutationCode(cells=4, bits=5)  # 4! = 24 < 32
+
+    def test_roundtrip_all_messages_small(self):
+        code = PermutationCode(cells=4, bits=4)
+        for v in range(16):
+            assert code.decode(code.encode(v)) == v
+
+    def test_roundtrip_sample_paper_code(self):
+        code = PermutationCode()
+        rng = np.random.default_rng(1)
+        for v in rng.integers(0, 2048, 40):
+            assert code.decode(code.encode(int(v))) == int(v)
+
+    def test_decode_from_analog_levels(self):
+        """Decoding only uses relative order, so any monotone transform of
+        the written levels decodes identically."""
+        code = PermutationCode()
+        v = 1234
+        levels = code.encode(v).astype(float)
+        analog = 3.0 + 0.4 * levels + 0.01 * np.random.default_rng(2).random(7)
+        assert code.decode(analog) == v
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            PermutationCode().encode(4096)
+
+
+class TestDriftResilience:
+    def test_error_rate_monotone(self):
+        times = np.array([1e2, 1e5, 1e8])
+        err = permutation_group_error_rate(times, n_groups=20_000, seed=0)
+        assert np.all(np.diff(err) >= 0)
+
+    def test_resilient_at_short_times(self):
+        err = permutation_group_error_rate(np.array([32.0]), n_groups=50_000, seed=1)
+        assert err[0] < 0.01
+
+    def test_order_collapse_at_huge_times(self):
+        err = permutation_group_error_rate(np.array([1e12]), n_groups=10_000, seed=2)
+        assert err[0] > 0.05

@@ -1,0 +1,94 @@
+"""Iterative program-and-verify model."""
+
+import numpy as np
+import pytest
+
+from repro.cells.params import SIGMA_R, WRITE_TRUNCATION_SIGMA
+from repro.cells.program import IterativeWriteModel
+
+
+class TestAcceptance:
+    def test_all_within_window(self):
+        m = IterativeWriteModel()
+        out = m.program(4.0, n=50_000, rng=0)
+        assert np.all(np.abs(out.lr - 4.0) <= m.window_half_width + 1e-12)
+
+    def test_default_recovers_table1_window(self):
+        m = IterativeWriteModel()
+        assert m.window_half_width == pytest.approx(WRITE_TRUNCATION_SIGMA * SIGMA_R)
+
+    def test_accept_probability_wide_window(self):
+        # 2.75-sigma window: ~99.4% of single pulses land inside.
+        m = IterativeWriteModel()
+        assert m.accept_probability == pytest.approx(0.994, abs=0.001)
+        assert m.expected_pulses == pytest.approx(1.006, abs=0.001)
+
+    def test_mean_pulses_matches_geometric(self):
+        m = IterativeWriteModel(sigma_accept=SIGMA_R / 4)
+        out = m.program(4.0, n=50_000, rng=1)
+        assert out.mean_pulses == pytest.approx(m.expected_pulses, rel=0.05)
+
+    def test_achieved_distribution_is_truncated_gaussian(self):
+        m = IterativeWriteModel()
+        out = m.program(5.0, n=200_000, rng=2)
+        assert np.mean(out.lr) == pytest.approx(5.0, abs=2e-3)
+        # std of a ±2.75-sigma truncated normal is ~0.995 sigma
+        assert np.std(out.lr) == pytest.approx(0.995 * SIGMA_R, rel=0.02)
+
+
+class TestTightening:
+    def test_tighter_window_costs_pulses(self):
+        # Quartering the window drops the per-pulse accept probability to
+        # ~51%, nearly doubling the expected pulse count.
+        base = IterativeWriteModel()
+        tight = base.tightened(0.25)
+        assert tight.expected_pulses > 1.8 * base.expected_pulses
+        assert tight.accept_probability == pytest.approx(0.508, abs=0.01)
+
+    def test_tighter_window_narrows_distribution(self):
+        # Halving the window truncates the same pulse Gaussian at
+        # ±1.375 sigma, whose std is ~0.72 of the wide-window case (the
+        # narrowing is sub-linear — the price of the Section-8 lever).
+        base = IterativeWriteModel().program(4.0, n=50_000, rng=3)
+        tight = IterativeWriteModel().tightened(0.5).program(4.0, n=50_000, rng=3)
+        assert np.std(tight.lr) == pytest.approx(0.72 * np.std(base.lr), rel=0.05)
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            IterativeWriteModel().tightened(0.0)
+        with pytest.raises(ValueError):
+            IterativeWriteModel().tightened(1.5)
+
+
+class TestEdges:
+    def test_vector_targets(self):
+        m = IterativeWriteModel()
+        targets = np.array([3.0, 4.0, 6.0])
+        out = m.program(targets, rng=4)
+        assert out.lr.shape == (3,)
+        assert np.all(np.abs(out.lr - targets) <= m.window_half_width + 1e-12)
+
+    def test_n_with_vector_rejected(self):
+        with pytest.raises(ValueError):
+            IterativeWriteModel().program(np.array([3.0, 4.0]), n=5)
+
+    def test_max_pulses_cap_reports_failures(self):
+        # Impossibly tight window: everything fails and clips to the edge.
+        m = IterativeWriteModel(
+            sigma_accept=SIGMA_R / 1000, max_pulses=3
+        )
+        out = m.program(4.0, n=1000, rng=5)
+        assert out.failed.mean() > 0.9
+        assert np.all(out.pulses <= 3)
+
+    def test_latency_scales_with_pulses(self):
+        m = IterativeWriteModel(sigma_accept=SIGMA_R / 4)
+        out = m.program(4.0, n=10_000, rng=6)
+        lat = out.latency_ns(125.0)
+        assert np.all(lat == out.pulses * 125.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IterativeWriteModel(sigma_pulse=0.0)
+        with pytest.raises(ValueError):
+            IterativeWriteModel(max_pulses=0)

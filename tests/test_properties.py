@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.bler import binom_tail
+from repro.coding.bch import BCH
+from repro.coding.gray import binary_to_gray, bits_to_states, gray_to_binary, states_to_bits
+from repro.coding.permutation import rank_permutation, unrank_permutation
+from repro.core import three_on_two as t32
+from repro.core.three_on_two import INV_VALUE
+from repro.wearout.mark_and_spare import (
+    MarkAndSpareConfig,
+    SpareExhausted,
+    correct_values,
+    correct_values_gate_level,
+)
+from repro.wearout.netlist import NETWORK_BUILDERS
+
+
+# --------------------------------------------------------------------------
+# Gray code
+# --------------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**40))
+def test_gray_bijection(x):
+    assert gray_to_binary(binary_to_gray(x)) == x
+
+
+@given(st.integers(min_value=0, max_value=2**30 - 2))
+def test_gray_adjacency(x):
+    assert bin(binary_to_gray(x) ^ binary_to_gray(x + 1)).count("1") == 1
+
+
+@given(
+    arrays(np.int64, st.integers(1, 200), elements=st.integers(0, 3)),
+)
+def test_states_bits_roundtrip(states):
+    assert np.array_equal(bits_to_states(states_to_bits(states, 2), 2), states)
+
+
+# --------------------------------------------------------------------------
+# 3-ON-2
+# --------------------------------------------------------------------------
+@given(arrays(np.int64, st.integers(1, 100), elements=st.integers(0, 8)))
+def test_three_on_two_value_bijection(values):
+    assert np.array_equal(t32.decode_values(t32.encode_values(values)), values)
+
+
+@given(st.binary(min_size=1, max_size=80))
+def test_three_on_two_bits_roundtrip(raw):
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8))
+    states = t32.encode_bits(bits)
+    out, inv = t32.decode_bits(states, bits.size)
+    assert np.array_equal(out, bits)
+    assert not inv.any()
+
+
+@given(arrays(np.int64, st.integers(1, 120), elements=st.integers(0, 2)))
+def test_tec_view_roundtrip(states):
+    assert np.array_equal(
+        t32.tec_bits_to_states(t32.states_to_tec_bits(states)), states
+    )
+
+
+# --------------------------------------------------------------------------
+# BCH (small code so hypothesis runs fast)
+# --------------------------------------------------------------------------
+_BCH = BCH(6, 2, 30)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=arrays(np.uint8, 30, elements=st.integers(0, 1)),
+    errs=st.sets(st.integers(0, _BCH.n - 1), max_size=2),
+)
+def test_bch_corrects_any_pattern_up_to_t(data, errs):
+    cw = _BCH.encode(data)
+    rcv = cw.copy()
+    for p in errs:
+        rcv[p] ^= 1
+    out, n = _BCH.decode(rcv)
+    assert np.array_equal(out, data)
+    assert n == len(errs)
+
+
+# --------------------------------------------------------------------------
+# Permutation rank/unrank
+# --------------------------------------------------------------------------
+@given(st.permutations(list(range(6))))
+def test_rank_unrank_bijection(perm):
+    r = rank_permutation(np.asarray(perm))
+    assert list(unrank_permutation(r, 6)) == list(perm)
+
+
+@given(st.permutations(list(range(5))), st.permutations(list(range(5))))
+def test_rank_injective(a, b):
+    ra = rank_permutation(np.asarray(a))
+    rb = rank_permutation(np.asarray(b))
+    assert (ra == rb) == (list(a) == list(b))
+
+
+# --------------------------------------------------------------------------
+# Prefix-OR networks
+# --------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(sorted(NETWORK_BUILDERS)),
+    st.lists(st.booleans(), min_size=1, max_size=80),
+)
+def test_prefix_or_matches_cumulative(name, flags):
+    net = NETWORK_BUILDERS[name](len(flags))
+    x = np.asarray(flags, dtype=bool)
+    assert np.array_equal(net.evaluate(x), np.logical_or.accumulate(x))
+
+
+# --------------------------------------------------------------------------
+# Mark-and-spare: gate level == functional, for any mark pattern
+# --------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    values=arrays(np.int64, 10, elements=st.integers(0, 7)),
+    marks=st.sets(st.integers(0, 9), max_size=4),
+)
+def test_mark_and_spare_equivalence(values, marks):
+    cfg = MarkAndSpareConfig(n_data_pairs=7, n_spare_pairs=3)
+    v = values.copy()
+    for m in marks:
+        v[m] = INV_VALUE
+    try:
+        f = correct_values(v, cfg)
+    except SpareExhausted:
+        with pytest.raises(SpareExhausted):
+            correct_values_gate_level(v, cfg)
+        return
+    g = correct_values_gate_level(v, cfg)
+    assert np.array_equal(f, g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=arrays(np.int64, 12, elements=st.integers(0, 7)),
+    marks=st.sets(st.integers(0, 11), max_size=3),
+)
+def test_mark_and_spare_preserves_unmarked_order(values, marks):
+    cfg = MarkAndSpareConfig(n_data_pairs=9, n_spare_pairs=3)
+    v = values.copy()
+    for m in marks:
+        v[m] = INV_VALUE
+    out = correct_values(v, cfg)
+    survivors = [x for x in v if x != INV_VALUE][:9]
+    assert list(out) == survivors
+
+
+# --------------------------------------------------------------------------
+# Binomial tail
+# --------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 400),
+    t=st.integers(0, 20),
+    p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_binom_tail_in_unit_interval(n, t, p):
+    v = binom_tail(n, t, p)
+    assert 0.0 <= v <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 300),
+    t=st.integers(0, 10),
+    p=st.floats(min_value=1e-12, max_value=0.5),
+)
+def test_binom_tail_monotone_in_t(n, t, p):
+    assert binom_tail(n, t + 1, p) <= binom_tail(n, t, p) + 1e-15
+
+
+# --------------------------------------------------------------------------
+# Drift crossing times
+# --------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    lr0=st.floats(min_value=3.5, max_value=4.45),
+    alpha=st.floats(min_value=1e-4, max_value=0.2),
+)
+def test_critical_time_consistent_with_trajectory(lr0, alpha):
+    """At the critical log-time the single-phase trajectory hits tau."""
+    from repro.cells.drift import NO_ESCALATION
+    from repro.montecarlo.cer import critical_log_times
+
+    tau = 4.5
+    L = critical_log_times(
+        np.array([lr0]), np.array([alpha]), np.array([0.0]), alpha, tau,
+        NO_ESCALATION,
+    )[0]
+    assert lr0 + alpha * L == pytest.approx(tau, abs=1e-9)

@@ -1,0 +1,212 @@
+"""Property-based tests for the extended subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coding.enumerative import EnumerativeCode
+from repro.coding.smart import HelmetSmartCode, RotationSmartCode
+from repro.wearout.remap import RemapDirectory
+from repro.wearout.wear_leveling import StartGap
+
+
+# --------------------------------------------------------------------------
+# Enumerative coding
+# --------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    q=st.integers(3, 7),
+    n=st.integers(2, 6),
+    data=st.data(),
+)
+def test_enumerative_group_bijection(q, n, data):
+    code = EnumerativeCode(q, n)
+    v = data.draw(st.integers(0, (1 << code.capacity_bits) - 1))
+    assert code.decode_group(code.encode_group(v)) == v
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    q=st.integers(3, 6),
+    n=st.integers(2, 5),
+    bits=arrays(np.uint8, st.integers(1, 120), elements=st.integers(0, 1)),
+)
+def test_enumerative_block_roundtrip(q, n, bits):
+    code = EnumerativeCode(q, n)
+    levels = code.encode_bits(bits)
+    out, inv = code.decode_bits(levels, bits.size)
+    assert np.array_equal(out, bits)
+    assert not inv.any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=st.integers(2, 8), n=st.integers(1, 8))
+def test_enumerative_capacity_bounds(q, n):
+    try:
+        code = EnumerativeCode(q, n)
+    except ValueError:
+        return
+    assert 1 << code.capacity_bits <= code.n_states - 1
+    assert 1 << (code.capacity_bits + 1) > code.n_states - 1
+    assert code.bits_per_cell <= code.ideal_bits_per_cell
+
+
+# --------------------------------------------------------------------------
+# Smart encodings: always bijective, never increase the weighted cost
+# --------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.int64, st.integers(1, 120), elements=st.integers(0, 3)))
+def test_rotation_code_bijective(states):
+    code = RotationSmartCode(group_cells=8)
+    enc, tags = code.encode(states)
+    assert np.array_equal(code.decode(enc, tags), states)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.int64, st.integers(1, 120), elements=st.integers(0, 3)))
+def test_helmet_code_bijective(states):
+    code = HelmetSmartCode(group_cells=8)
+    enc, tags = code.encode(states)
+    assert np.array_equal(code.decode(enc, tags), states)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.int64, 32, elements=st.integers(0, 3)))
+def test_helmet_never_increases_weighted_cost(states):
+    code = HelmetSmartCode(group_cells=16)
+    enc, _ = code.encode(states)
+
+    def cost(s):
+        return float((s == 2).sum() + 0.1 * (s == 1).sum())
+
+    assert cost(enc) <= cost(states) + 1e-9
+
+
+# --------------------------------------------------------------------------
+# Start-Gap: translation is always a bijection avoiding the gap
+# --------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    moves=st.integers(0, 300),
+)
+def test_start_gap_bijection_invariant(n, moves):
+    sg = StartGap(n, gap_move_interval=1)
+    for _ in range(moves):
+        sg.on_write()
+    phys = [sg.translate(i) for i in range(n)]
+    assert len(set(phys)) == n
+    assert all(0 <= p <= n for p in phys)
+    assert sg.gap not in phys
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 20))
+def test_start_gap_full_cycle_returns_home(n):
+    """After n+1 gap moves x n rotations the mapping recurs."""
+    sg = StartGap(n, gap_move_interval=1)
+    initial = [sg.translate(i) for i in range(n)]
+    for _ in range(n * (n + 1)):
+        sg.on_write()
+    assert [sg.translate(i) for i in range(n)] == initial
+
+
+# --------------------------------------------------------------------------
+# Remap directory: translation stays within bounds, retire monotone
+# --------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 20),
+    spares=st.integers(0, 10),
+    ops=st.lists(st.integers(0, 19), max_size=15),
+)
+def test_remap_invariants(n, spares, ops):
+    d = RemapDirectory(n, spares)
+    retired = 0
+    for logical in ops:
+        if logical >= n:
+            continue
+        if d.spares_left == 0:
+            with pytest.raises(Exception):
+                d.retire(logical)
+            break
+        d.retire(logical)
+        retired += 1
+        assert d.translate(logical) >= n
+        assert d.translate(logical) < n + spares
+    assert d.remaps == retired
+    assert d.spares_left == spares - retired
+
+
+# --------------------------------------------------------------------------
+# Generalized n-level codec and frequency code
+# --------------------------------------------------------------------------
+from repro.coding.nlevel_codec import NLevelBlockCodec, gray_sequence
+from repro.coding.smart import FrequencySmartCode
+
+_NLC = NLevelBlockCodec(5, 3, data_bits=48, n_spare_groups=2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bits=arrays(np.uint8, 48, elements=st.integers(0, 1)),
+    marks=st.sets(st.integers(0, 9), max_size=2),
+)
+def test_nlevel_codec_roundtrip_any_marks(bits, marks):
+    blk = _NLC.new_block_state()
+    for m in marks:
+        blk.mark(m)
+    states, check = _NLC.encode(bits, blk)
+    out = _NLC.decode(states, check)
+    assert np.array_equal(out.data_bits, bits)
+    assert out.hec_pairs_dropped == len(marks)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bits=arrays(np.uint8, 48, elements=st.integers(0, 1)),
+    data=st.data(),
+)
+def test_nlevel_codec_single_drift_error_corrected(bits, data):
+    states, check = _NLC.encode(bits)
+    movable = np.nonzero(states < 4)[0]
+    if movable.size == 0:
+        return
+    idx = data.draw(st.sampled_from(movable.tolist()))
+    states = states.copy()
+    states[idx] += 1
+    out = _NLC.decode(states, check)
+    assert np.array_equal(out.data_bits, bits)
+    assert out.tec_corrected == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(q=st.integers(2, 16))
+def test_gray_sequence_property(q):
+    seq, bits = gray_sequence(q)
+    assert len(set(seq.tolist())) == q
+    assert int(seq.max()) < (1 << bits)
+    for a, b in zip(seq[:-1], seq[1:]):
+        assert bin(int(a) ^ int(b)).count("1") == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.int64, st.integers(1, 300), elements=st.integers(0, 3)))
+def test_frequency_code_bijective(states):
+    code = FrequencySmartCode()
+    enc, mapping = code.encode(states)
+    assert np.array_equal(code.decode(enc, mapping), states)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.int64, st.integers(4, 300), elements=st.integers(0, 3)))
+def test_frequency_code_never_hurts_weighted_occupancy(states):
+    """The two most frequent symbols always land in the immune states."""
+    code = FrequencySmartCode()
+    enc, _ = code.encode(states)
+    counts = np.bincount(states, minlength=4)
+    top_two = np.sort(counts)[::-1][:2].sum()
+    occ = np.bincount(enc, minlength=4)
+    assert occ[0] + occ[3] >= top_two

@@ -1,0 +1,90 @@
+"""Retention solver (Table 3's refresh-period column) and datapath timing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.retention import meets_nonvolatility, retention_time_s
+from repro.analysis.targets import SECONDS_PER_YEAR
+from repro.core.datapath import (
+    FOUR_LC_TIMING,
+    THREE_LC_TIMING,
+    mark_and_spare_fo4,
+)
+from repro.core.designs import (
+    four_level_naive,
+    four_level_optimal,
+    three_level_naive,
+    three_level_optimal,
+)
+
+
+class TestRetention:
+    def test_4lco_bch10_around_17_minutes(self):
+        r = retention_time_s(four_level_optimal(), 306, 10)
+        assert 5 * 60 < r.retention_s < 40 * 60
+
+    def test_4lcn_much_shorter(self):
+        naive = retention_time_s(four_level_naive(), 306, 10)
+        opt = retention_time_s(four_level_optimal(), 306, 10)
+        assert naive.retention_s < opt.retention_s / 10
+
+    def test_3lco_bch1_decades(self):
+        r = retention_time_s(three_level_optimal(), 354, 1)
+        assert r.retention_years > 68  # Table 3: "> 68 years"
+
+    def test_3lcn_days(self):
+        r = retention_time_s(three_level_naive(), 354, 1)
+        assert 0.2 < r.retention_s / 86400 < 400
+
+    def test_stronger_ecc_longer_retention(self):
+        weak = retention_time_s(four_level_optimal(), 306, 1)
+        strong = retention_time_s(four_level_optimal(), 306, 10)
+        assert strong.retention_s > weak.retention_s
+
+    def test_result_consistency(self):
+        r = retention_time_s(four_level_optimal(), 306, 10)
+        assert r.bler_at_retention <= r.target_bler
+        assert r.retention_minutes == pytest.approx(r.retention_s / 60)
+
+
+class TestNonvolatility:
+    def test_3lco_is_nonvolatile(self):
+        """The headline claim: 3LC + BCH-1 retains data ten years."""
+        assert meets_nonvolatility(three_level_optimal(), 354, 1)
+
+    def test_4lco_is_volatile(self):
+        assert not meets_nonvolatility(four_level_optimal(), 306, 10)
+
+    def test_4lcn_is_volatile(self):
+        assert not meets_nonvolatility(four_level_naive(), 306, 10)
+
+
+class TestDatapathTiming:
+    def test_4lc_adder_matches_table5(self):
+        """Table 5: +36.25 ns on top of the 200 ns read for BCH-10."""
+        assert FOUR_LC_TIMING.tec_decode_ns == pytest.approx(36.25, abs=0.01)
+        assert FOUR_LC_TIMING.adder_ns == pytest.approx(36.25, abs=0.5)
+
+    def test_3lc_adder_about_5ns(self):
+        """Table 5 charges +5 ns for the whole 3LC pipeline."""
+        assert THREE_LC_TIMING.adder_ns == pytest.approx(5.0, abs=1.0)
+
+    def test_total_read(self):
+        assert FOUR_LC_TIMING.total_read_ns == pytest.approx(
+            200 + FOUR_LC_TIMING.adder_ns
+        )
+
+    def test_3lc_much_faster_decode(self):
+        assert THREE_LC_TIMING.tec_decode_ns < FOUR_LC_TIMING.tec_decode_ns / 8
+
+    def test_mark_and_spare_fo4_network_choice(self):
+        assert mark_and_spare_fo4(network="ripple") > 10 * mark_and_spare_fo4(
+            network="sklansky"
+        )
+        assert mark_and_spare_fo4(network="kogge-stone") == mark_and_spare_fo4(
+            network="sklansky"
+        )
+
+    def test_unknown_network(self):
+        with pytest.raises(ValueError):
+            mark_and_spare_fo4(network="magic")

@@ -1,0 +1,77 @@
+"""Sampling helpers: truncated normals and drift-exponent draws."""
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.rng import alpha_samples, make_rng, spawn_rngs, truncated_normal
+
+
+class TestMakeRng:
+    def test_seed_reproducible(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_spawn_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        a1, _ = spawn_rngs(3, 2)
+        a2, _ = spawn_rngs(3, 2)
+        assert a1.random() == a2.random()
+
+
+class TestTruncatedNormal:
+    def test_bounds_respected(self):
+        rng = make_rng(0)
+        x = truncated_normal(rng, 4.0, 1 / 6, -2.75, 2.75, 100_000)
+        assert x.min() >= 4.0 - 2.75 / 6
+        assert x.max() <= 4.0 + 2.75 / 6
+
+    def test_mean_near_mu(self):
+        rng = make_rng(1)
+        x = truncated_normal(rng, 5.0, 0.2, -2.75, 2.75, 200_000)
+        assert np.mean(x) == pytest.approx(5.0, abs=2e-3)
+
+    def test_std_shrinks_under_truncation(self):
+        rng = make_rng(2)
+        x = truncated_normal(rng, 0.0, 1.0, -1.0, 1.0, 200_000)
+        assert np.std(x) < 1.0
+
+    def test_degenerate_sigma(self):
+        rng = make_rng(3)
+        x = truncated_normal(rng, 2.0, 0.0, -2.75, 2.75, 10)
+        assert np.all(x == 2.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            truncated_normal(make_rng(0), 0.0, 1.0, 1.0, -1.0, 10)
+
+    def test_one_sided_truncation(self):
+        rng = make_rng(4)
+        x = truncated_normal(rng, 0.0, 1.0, 0.0, 8.0, 100_000)
+        assert x.min() >= 0.0
+        # E[half-normal] = sqrt(2/pi)
+        assert np.mean(x) == pytest.approx(np.sqrt(2 / np.pi), abs=5e-3)
+
+
+class TestAlphaSamples:
+    def test_non_negative(self):
+        a, _ = alpha_samples(make_rng(0), 0.02, 0.008, 100_000)
+        assert a.min() >= 0.0
+
+    def test_mean(self):
+        a, _ = alpha_samples(make_rng(1), 0.06, 0.024, 200_000)
+        # truncation at 0 (2.5 sigma away) barely moves the mean
+        assert np.mean(a) == pytest.approx(0.06, abs=1e-3)
+
+    def test_z_consistency(self):
+        a, z = alpha_samples(make_rng(2), 0.02, 0.008, 1000)
+        assert np.allclose(a, 0.02 + 0.008 * z)
+
+    def test_degenerate(self):
+        a, z = alpha_samples(make_rng(3), 0.0, 0.0, 5)
+        assert np.all(a == 0.0) and np.all(z == 0.0)

@@ -1,0 +1,129 @@
+"""Runner details, sweep reproducibility, and assorted edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.sweep import fig8_design_sweep
+from repro.sim.config import MachineConfig, PAPER_VARIANTS
+from repro.sim.runner import run_fig16, run_variant
+
+
+class TestRunner:
+    def test_run_variant_fields(self):
+        res = run_variant("namd", PAPER_VARIANTS["4LC-REF"], n_accesses=3000)
+        assert res.workload == "namd" and res.variant == "4LC-REF"
+        assert res.core.exec_time_ns > 0
+        assert res.energy.total_nj > 0
+        assert res.power_w == res.energy.power_w(res.core.exec_time_ns)
+
+    def test_refresh_energy_present_only_with_refresh(self):
+        ref = run_variant("namd", PAPER_VARIANTS["4LC-REF"], n_accesses=3000)
+        noref = run_variant("namd", PAPER_VARIANTS["3LC"], n_accesses=3000)
+        assert ref.energy.refresh_nj > 0
+        assert noref.energy.refresh_nj == 0
+
+    def test_custom_machine_config(self):
+        tiny = MachineConfig(n_banks=2, max_outstanding_reads=2)
+        res = run_variant(
+            "libquantum", PAPER_VARIANTS["3LC"], machine=tiny, n_accesses=4000
+        )
+        big = run_variant(
+            "libquantum", PAPER_VARIANTS["3LC"], n_accesses=4000
+        )
+        # fewer banks and less MLP cannot be faster
+        assert res.core.exec_time_ns >= big.core.exec_time_ns
+
+    def test_run_fig16_subset_and_baseline(self):
+        rows = run_fig16(
+            workloads=["namd"], baseline="3LC", n_accesses=2000
+        )
+        assert rows[0].exec_time["3LC"] == 1.0
+
+    def test_deterministic(self):
+        a = run_variant("bzip2", PAPER_VARIANTS["4LC-REF"], n_accesses=3000, seed=5)
+        b = run_variant("bzip2", PAPER_VARIANTS["4LC-REF"], n_accesses=3000, seed=5)
+        assert a.core.exec_time_ns == b.core.exec_time_ns
+
+
+class TestSweepReproducibility:
+    def test_same_seed_same_curves(self):
+        a = fig8_design_sweep(n_samples=50_000, seed=3)
+        b = fig8_design_sweep(n_samples=50_000, seed=3)
+        for k in a.series:
+            assert np.array_equal(a.series[k], b.series[k])
+
+    def test_different_seed_differs_statistically(self):
+        a = fig8_design_sweep(n_samples=50_000, seed=3, analytic_floor=False)
+        b = fig8_design_sweep(n_samples=50_000, seed=4, analytic_floor=False)
+        assert any(
+            not np.array_equal(a.series[k], b.series[k]) for k in a.series
+        )
+
+
+class TestMachineConfig:
+    def test_n_blocks(self):
+        assert MachineConfig().n_blocks == 16 * 2**30 // 64
+
+    def test_refresh_rate(self):
+        m = MachineConfig()
+        rate = m.refresh_rate_per_s(1024.0)
+        assert rate == pytest.approx(m.n_blocks / 1024.0)
+
+    def test_table5_read_write_latency(self):
+        m = MachineConfig()
+        assert m.pcm_read_ns == 200.0
+        assert m.pcm_write_ns == 1000.0
+
+
+class TestGFEdgeCases:
+    def test_smallest_field(self):
+        from repro.coding.gf2m import GF2m
+
+        gf = GF2m(2)
+        assert gf.n == 3
+        for a in range(1, 4):
+            assert gf.mul(a, gf.inv(a)) == 1
+
+    def test_bch_minimum_message(self):
+        from repro.coding.bch import BCH
+
+        code = BCH(5, 1, 1)
+        cw = code.encode(np.array([1], dtype=np.uint8))
+        out, n = code.decode(cw)
+        assert out[0] == 1 and n == 0
+        bad = cw.copy()
+        bad[0] ^= 1
+        out, n = code.decode(bad)
+        assert out[0] == 1 and n == 1
+
+    def test_bch_all_ones_max_errors_in_data(self):
+        from repro.coding.bch import BCH
+
+        code = BCH(6, 3, 20)
+        data = np.ones(20, dtype=np.uint8)
+        cw = code.encode(data)
+        bad = cw.copy()
+        bad[:3] ^= 1
+        out, n = code.decode(bad)
+        assert np.array_equal(out, data) and n == 3
+
+
+class TestDeviceMisc:
+    def test_block_state_accessor(self):
+        from repro.core.device import PCMDevice
+
+        dev = PCMDevice(2, "3LC", seed=0)
+        st = dev.block_state(1)
+        assert st.config.n_spare_pairs == 6
+        with pytest.raises(IndexError):
+            dev.block_state(9)
+
+    def test_stats_refresh_does_not_count_as_write(self):
+        from repro.core.device import PCMDevice
+
+        dev = PCMDevice(1, "3LC", seed=1)
+        bits = np.zeros(512, dtype=np.uint8)
+        dev.write(0, bits, 0.0)
+        dev.refresh(0, 100.0)
+        assert dev.stats.writes == 1
+        assert dev.stats.refreshes == 1

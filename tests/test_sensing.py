@@ -1,0 +1,123 @@
+"""Time-aware and reference-cell sensing policies (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.cells.sensing import (
+    FixedSensing,
+    ReferenceCellSensing,
+    TimeAwareSensing,
+)
+from repro.core.designs import four_level_naive
+
+
+@pytest.fixture
+def lc4():
+    return four_level_naive()
+
+
+class TestFixedSensing:
+    def test_matches_design(self, lc4):
+        pol = FixedSensing()
+        assert np.allclose(pol.thresholds_at(lc4, 1e6), lc4.thresholds)
+
+    def test_sense_agrees_with_design(self, lc4):
+        pol = FixedSensing()
+        lr = np.array([3.2, 4.4, 5.6, 2.0])
+        assert np.array_equal(pol.sense(lc4, lr, 1e3), lc4.sense(lr))
+
+
+class TestTimeAwareSensing:
+    def test_no_shift_at_t0(self, lc4):
+        pol = TimeAwareSensing()
+        assert np.allclose(pol.thresholds_at(lc4, 1.0), lc4.thresholds)
+
+    def test_shift_grows_with_age(self, lc4):
+        pol = TimeAwareSensing()
+        t1 = pol.thresholds_at(lc4, 1e3)
+        t2 = pol.thresholds_at(lc4, 1e6)
+        assert np.all(t2 >= t1)
+        assert t2[2] > lc4.thresholds[2]  # S3's threshold moves most
+
+    def test_shift_tracks_state_drift_rate(self, lc4):
+        pol = TimeAwareSensing()
+        taus = pol.thresholds_at(lc4, 1e4)
+        shift = taus - np.asarray(lc4.thresholds)
+        # tau1 guards S1 (mu_alpha 0.001) << tau3 guards S3 (0.06); tau3's
+        # shift saturates at the headroom cap (only ~0.04 decades exist
+        # between tau3 and S4's write window — the core of the paper's
+        # "limited improvement" verdict on circuit-level mitigation).
+        assert shift[2] > 5 * shift[0]
+        assert shift[2] == pytest.approx(
+            0.9 * (lc4.states[3].write_window[0] - lc4.thresholds[2])
+        )
+
+    def test_never_crosses_upper_window(self, lc4):
+        pol = TimeAwareSensing()
+        taus = pol.thresholds_at(lc4, 1e30)  # absurd age
+        for i, tau in enumerate(taus):
+            assert tau < lc4.states[i + 1].write_window[0]
+
+    def test_reduces_errors_within_headroom(self, lc4):
+        """A cell just past the static threshold is recovered while the
+        shift still fits the headroom (young ages only — beyond ~4 s the
+        cap binds and time-aware sensing stops helping S3)."""
+        pol = TimeAwareSensing()
+        age = 3.0
+        lr = np.array([5.51])  # above static tau3 = 5.5
+        assert lc4.sense(lr)[0] == 3  # static sensing errs
+        assert pol.sense(lc4, lr, age)[0] == 2
+
+
+class TestReferenceCellSensing:
+    def test_thresholds_track_measured_drift(self, lc4):
+        pol = ReferenceCellSensing(n_ref_per_state=64, seed=1)
+        young = pol.thresholds_at(lc4, 1e1)
+        old = pol.thresholds_at(lc4, 1e7)
+        # tau1 has headroom to move; tau2/tau3 clamp at the corridor edge
+        # almost immediately (the same headroom limit as time-aware).
+        assert old[0] > young[0]
+        assert old[2] == pytest.approx(lc4.states[3].write_window[0])
+
+    def test_clamped_inside_corridor(self, lc4):
+        pol = ReferenceCellSensing(n_ref_per_state=4, seed=2)
+        taus = pol.thresholds_at(lc4, 1e20)
+        for i, tau in enumerate(taus):
+            assert lc4.states[i].mu_lr < tau <= lc4.states[i + 1].write_window[0]
+
+    def test_measured_means_drift_up(self, lc4):
+        pol = ReferenceCellSensing(n_ref_per_state=128, seed=3)
+        m_young = pol.measured_means(lc4, 1e1)
+        m_old = pol.measured_means(lc4, 1e8)
+        assert np.all(m_old >= m_young - 1e-9)
+        assert m_old[2] > m_young[2] + 0.1
+
+
+class TestImprovementIsLimited:
+    def test_paper_claim_limited_improvement(self, lc4):
+        """Section 3: these circuit techniques 'show limited improvement'.
+
+        Measure 4LCn S3 error rates under each policy: time-aware helps
+        by roughly an order of magnitude but nowhere near the 3LC's
+        many-orders reduction.
+        """
+        from repro.montecarlo.cer import sample_state_cells
+
+        rng = np.random.default_rng(0)
+        s3 = lc4.states[2]
+        lr0, alpha, _ = sample_state_cells(s3, 400_000, rng)
+        age = 2.0**15
+        lr = lr0 + alpha * np.log10(age)
+
+        errs = {}
+        for name, pol in (
+            ("fixed", FixedSensing()),
+            ("time-aware", TimeAwareSensing()),
+            ("reference", ReferenceCellSensing(n_ref_per_state=32, seed=4)),
+        ):
+            sensed = pol.sense(lc4, lr, age)
+            errs[name] = float(np.mean(sensed != 2))
+        assert errs["time-aware"] < errs["fixed"]
+        assert errs["reference"] < errs["fixed"]
+        # ...but the improvement is bounded (not the 3LC's 6+ orders).
+        assert errs["time-aware"] > errs["fixed"] / 100

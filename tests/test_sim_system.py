@@ -1,0 +1,157 @@
+"""System simulation: core model, energy accounting, Figure 16 runner."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import MachineConfig, PAPER_VARIANTS
+from repro.sim.core import run_trace
+from repro.sim.energy import EnergyBreakdown, account_energy
+from repro.sim.pcm_timing import OpCounts
+from repro.sim.runner import run_fig16, run_variant
+from repro.workloads.spec_like import PAPER_WORKLOADS, make_workload
+from repro.workloads.synthetic import (
+    pointer_chase_trace,
+    random_trace,
+    stream_trace,
+)
+
+MACHINE = MachineConfig()
+
+
+class TestEnergy:
+    def test_accounting(self):
+        counts = OpCounts(reads=10, writes=5, refreshes=2)
+        e = account_energy(counts, MACHINE)
+        assert e.read_nj == pytest.approx(10 * 2.2)
+        assert e.write_nj == pytest.approx(5 * 24.0)
+        assert e.refresh_nj == pytest.approx(2 * 26.2)
+        assert e.total_nj == pytest.approx(e.read_nj + e.write_nj + e.refresh_nj)
+
+    def test_power(self):
+        e = EnergyBreakdown(10.0, 10.0, 0.0)
+        assert e.power_w(20.0) == pytest.approx(1.0)  # 20 nJ / 20 ns = 1 W
+        with pytest.raises(ValueError):
+            e.power_w(0.0)
+
+
+class TestRunTrace:
+    def test_compute_bound_time_is_sum_of_gaps(self):
+        tr = random_trace(5000, 64, write_fraction=0.0, gap_ns=10.0, seed=0)
+        res = run_trace(tr, MACHINE, PAPER_VARIANTS["3LC"])
+        floor = 5000 * (10.0 + MACHINE.l1_hit_ns)
+        assert res.exec_time_ns == pytest.approx(floor, rel=0.1)
+        assert res.pcm_reads <= 64
+
+    def test_memory_bound_sees_pcm_latency(self):
+        tr = pointer_chase_trace(3000, 500_000, gap_ns=5.0, seed=1)
+        res = run_trace(tr, MACHINE, PAPER_VARIANTS["3LC"])
+        # nearly every access misses everything and serializes on PCM reads
+        assert res.exec_time_ns > 3000 * 150
+        assert res.l2_miss_rate > 0.9
+
+    def test_read_adder_visible_in_dependent_reads(self):
+        tr = pointer_chase_trace(3000, 500_000, gap_ns=5.0, seed=2)
+        t3 = run_trace(tr, MACHINE, PAPER_VARIANTS["3LC"]).exec_time_ns
+        t4 = run_trace(tr, MACHINE, PAPER_VARIANTS["4LC-NO-REF"]).exec_time_ns
+        per_access = (t4 - t3) / 3000
+        assert per_access == pytest.approx(36.25 - 5.0, rel=0.25)
+
+    def test_write_throughput_bounds_streams(self):
+        tr = stream_trace(20_000, 600_000, write_fraction=1.0, gap_ns=1.0, seed=3, n_arrays=1)
+        res = run_trace(tr, MACHINE, PAPER_VARIANTS["3LC"])
+        # ~20k writebacks at 40MB/s = 64B/1.6us each
+        assert res.exec_time_ns > res.pcm_writes * 1500
+        assert res.write_window_stall_ns > 0
+
+    def test_refresh_slows_write_streams(self):
+        tr = stream_trace(20_000, 600_000, write_fraction=1.0, gap_ns=1.0, seed=4, n_arrays=1)
+        t_ref = run_trace(tr, MACHINE, PAPER_VARIANTS["4LC-REF"]).exec_time_ns
+        t_no = run_trace(tr, MACHINE, PAPER_VARIANTS["4LC-NO-REF"]).exec_time_ns
+        assert t_ref > 1.3 * t_no
+
+    def test_refresh_count_scales_with_time(self):
+        tr = stream_trace(20_000, 600_000, write_fraction=1.0, gap_ns=1.0, seed=5, n_arrays=1)
+        res = run_trace(tr, MACHINE, PAPER_VARIANTS["4LC-REF"])
+        expect = res.exec_time_ns / (1024e9 / MACHINE.n_blocks)
+        assert res.pcm_refreshes == pytest.approx(expect, rel=0.05)
+
+
+class TestWorkloads:
+    def test_all_profiles_build(self):
+        for name in PAPER_WORKLOADS:
+            tr = make_workload(name, n_accesses=5000, seed=0)
+            assert len(tr) > 0
+            assert tr.name.lower().startswith(name.lower()[:3])
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            make_workload("gcc")
+
+    def test_stream_is_write_third(self):
+        tr = make_workload("STREAM", 9000)
+        assert tr.write_fraction == pytest.approx(1 / 3, abs=0.02)
+
+    def test_lbm_write_heavy(self):
+        tr = make_workload("lbm", 9000)
+        assert tr.write_fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_mcf_dependent(self):
+        tr = make_workload("mcf", 5000)
+        assert tr.dependent.mean() > 0.7
+
+    def test_namd_cache_resident(self):
+        tr = make_workload("namd", 5000)
+        assert int(tr.line_addr.max()) < 256  # fits in L1
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig16(
+            workloads=["STREAM", "namd", "mcf"], n_accesses=25_000, seed=0
+        )
+
+    def test_baseline_normalized_to_one(self, rows):
+        for r in rows:
+            assert r.exec_time["4LC-REF"] == 1.0
+            assert r.energy["4LC-REF"] == 1.0
+
+    def test_3lc_faster_on_memory_bound(self, rows):
+        stream = next(r for r in rows if r.workload == "STREAM")
+        assert stream.exec_time["3LC"] < 0.8
+
+    def test_namd_insensitive(self, rows):
+        namd = next(r for r in rows if r.workload == "namd")
+        assert namd.exec_time["3LC"] == pytest.approx(1.0, abs=0.02)
+
+    def test_no_ref_close_to_3lc(self, rows):
+        stream = next(r for r in rows if r.workload == "STREAM")
+        assert stream.exec_time["4LC-NO-REF"] == pytest.approx(
+            stream.exec_time["3LC"], abs=0.05
+        )
+
+    def test_3lc_beats_4lc_no_ref_on_mcf(self, rows):
+        """Read-latency-sensitive mcf sees the 36 ns vs 5 ns ECC adder."""
+        mcf = next(r for r in rows if r.workload == "mcf")
+        assert mcf.exec_time["3LC"] < mcf.exec_time["4LC-NO-REF"] - 0.02
+
+    def test_energy_breakdown_sums(self, rows):
+        for r in rows:
+            for v, (rd, wr, ref) in r.energy_breakdown.items():
+                assert rd + wr + ref == pytest.approx(r.energy[v], rel=1e-6)
+
+    def test_ref_has_refresh_energy(self, rows):
+        for r in rows:
+            assert r.energy_breakdown["4LC-REF"][2] > 0
+            assert r.energy_breakdown["3LC"][2] == 0
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            run_fig16(workloads=["namd"], baseline="5LC", n_accesses=100)
+
+
+class TestVariantRunner:
+    def test_run_variant_returns_power(self):
+        res = run_variant("namd", PAPER_VARIANTS["3LC"], n_accesses=2000)
+        assert res.power_w > 0
+        assert res.variant == "3LC"

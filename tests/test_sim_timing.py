@@ -1,0 +1,168 @@
+"""PCM timing model: banks, the four-write window, refresh policies."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import (
+    DesignVariant,
+    MachineConfig,
+    PAPER_VARIANTS,
+    RefreshMode,
+)
+from repro.sim.engine import CompletionTracker
+from repro.sim.pcm_timing import PCMTimingModel
+from repro.sim.refresh import RefreshStream
+
+
+def _variant(mode=RefreshMode.NONE, interval=None, adder=0.0):
+    return DesignVariant("test", mode, interval, adder)
+
+
+class TestCompletionTracker:
+    def test_capacity_stall(self):
+        t = CompletionTracker(2)
+        t.add(100.0)
+        t.add(200.0)
+        assert t.wait_for_slot(50.0) == 100.0
+        assert len(t) == 1
+
+    def test_no_stall_when_free(self):
+        t = CompletionTracker(2)
+        t.add(100.0)
+        assert t.wait_for_slot(50.0) == 50.0
+
+    def test_retire(self):
+        t = CompletionTracker(4)
+        for x in (10.0, 20.0, 30.0):
+            t.add(x)
+        assert t.retire_until(25.0) == 2
+        assert t.earliest() == 30.0
+
+    def test_empty_earliest_raises(self):
+        with pytest.raises(IndexError):
+            CompletionTracker(1).earliest()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CompletionTracker(0)
+
+
+class TestRefreshStream:
+    def test_gap_for_paper_device(self):
+        s = RefreshStream.for_device(MachineConfig().n_blocks, 1024.0)
+        assert s.gap_ns == pytest.approx(1024e9 / (16 * 2**30 // 64))
+        assert s.gap_ns == pytest.approx(3814.7, rel=0.01)  # ~3.8 us
+
+    def test_pop_sequence(self):
+        s = RefreshStream(gap_ns=10.0)
+        assert s.due(10.0) and not s.due(9.0)
+        assert s.pop() == 10.0
+        assert s.pop() == 20.0
+        assert s.issued == 2
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            RefreshStream(gap_ns=0.0)
+
+
+class TestBankTiming:
+    def test_read_latency(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(m, _variant(adder=36.25))
+        done = pcm.schedule_read(0, 1000.0)
+        assert done == pytest.approx(1000.0 + 200.0 + 36.25)
+
+    def test_bank_conflict_serializes(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(m, _variant())
+        d1 = pcm.schedule_read(0, 0.0)
+        d2 = pcm.schedule_read(m.n_banks, 0.0)  # same bank 0
+        assert d2 == pytest.approx(d1 + 200.0 - 0.0, abs=1e-6)
+
+    def test_different_banks_parallel(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(m, _variant())
+        d1 = pcm.schedule_read(0, 0.0)
+        d2 = pcm.schedule_read(1, 0.0)
+        assert d1 == d2
+
+    def test_write_occupies_bank(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(m, _variant())
+        _, done_w = pcm.schedule_write(0, 0.0)
+        assert done_w == pytest.approx(1000.0)
+        done_r = pcm.schedule_read(0, 10.0)
+        assert done_r == pytest.approx(1000.0 + 200.0)
+        assert pcm.counts.read_stall_ns > 0
+
+
+class TestWriteWindow:
+    def test_four_writes_free_then_stall(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(m, _variant())
+        starts = []
+        for b in range(6):  # different banks: only the window limits
+            s, _ = pcm.schedule_write(b, 0.0)
+            starts.append(s)
+        assert starts[:4] == [0.0] * 4
+        assert starts[4] == pytest.approx(6400.0)
+        assert starts[5] == pytest.approx(6400.0)
+
+    def test_window_rolls(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(m, _variant())
+        for b in range(4):
+            pcm.schedule_write(b, 0.0)
+        s, _ = pcm.schedule_write(5, 7000.0)  # past the window
+        assert s == pytest.approx(7000.0)
+
+    def test_sustained_throughput_is_40mbps(self):
+        """4 x 64B per 6.4 us == 40 MB/s (Table 5)."""
+        m = MachineConfig()
+        rate = m.writes_per_window * m.line_bytes / (m.write_window_ns * 1e-9)
+        assert rate == pytest.approx(40e6)
+
+
+class TestRefreshPolicies:
+    def test_blocking_consumes_bank_and_window(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(
+            m, _variant(RefreshMode.BLOCKING, 1024.0)
+        )
+        pcm.drain(1e9)  # 1 second
+        expect = 1e9 / pcm.refresh_stream.gap_ns
+        assert pcm.counts.refreshes == pytest.approx(expect, rel=0.01)
+        assert max(pcm.bank_free) > 0.0
+
+    def test_optimized_spares_banks(self):
+        m = MachineConfig()
+        pcm = PCMTimingModel(m, _variant(RefreshMode.OPTIMIZED, 1024.0))
+        pcm.drain(1e8)
+        assert pcm.counts.refreshes > 0
+        assert all(b == 0.0 for b in pcm.bank_free)
+
+    def test_none_mode_never_refreshes(self):
+        pcm = PCMTimingModel(MachineConfig(), _variant(RefreshMode.NONE, None))
+        pcm.drain(1e9)
+        assert pcm.counts.refreshes == 0
+
+    def test_refresh_steals_write_window(self):
+        """At a 17-min interval refresh consumes ~42% of write slots, so a
+        saturating demand-write stream completes ~1.7x slower."""
+        m = MachineConfig()
+        free = PCMTimingModel(m, _variant(RefreshMode.NONE, None))
+        busy = PCMTimingModel(m, _variant(RefreshMode.OPTIMIZED, 1024.0))
+        t_free = t_busy = 0.0
+        for i in range(2000):
+            bank = i % m.n_banks
+            _, t_free = free.schedule_write(bank, t_free)
+            _, t_busy = busy.schedule_write(bank, t_busy)
+        assert 1.4 < t_busy / t_free < 2.2
+
+    def test_paper_variants_wired(self):
+        assert PAPER_VARIANTS["4LC-REF"].refresh_mode is RefreshMode.BLOCKING
+        assert PAPER_VARIANTS["4LC-REF-OPT"].refresh_mode is RefreshMode.OPTIMIZED
+        assert not PAPER_VARIANTS["3LC"].refreshes
+        assert PAPER_VARIANTS["3LC"].read_adder_ns < PAPER_VARIANTS[
+            "4LC-NO-REF"
+        ].read_adder_ns

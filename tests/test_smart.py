@@ -1,0 +1,83 @@
+"""Smart encoding (4LCs): rotation scheme and occupancy measurement."""
+
+import numpy as np
+import pytest
+
+from repro.coding.smart import RotationSmartCode, measure_occupancy
+
+
+class TestRoundTrip:
+    def test_identity(self):
+        code = RotationSmartCode()
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 4, 256)
+        rotated, tags = code.encode(states)
+        assert np.array_equal(code.decode(rotated, tags), states)
+
+    def test_non_multiple_group_size(self):
+        code = RotationSmartCode(group_cells=16)
+        states = np.random.default_rng(1).integers(0, 4, 100)
+        rotated, tags = code.encode(states)
+        assert rotated.size == 100
+        assert np.array_equal(code.decode(rotated, tags), states)
+
+    def test_tag_count(self):
+        code = RotationSmartCode(group_cells=8)
+        _, tags = code.encode(np.zeros(64, dtype=np.int64))
+        assert tags.shape == (8,)
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            RotationSmartCode().encode(np.array([5]))
+
+    def test_wrong_tag_count_rejected(self):
+        code = RotationSmartCode(group_cells=8)
+        rotated, tags = code.encode(np.zeros(16, dtype=np.int64))
+        with pytest.raises(ValueError):
+            code.decode(rotated, tags[:1])
+
+
+class TestOccupancyReduction:
+    def test_vulnerable_count_never_increases(self):
+        code = RotationSmartCode()
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            states = rng.integers(0, 4, 256)
+            rotated, _ = code.encode(states)
+            before = np.isin(states, (1, 2)).sum()
+            after = np.isin(rotated, (1, 2)).sum()
+            assert after <= before
+
+    def test_skewed_data_drops_vulnerable_states(self):
+        """Value-local data (mostly zeros -> all-S2 groups under naive
+        mapping) rotates away from the vulnerable states entirely."""
+        code = RotationSmartCode()
+        states = np.full(256, 2)  # all S3
+        rotated, tags = code.encode(states)
+        assert not np.isin(rotated, (1, 2)).any()
+        assert np.array_equal(code.decode(rotated, tags), states)
+
+    def test_random_data_limited_gain(self):
+        """The paper's caveat: random data largely defeat smart encoding.
+
+        Per-group rotation still trims the vulnerable fraction from 50%
+        to ~36% — close to, but not beating, the optimistic 30%
+        (15% + 15%) the paper assumes for 4LCs.
+        """
+        code = RotationSmartCode()
+        rng = np.random.default_rng(3)
+        states = rng.integers(0, 4, 64_000)
+        rotated, _ = code.encode(states)
+        occ = measure_occupancy(rotated)
+        assert 0.30 < occ[1] + occ[2] < 0.45
+
+
+class TestMeasureOccupancy:
+    def test_sums_to_one(self):
+        occ = measure_occupancy(np.array([0, 1, 2, 3, 3]))
+        assert occ.sum() == pytest.approx(1.0)
+        assert occ[3] == pytest.approx(0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            measure_occupancy(np.array([], dtype=np.int64))

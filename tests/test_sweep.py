@@ -1,0 +1,89 @@
+"""Figure 3 / Figure 8 sweep drivers."""
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.sweep import (
+    PAPER_TIME_GRID_S,
+    PAPER_TIME_LABELS,
+    fig3_state_sweep,
+    fig8_design_sweep,
+)
+
+
+class TestTimeGrid:
+    def test_nine_points(self):
+        assert len(PAPER_TIME_GRID_S) == 9
+        assert len(PAPER_TIME_LABELS) == 9
+
+    def test_powers_of_two(self):
+        assert PAPER_TIME_GRID_S[0] == 2.0
+        assert PAPER_TIME_GRID_S[-1] == 2.0**40
+
+    def test_labels_align(self):
+        assert PAPER_TIME_LABELS[2] == "17min"
+        assert PAPER_TIME_GRID_S[2] == 1024.0
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return fig3_state_sweep(n_samples=500_000, seed=0)
+
+    def test_all_states_present(self, sweep):
+        assert set(sweep.series) == {"S1", "S2", "S3", "S4"}
+
+    def test_s4_immune(self, sweep):
+        assert np.all(sweep.series["S4"] == 0.0)
+
+    def test_s1_practically_zero(self, sweep):
+        assert np.all(sweep.series["S1"] < 1e-4)
+
+    def test_s3_dominates_s2(self, sweep):
+        s2, s3 = sweep.series["S2"], sweep.series["S3"]
+        mid = slice(1, 6)
+        assert np.all(s3[mid] > 3 * s2[mid])
+
+    def test_monotone(self, sweep):
+        for name in ("S2", "S3"):
+            assert np.all(np.diff(sweep.series[name]) >= 0)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return fig8_design_sweep(n_samples=300_000, seed=0)
+
+    def test_all_designs(self, sweep):
+        assert set(sweep.series) == {"4LCn", "4LCs", "4LCo", "3LCn", "3LCo"}
+
+    def test_ordering_at_17min(self, sweep):
+        i = list(sweep.times_s).index(1024.0)
+        s = sweep.series
+        assert s["4LCs"][i] < s["4LCn"][i]
+        assert s["4LCo"][i] < s["4LCs"][i]
+        assert s["3LCn"][i] < 1e-4
+        assert s["3LCo"][i] < 1e-8
+
+    def test_analytic_floor_fills_unresolved(self, sweep):
+        """3LCo at late times is below the MC floor; the analytic fill-in
+        must provide positive sub-floor values rather than zeros."""
+        curve = sweep.series["3LCo"]
+        late = curve[sweep.times_s >= 2.0**35]
+        assert np.all(late > 0)
+        assert np.all(late < 1e-4)
+
+    def test_no_floor_option_leaves_zeros(self):
+        s = fig8_design_sweep(
+            n_samples=100_000, seed=1, analytic_floor=False,
+            designs={"3LCo": __import__("repro").three_level_optimal()},
+        )
+        assert np.all(s.series["3LCo"][:4] == 0.0)
+
+    def test_custom_design_subset(self):
+        from repro.core.designs import four_level_naive
+
+        s = fig8_design_sweep(
+            n_samples=100_000, designs={"4LCn": four_level_naive()}
+        )
+        assert list(s.series) == ["4LCn"]

@@ -1,0 +1,102 @@
+"""Reliability targets (Section 4.2) and availability model (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.availability import PAPER_REFRESH_MODEL, RefreshModel
+from repro.analysis.targets import (
+    PAPER_TARGET,
+    SECONDS_PER_YEAR,
+    SEVENTEEN_MINUTES_S,
+    ReliabilityTarget,
+)
+
+
+class TestTargets:
+    def test_block_count(self):
+        assert PAPER_TARGET.n_blocks == 16 * 2**30 // 64
+
+    def test_cumulative_target_matches_paper(self):
+        """Section 4.2: 3.73e-9."""
+        assert PAPER_TARGET.cumulative_bler == pytest.approx(3.73e-9, rel=0.01)
+
+    def test_per_period_17min_matches_paper(self):
+        """Section 5.3: 1.20e-14 at a 17-minute refresh interval."""
+        assert PAPER_TARGET.per_period_bler(SEVENTEEN_MINUTES_S) == pytest.approx(
+            1.20e-14, rel=0.01
+        )
+
+    def test_per_period_one_year(self):
+        v = PAPER_TARGET.per_period_bler(SECONDS_PER_YEAR)
+        assert v == pytest.approx(PAPER_TARGET.cumulative_bler / 10, rel=0.01)
+
+    def test_beyond_horizon_single_period(self):
+        v = PAPER_TARGET.per_period_bler(20 * SECONDS_PER_YEAR)
+        assert v == PAPER_TARGET.cumulative_bler
+
+    def test_longer_interval_looser_target(self):
+        a = PAPER_TARGET.per_period_bler(60.0)
+        b = PAPER_TARGET.per_period_bler(3600.0)
+        assert b > a
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            PAPER_TARGET.per_period_bler(0.0)
+
+    def test_custom_geometry(self):
+        t = ReliabilityTarget(device_bytes=2**30, block_bytes=128)
+        assert t.n_blocks == 2**23
+
+
+class TestAvailability:
+    def test_device_pass_268s(self):
+        """Section 4.1: refreshing 16GB at 1us per 64B block takes ~268 s."""
+        assert PAPER_REFRESH_MODEL.device_refresh_pass_s == pytest.approx(268.4, abs=0.5)
+
+    def test_availability_74_percent_at_17min(self):
+        a = PAPER_REFRESH_MODEL.device_availability(SEVENTEEN_MINUTES_S)
+        assert a == pytest.approx(0.74, abs=0.01)
+
+    def test_bank_availability_97_percent(self):
+        a = PAPER_REFRESH_MODEL.bank_availability(SEVENTEEN_MINUTES_S)
+        assert a == pytest.approx(0.97, abs=0.005)
+
+    def test_throughput_limited_pass_410s(self):
+        """Section 4.1: 16GB at 40MB/s takes ~410 s."""
+        assert PAPER_REFRESH_MODEL.throughput_limited_pass_s == pytest.approx(
+            410, rel=0.1
+        )
+
+    def test_min_practical_interval(self):
+        m = PAPER_REFRESH_MODEL
+        assert m.min_practical_interval_s() == pytest.approx(
+            2 * m.throughput_limited_pass_s
+        )
+        # the paper rounds up to 2**10 s
+        assert m.min_practical_interval_s() < 2**10 * 1.2
+
+    def test_availability_clipped_to_zero(self):
+        assert PAPER_REFRESH_MODEL.device_availability(10.0) == 0.0
+
+    def test_availability_monotone(self):
+        ivals = np.array([300.0, 600.0, 1020.0, 4080.0, 8160.0])
+        av = PAPER_REFRESH_MODEL.device_availability(ivals)
+        assert np.all(np.diff(av) > 0)
+
+    def test_bank_beats_device(self):
+        ivals = np.array([300.0, 1020.0])
+        assert np.all(
+            PAPER_REFRESH_MODEL.bank_availability(ivals)
+            > PAPER_REFRESH_MODEL.device_availability(ivals)
+        )
+
+    def test_refresh_write_fraction(self):
+        f = PAPER_REFRESH_MODEL.refresh_write_fraction(SEVENTEEN_MINUTES_S)
+        assert f == pytest.approx(0.42, abs=0.02)
+
+    def test_refresh_write_fraction_saturates(self):
+        assert PAPER_REFRESH_MODEL.refresh_write_fraction(10.0) == 1.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            PAPER_REFRESH_MODEL.refresh_write_fraction(-1.0)

@@ -1,0 +1,105 @@
+"""The 3-ON-2 symbol codec (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import three_on_two as t32
+
+
+class TestTable2:
+    def test_all_eight_data_values(self):
+        """The exact encoding of Table 2: value = 3*first + second."""
+        expected = {
+            0b000: (0, 0),  # S1 S1
+            0b001: (0, 1),  # S1 S2
+            0b010: (0, 2),  # S1 S4
+            0b011: (1, 0),  # S2 S1
+            0b100: (1, 1),  # S2 S2
+            0b101: (1, 2),  # S2 S4
+            0b110: (2, 0),  # S4 S1
+            0b111: (2, 1),  # S4 S2
+        }
+        for value, pair in expected.items():
+            states = t32.encode_values(np.array([value]))
+            assert tuple(states) == pair, value
+
+    def test_inv_is_s4_s4(self):
+        assert tuple(t32.encode_values(np.array([t32.INV_VALUE]))) == (2, 2)
+
+    def test_nine_states_bijective(self):
+        values = np.arange(9)
+        states = t32.encode_values(values)
+        assert np.array_equal(t32.decode_values(states), values)
+
+
+class TestBitsConversions:
+    def test_bits_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 513)
+        vals = t32.bits_to_values(bits)
+        assert np.array_equal(t32.values_to_bits(vals), bits)
+
+    def test_inv_not_a_data_value(self):
+        with pytest.raises(ValueError):
+            t32.values_to_bits(np.array([8]))
+
+    def test_pairs_needed(self):
+        assert t32.pairs_needed(512) == 171
+        assert t32.pairs_needed(513) == 171
+        assert t32.pairs_needed(514) == 172
+
+    def test_block_roundtrip_with_padding(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 512).astype(np.uint8)
+        states = t32.encode_bits(bits)
+        assert states.size == 342
+        out, inv = t32.decode_bits(states, 512)
+        assert np.array_equal(out, bits)
+        assert not inv.any()
+
+    def test_decode_reports_inv_pairs(self):
+        states = t32.encode_bits(np.zeros(6, dtype=np.uint8))
+        states[0] = states[1] = 2  # mark first pair INV
+        out, inv = t32.decode_bits(states, 6)
+        assert inv[0] and not inv[1:].any()
+
+    def test_capacity_request(self):
+        states = t32.encode_bits(np.ones(3, dtype=np.uint8), n_pairs=5)
+        assert states.size == 10
+        with pytest.raises(ValueError):
+            t32.encode_bits(np.ones(30, dtype=np.uint8), n_pairs=2)
+
+
+class TestTECView:
+    def test_state_encoding(self):
+        """Section 6.3: S1=00, S2=01, S4=11."""
+        bits = t32.states_to_tec_bits(np.array([0, 1, 2]))
+        assert list(bits) == [0, 0, 0, 1, 1, 1]
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        states = rng.integers(0, 3, 400)
+        assert np.array_equal(
+            t32.tec_bits_to_states(t32.states_to_tec_bits(states)), states
+        )
+
+    def test_drift_is_single_bit(self):
+        """One drift step (S1->S2 or S2->S4) flips exactly one TEC bit."""
+        for s in (0, 1):
+            a = t32.states_to_tec_bits(np.array([s]))
+            b = t32.states_to_tec_bits(np.array([s + 1]))
+            assert int(np.sum(a != b)) == 1
+
+    def test_invalid_10_reads_as_s4(self):
+        assert t32.tec_bits_to_states(np.array([1, 0]))[0] == 2
+
+    def test_inv_state_representable(self):
+        """The TEC view can express INV ([S4,S4]) — the whole reason the
+        ECC is computed over cell bits rather than decoded data bits."""
+        inv_states = t32.encode_values(np.array([t32.INV_VALUE]))
+        bits = t32.states_to_tec_bits(inv_states)
+        assert list(bits) == [1, 1, 1, 1]
+
+    def test_bad_state_rejected(self):
+        with pytest.raises(ValueError):
+            t32.states_to_tec_bits(np.array([3]))
