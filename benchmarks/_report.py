@@ -8,6 +8,7 @@ refreshed from the artifacts.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Iterable, Sequence
 
@@ -43,6 +44,15 @@ def emit(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Print and persist one benchmark's machine-readable results."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
 
 
 def sci(x: float) -> str:

@@ -190,3 +190,7 @@ __all__ += ["NLevelBlockCodec", "gray_sequence"]
 from repro.coding.smart import FrequencySmartCode
 
 __all__ += ["FrequencySmartCode"]
+
+from repro.montecarlo.results_cache import ResultsCache
+
+__all__ += ["ResultsCache"]

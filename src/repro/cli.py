@@ -4,10 +4,18 @@ Examples::
 
     python -m repro designs
     python -m repro cer --design 3LCo --years 1 10 100
-    python -m repro retention --design 3LCo --ecc 1
+    python -m repro cer --design 3LCo --mc-samples 10000000 --jobs 0
+    python -m repro retention --design 3LCo --ecc 1 --mc-verify 1000000
+    python -m repro sweep --figure fig8 --samples 1000000 --jobs 0
+    python -m repro cache info
     python -m repro availability --interval-min 17
     python -m repro capacity
     python -m repro simulate --workload STREAM --accesses 30000
+
+The Monte Carlo commands (``cer --mc-samples``, ``retention
+--mc-verify``, ``sweep``) accept ``--jobs N`` (0 = all cores),
+``--cache-dir`` and ``--no-cache``; results are cached persistently by
+default, so repeating a sweep is free.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from repro.analysis.availability import RefreshModel
 from repro.analysis.capacity import TABLE3_CAPACITIES
 from repro.analysis.retention import retention_time_s
 from repro.analysis.targets import SECONDS_PER_YEAR
+from repro.cells.params import T0_SECONDS
 from repro.core.designs import all_designs, design_by_name
 from repro.montecarlo.analytic import analytic_design_cer
 
@@ -28,6 +37,28 @@ __all__ = ["main"]
 
 #: Cell counts of the full block designs, for the retention command.
 _BLOCK_CELLS = {"4LCn": 306, "4LCs": 306, "4LCo": 306, "3LCn": 354, "3LCo": 354}
+
+
+def _add_mc_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="Monte Carlo worker processes (0 = all cores)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="MC result cache directory (default: $REPRO_MC_CACHE_DIR or ~/.cache/repro-mc)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent MC result cache"
+    )
+
+
+def _cache_from_args(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    from repro.montecarlo.results_cache import ResultsCache
+
+    return ResultsCache(cache_dir=args.cache_dir)
 
 
 def _cmd_designs(_args: argparse.Namespace) -> int:
@@ -42,9 +73,21 @@ def _cmd_designs(_args: argparse.Namespace) -> int:
 def _cmd_cer(args: argparse.Namespace) -> int:
     design = design_by_name(args.design)
     times = [y * SECONDS_PER_YEAR for y in args.years]
-    cer = analytic_design_cer(design, times)
-    for y, c in zip(args.years, cer):
-        print(f"{args.design} CER after {y:g} years: {c:.3E}")
+    if args.mc_samples:
+        from repro.montecarlo.cer import design_cer
+
+        res = design_cer(
+            design, times, args.mc_samples, seed=args.seed,
+            jobs=args.jobs, cache=_cache_from_args(args),
+        )
+        order = np.argsort(times)
+        for y, c in zip(np.asarray(args.years)[order], res.cer):
+            print(f"{args.design} MC CER after {y:g} years: {c:.3E}")
+        print(f"(Monte Carlo, {res.n_samples:,} cells, floor {res.floor:.1E})")
+    else:
+        cer = analytic_design_cer(design, times)
+        for y, c in zip(args.years, cer):
+            print(f"{args.design} CER after {y:g} years: {c:.3E}")
     return 0
 
 
@@ -65,6 +108,61 @@ def _cmd_retention(args: argparse.Namespace) -> int:
     )
     nonvolatile = r.retention_years >= 10.0
     print("nonvolatile (>10 years):", "yes" if nonvolatile else "no")
+    if args.mc_verify:
+        if r.retention_s < T0_SECONDS:
+            print("MC verify skipped: retention below the drift reference time t0")
+        else:
+            from repro.montecarlo.cer import design_cer
+
+            mc = design_cer(
+                design, [r.retention_s], args.mc_verify, seed=args.seed,
+                jobs=args.jobs, cache=_cache_from_args(args),
+            )
+            print(
+                f"MC check at retention: CER {mc.cer[0]:.2E} "
+                f"({mc.n_samples:,} cells, floor {mc.floor:.1E}) "
+                f"vs analytic {r.cer_at_retention:.2E}"
+            )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.montecarlo.sweep import (
+        PAPER_TIME_LABELS,
+        fig3_state_sweep,
+        fig8_design_sweep,
+    )
+
+    cache = _cache_from_args(args)
+    if args.figure == "fig3":
+        sweep = fig3_state_sweep(
+            n_samples=args.samples, seed=args.seed, jobs=args.jobs, cache=cache
+        )
+    else:
+        sweep = fig8_design_sweep(
+            n_samples=args.samples, seed=args.seed, jobs=args.jobs, cache=cache
+        )
+    names = list(sweep.series)
+    print("  ".join(["time".rjust(9)] + [n.rjust(9) for n in names]))
+    for i, label in enumerate(PAPER_TIME_LABELS):
+        row = [f"{sweep.series[n][i]:.2E}".rjust(9) for n in names]
+        print("  ".join([label.rjust(9)] + row))
+    print(f"({sweep.n_samples:,} cells/curve, MC floor {sweep.floor:.1E})")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.montecarlo.results_cache import ResultsCache
+
+    cache = ResultsCache(cache_dir=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.cache_dir}")
+    else:
+        entries = cache.entries()
+        print(f"cache dir: {cache.cache_dir}")
+        print(f"entries:   {len(entries)}")
+        print(f"size:      {cache.nbytes():,} bytes")
     return 0
 
 
@@ -118,13 +216,37 @@ def build_parser() -> argparse.ArgumentParser:
     c = sub.add_parser("cer", help="drift cell error rate of a design")
     c.add_argument("--design", default="3LCo", choices=sorted(_BLOCK_CELLS))
     c.add_argument("--years", type=float, nargs="+", default=[1.0, 10.0])
+    c.add_argument(
+        "--mc-samples", type=int, default=0,
+        help="use the Monte Carlo engine with this many cells (0 = analytic)",
+    )
+    c.add_argument("--seed", type=int, default=0, help="MC seed")
+    _add_mc_flags(c)
     c.set_defaults(func=_cmd_cer)
 
     r = sub.add_parser("retention", help="refresh period meeting the target")
     r.add_argument("--design", default="3LCo", choices=sorted(_BLOCK_CELLS))
     r.add_argument("--ecc", type=int, default=1, help="BCH correction strength t")
     r.add_argument("--cells", type=int, default=None, help="block size in cells")
+    r.add_argument(
+        "--mc-verify", type=int, default=0,
+        help="cross-check the retention-point CER with this many MC cells",
+    )
+    r.add_argument("--seed", type=int, default=0, help="MC seed")
+    _add_mc_flags(r)
     r.set_defaults(func=_cmd_retention)
+
+    w = sub.add_parser("sweep", help="Monte Carlo time sweeps (Figures 3 and 8)")
+    w.add_argument("--figure", default="fig8", choices=["fig3", "fig8"])
+    w.add_argument("--samples", type=int, default=1_000_000, help="MC cells per curve")
+    w.add_argument("--seed", type=int, default=0, help="MC seed")
+    _add_mc_flags(w)
+    w.set_defaults(func=_cmd_sweep)
+
+    k = sub.add_parser("cache", help="inspect or clear the MC result cache")
+    k.add_argument("action", choices=["info", "clear"])
+    k.add_argument("--cache-dir", default=None, help="cache directory to operate on")
+    k.set_defaults(func=_cmd_cache)
 
     a = sub.add_parser("availability", help="refresh availability model")
     a.add_argument("--device-gb", type=int, default=16)

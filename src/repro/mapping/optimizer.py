@@ -79,13 +79,19 @@ def design_from_interior_mus(
 
 @dataclasses.dataclass(frozen=True)
 class MappingResult:
-    """Outcome of a mapping optimization."""
+    """Outcome of a mapping optimization.
+
+    ``mc_cer_at_eval`` is the Monte Carlo confirmation of the analytic
+    objective at the winning design (``None`` unless requested via
+    ``mc_confirm_samples``).
+    """
 
     design: LevelDesign
     cer_at_eval: float
     eval_times_s: tuple[float, ...]
     start_cer: float
     n_evaluations: int
+    mc_cer_at_eval: float | None = None
 
     @property
     def improvement(self) -> float:
@@ -122,12 +128,22 @@ def optimize_mapping(
     coarse_z_points: int = 301,
     polish_z_points: int = 801,
     name: str | None = None,
+    mc_confirm_samples: int = 0,
+    mc_seed: int = 0,
+    mc_jobs: int | None = 1,
+    mc_cache=None,
 ) -> MappingResult:
     """Find the CER-minimizing state mapping for an ``n_levels`` cell.
 
     Deterministic: coarse feasible-grid scan of the interior nominal
     levels (thresholds pinned at ``mu_next - margin``), then a Nelder-Mead
     polish at higher quadrature resolution.
+
+    ``mc_confirm_samples > 0`` additionally runs the winning design
+    through the (parallel, cached) Monte Carlo engine at the evaluation
+    times — the paper's own 1e6-cell methodology — and reports the result
+    as ``mc_cer_at_eval``; ``mc_jobs``/``mc_cache`` are forwarded to
+    :func:`repro.montecarlo.cer.design_cer`.
     """
     space = space or DesignSpace(n_levels=n_levels)
     times = np.atleast_1d(np.asarray(eval_time_s, dtype=float))
@@ -185,10 +201,27 @@ def optimize_mapping(
     start_cer = float(
         np.sum(analytic_design_cer(naive, times, schedule=schedule, z_points=polish_z_points))
     )
+
+    mc_cer = None
+    if mc_confirm_samples:
+        from repro.montecarlo.cer import design_cer
+
+        mc = design_cer(
+            design,
+            times,
+            mc_confirm_samples,
+            seed=mc_seed,
+            schedule=schedule,
+            jobs=mc_jobs,
+            cache=mc_cache,
+        )
+        mc_cer = float(np.sum(mc.cer))
+
     return MappingResult(
         design=design,
         cer_at_eval=cer,
         eval_times_s=tuple(float(t) for t in times),
         start_cer=start_cer,
         n_evaluations=counter[0],
+        mc_cer_at_eval=mc_cer,
     )

@@ -1,1 +1,3 @@
-"""Drift cell-error-rate engines: chunked Monte Carlo and semi-analytic deep-tail evaluation."""
+"""Drift cell-error-rate engines: chunked Monte Carlo (with a parallel
+block executor and a persistent result cache) and semi-analytic deep-tail
+evaluation."""

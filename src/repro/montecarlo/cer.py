@@ -3,7 +3,9 @@
 The drift law is linear in ``L = log10(t / t0)``, so every sampled cell has
 a *critical log-time* ``L*`` at which its resistance first crosses the
 error threshold.  A whole time sweep then reduces to one sort of ``L*`` and
-a ``searchsorted`` per chunk — this is what lets the engine reach the
+a ``searchsorted`` per RNG block — this, plus the parallel block fan-out in
+``repro.montecarlo.executor`` and the persistent result cache in
+``repro.montecarlo.results_cache``, is what lets the engine reach the
 paper's 1e9-sample scale on a laptop.
 
 Tier escalation (Section 5.3's conservative two-phase drift) is folded into
@@ -27,7 +29,14 @@ import numpy as np
 from repro.cells.drift import PAPER_ESCALATION, TieredDrift
 from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA, StateParams
 from repro.core.levels import LevelDesign
-from repro.montecarlo.rng import alpha_samples, make_rng, truncated_normal
+from repro.montecarlo.executor import (
+    DEFAULT_CHUNK,
+    StateRun,
+    apportion_samples,
+    run_counts,
+)
+from repro.montecarlo.results_cache import ResultsCache, state_counts_key
+from repro.montecarlo.rng import alpha_samples, seed_entropy, truncated_normal
 
 __all__ = [
     "critical_log_times",
@@ -37,9 +46,6 @@ __all__ = [
     "CERResult",
     "DEFAULT_CHUNK",
 ]
-
-#: Default chunk size: bounds peak memory to ~a few hundred MB.
-DEFAULT_CHUNK = 4_000_000
 
 
 def sample_state_cells(
@@ -135,6 +141,51 @@ class CERResult:
         return 1.0 / self.n_samples
 
 
+def _prepare_grid(times_s: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted time grid and its log-time image, validated once.
+
+    ``design_cer`` evaluates many states against the same grid; hoisting
+    the sort/validation/log here keeps the per-state path free of
+    redundant work.
+    """
+    times = np.sort(np.asarray(times_s, dtype=float))
+    if np.any(times < T0_SECONDS):
+        raise ValueError("all times must be >= t0")
+    return times, np.log10(times / T0_SECONDS)
+
+
+def _counts_for_runs(
+    runs: Sequence[StateRun],
+    times: np.ndarray,
+    L_grid: np.ndarray,
+    schedule: TieredDrift,
+    chunk: int,
+    jobs: int | None,
+    cache: ResultsCache | None,
+) -> list[np.ndarray]:
+    """Per-run error counts, served from the cache where possible."""
+    out: list[np.ndarray | None] = [None] * len(runs)
+    keys: list[str | None] = [None] * len(runs)
+    pending: list[int] = []
+    for i, run in enumerate(runs):
+        if cache is not None:
+            keys[i] = state_counts_key(run, times, schedule)
+            hit = cache.get_counts(keys[i], expected_len=len(times))
+            if hit is not None:
+                out[i] = hit
+                continue
+        pending.append(i)
+    if pending:
+        fresh = run_counts(
+            [runs[i] for i in pending], L_grid, schedule=schedule, chunk=chunk, jobs=jobs
+        )
+        for i, counts in zip(pending, fresh):
+            out[i] = counts
+            if cache is not None:
+                cache.put_counts(keys[i], counts)
+    return out  # type: ignore[return-value]
+
+
 def state_cer(
     state: StateParams,
     tau_up: float,
@@ -143,35 +194,26 @@ def state_cer(
     seed: int | np.random.Generator = 0,
     schedule: TieredDrift = PAPER_ESCALATION,
     chunk: int = DEFAULT_CHUNK,
+    jobs: int | None = 1,
+    cache: ResultsCache | None = None,
 ) -> CERResult:
     """Monte Carlo CER of one state against its upper threshold.
 
-    Chunked so arbitrarily large ``n_samples`` fit in memory; all time
-    points are evaluated from a single sorted pass per chunk.
+    Sampling is organized in fixed-size RNG blocks (see
+    ``repro.montecarlo.executor``), so arbitrarily large ``n_samples`` fit
+    in memory and the result is bit-identical for any ``chunk``/``jobs``
+    combination.  ``jobs > 1`` fans blocks over a process pool; ``cache``
+    (a :class:`~repro.montecarlo.results_cache.ResultsCache`) serves
+    previously computed count vectors without re-sampling.
     """
-    times = np.asarray(sorted(times_s), dtype=float)
-    if np.any(times < T0_SECONDS):
-        raise ValueError("all times must be >= t0")
-    rng = make_rng(seed)
-    L_grid = np.log10(times / T0_SECONDS)
-    n_tiers = len(schedule.tiers_between(-np.inf, tau_up)) if np.isfinite(tau_up) else 0
-
-    counts = np.zeros(len(times), dtype=np.int64)
-    remaining = int(n_samples)
-    while remaining > 0:
-        m = min(remaining, chunk)
-        lr0, alpha, z = sample_state_cells(state, m, rng)
-        tier_z = None
-        if schedule.mode == "independent" and n_tiers:
-            tier_z = [rng.standard_normal(m) for _ in range(n_tiers)]
-        L_star = critical_log_times(
-            lr0, alpha, z, state.drift.mu_alpha, tau_up, schedule, tier_z
-        )
-        L_star = np.sort(L_star)
-        # errors by time t  <=>  L* <= L(t)
-        counts += np.searchsorted(L_star, L_grid, side="right")
-        remaining -= m
-
+    times, L_grid = _prepare_grid(times_s)
+    run = StateRun(
+        state=state,
+        tau=float(tau_up),
+        n_samples=int(n_samples),
+        entropy=seed_entropy(seed),
+    )
+    counts = _counts_for_runs([run], times, L_grid, schedule, chunk, jobs, cache)[0]
     return CERResult(
         times_s=times, cer=counts / float(n_samples), n_samples=int(n_samples)
     )
@@ -181,26 +223,42 @@ def design_cer(
     design: LevelDesign,
     times_s: Sequence[float],
     n_samples: int,
-    seed: int | None = 0,
+    seed: int | np.random.Generator | None = 0,
     schedule: TieredDrift = PAPER_ESCALATION,
     chunk: int = DEFAULT_CHUNK,
+    jobs: int | None = 1,
+    cache: ResultsCache | None = None,
 ) -> CERResult:
     """Occupancy-weighted CER of a whole level design over a time grid.
 
-    ``n_samples`` counts total written cells; each state receives its
-    occupancy share (matching the paper's methodology of sampling from the
-    written-cell population).
+    ``n_samples`` counts total written cells; states receive exact
+    largest-remainder occupancy shares (summing to ``n_samples``, so the
+    reported MC resolution ``floor`` is honest), and the design CER is the
+    pooled error count over the whole written population.  All states'
+    blocks share one process pool when ``jobs > 1``, and each state's
+    count vector is cached independently so physically identical states
+    are reused across designs.
     """
-    times = np.asarray(sorted(times_s), dtype=float)
-    total = np.zeros(len(times))
-    rng = make_rng(seed)
-    for i, (state, p_occ) in enumerate(zip(design.states, design.occupancy)):
+    times, L_grid = _prepare_grid(times_s)
+    entropy = seed_entropy(seed)
+    shares = apportion_samples(int(n_samples), design.occupancy)
+    runs: list[StateRun] = []
+    for i, (state, n_state) in enumerate(zip(design.states, shares)):
         tau = design.upper_threshold(i)
-        if not np.isfinite(tau) or p_occ == 0.0:
+        if not np.isfinite(tau) or n_state == 0:
             continue  # top state never drift-errs
-        n_state = max(int(round(n_samples * p_occ)), 1)
-        res = state_cer(
-            state, tau, times, n_state, seed=rng, schedule=schedule, chunk=chunk
+        runs.append(
+            StateRun(
+                state=state,
+                tau=float(tau),
+                n_samples=n_state,
+                entropy=entropy,
+                prefix=(i,),
+            )
         )
-        total += p_occ * res.cer
-    return CERResult(times_s=times, cer=total, n_samples=int(n_samples))
+    total = np.zeros(len(times), dtype=np.int64)
+    for counts in _counts_for_runs(runs, times, L_grid, schedule, chunk, jobs, cache):
+        total += counts
+    return CERResult(
+        times_s=times, cer=total / float(n_samples), n_samples=int(n_samples)
+    )

@@ -1,0 +1,172 @@
+"""Persistent content-addressed cache of Monte Carlo CER results.
+
+Entries are per-state *error count* vectors (integers, not rates): counts
+aggregate exactly across states, so one cached state run serves every
+design, sweep, optimizer confirmation, or benchmark that evaluates the
+same ``(state params, threshold, schedule, time grid, n_samples, seed)``.
+
+Keys are SHA-256 hashes of a canonical JSON payload salted with
+:data:`repro.montecarlo.executor.ENGINE_VERSION` — bumping the version
+invalidates every stale entry without touching the store.  Chunk size and
+worker count are deliberately *absent* from the key: the executor's
+fixed-block RNG fan-out makes results invariant to both.  The state's
+*name* is also excluded, so physically identical states share entries
+across designs.
+
+The cache is two-level: an in-memory LRU front (``memory_entries``
+vectors) over an on-disk ``.npy`` store, written atomically so concurrent
+processes can share a directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.cells.drift import TieredDrift
+from repro.montecarlo.executor import ENGINE_VERSION, StateRun
+
+__all__ = [
+    "CacheStats",
+    "ResultsCache",
+    "default_cache_dir",
+    "state_counts_key",
+]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Cache location: ``$REPRO_MC_CACHE_DIR`` or ``~/.cache/repro-mc``."""
+    env = os.environ.get("REPRO_MC_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-mc"
+
+
+def _cf(x: float) -> str:
+    # repr() round-trips doubles exactly, so equal floats hash equally and
+    # nearby ones never collide.
+    return repr(float(x))
+
+
+def state_counts_key(
+    run: StateRun, times_s: Sequence[float], schedule: TieredDrift
+) -> str:
+    """Stable content hash for one state run's error-count vector."""
+    payload = {
+        "engine": ENGINE_VERSION,
+        "kind": "state-counts",
+        "state": {
+            "mu_lr": _cf(run.state.mu_lr),
+            "sigma_lr": _cf(run.state.sigma_lr),
+            "mu_alpha": _cf(run.state.drift.mu_alpha),
+            "sigma_alpha": _cf(run.state.drift.sigma_alpha),
+        },
+        "tau": _cf(run.tau),
+        "schedule": {
+            "mode": schedule.mode,
+            "tiers": [
+                [_cf(t.lr_break), _cf(t.mu_alpha), _cf(t.sigma_alpha)]
+                for t in schedule.tiers
+            ],
+        },
+        "times": [_cf(t) for t in np.asarray(times_s, dtype=float)],
+        "n_samples": int(run.n_samples),
+        "seed": {"entropy": int(run.entropy), "prefix": [int(p) for p in run.prefix]},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Lookup/store counters of one :class:`ResultsCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultsCache:
+    """In-memory LRU front over an on-disk ``.npy`` result store."""
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        memory_entries: int = 256,
+    ):
+        self.cache_dir = (
+            pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        )
+        self.memory_entries = int(memory_entries)
+        self._mem: OrderedDict[str, np.ndarray] = OrderedDict()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.cache_dir / f"{key}.npy"
+
+    def _remember(self, key: str, counts: np.ndarray) -> None:
+        self._mem[key] = counts
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.memory_entries:
+            self._mem.popitem(last=False)
+
+    def get_counts(self, key: str, expected_len: int | None = None) -> np.ndarray | None:
+        """Cached count vector for ``key``, or ``None`` on a miss.
+
+        An entry whose length disagrees with ``expected_len`` (a truncated
+        or foreign file) is treated as a miss rather than trusted.
+        """
+        counts = self._mem.get(key)
+        if counts is None:
+            try:
+                counts = np.load(self._path(key))
+            except (OSError, ValueError):
+                counts = None
+        if counts is None or (
+            expected_len is not None and counts.shape != (expected_len,)
+        ):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._remember(key, counts)
+        return counts.copy()
+
+    def put_counts(self, key: str, counts: np.ndarray) -> None:
+        """Store one count vector, atomically, and front it in memory."""
+        arr = np.ascontiguousarray(counts, dtype=np.int64)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as f:
+            np.save(f, arr)
+        os.replace(tmp, self._path(key))
+        self._remember(key, arr)
+        self.stats.stores += 1
+
+    def entries(self) -> list[str]:
+        """Keys present on disk."""
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.cache_dir.glob("*.npy"))
+
+    def nbytes(self) -> int:
+        """Total on-disk size of the store."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.cache_dir.glob("*.npy"))
+
+    def clear(self) -> int:
+        """Delete every entry (disk and memory); returns how many."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for p in self.cache_dir.glob("*.npy"):
+                p.unlink(missing_ok=True)
+                removed += 1
+        self._mem.clear()
+        return removed

@@ -7,7 +7,14 @@ from typing import Sequence
 import numpy as np
 from scipy.special import ndtr, ndtri
 
-__all__ = ["make_rng", "spawn_rngs", "truncated_normal", "alpha_samples"]
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "block_rng",
+    "seed_entropy",
+    "truncated_normal",
+    "alpha_samples",
+]
 
 
 def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
@@ -21,6 +28,32 @@ def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
     """n independent generators from one seed (for chunked / parallel MC)."""
     ss = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def block_rng(entropy: int | None, key: Sequence[int]) -> np.random.Generator:
+    """Child generator at spawn-tree position ``key`` under root ``entropy``.
+
+    ``block_rng(seed, (i,))`` draws the same stream as ``spawn_rngs(seed,
+    n)[i]`` for any ``n > i``: a ``SeedSequence`` child is fully addressed
+    by ``(entropy, spawn_key)``, so parallel workers can build exactly the
+    generator their block needs without materializing the whole spawn list.
+    """
+    ss = np.random.SeedSequence(entropy, spawn_key=tuple(int(k) for k in key))
+    return np.random.default_rng(ss)
+
+
+def seed_entropy(seed: int | np.random.Generator | None = 0) -> int:
+    """Root entropy of a deterministic spawn tree, from any seed spec.
+
+    Integers pass through unchanged; ``None`` draws fresh OS entropy; a
+    Generator contributes one draw from its own stream (reproducible given
+    the generator's state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63))
+    if seed is None:
+        return int(np.random.SeedSequence().entropy)
+    return int(seed)
 
 
 def truncated_normal(

@@ -64,11 +64,15 @@ def fig3_state_sweep(
     times_s: Sequence[float] = PAPER_TIME_GRID_S,
     seed: int = 0,
     schedule: TieredDrift = PAPER_ESCALATION,
+    jobs: int | None = 1,
+    cache=None,
 ) -> SweepResult:
     """Figure 3: per-state drift error rates of the naive four-level cell.
 
     S1 and S4 are included for completeness (the paper notes they are
-    "practically zero"); the plotted curves are S2 and S3.
+    "practically zero"); the plotted curves are S2 and S3.  ``jobs`` and
+    ``cache`` are forwarded to the Monte Carlo executor (see
+    :func:`repro.montecarlo.cer.state_cer`).
     """
     design = four_level_naive()
     series: dict[str, np.ndarray] = {}
@@ -78,7 +82,8 @@ def fig3_state_sweep(
             series[state.name] = np.zeros(len(times_s))
             continue
         res = state_cer(
-            state, tau, times_s, n_samples, seed=seed + i, schedule=schedule
+            state, tau, times_s, n_samples, seed=seed + i, schedule=schedule,
+            jobs=jobs, cache=cache,
         )
         series[state.name] = res.cer
     return SweepResult(
@@ -95,13 +100,16 @@ def fig8_design_sweep(
     schedule: TieredDrift = PAPER_ESCALATION,
     designs: Mapping[str, LevelDesign] | None = None,
     analytic_floor: bool = True,
+    jobs: int | None = 1,
+    cache=None,
 ) -> SweepResult:
     """Figure 8: design-level CER of 4LCn/4LCs/4LCo/3LCn/3LCo.
 
     The paper runs 1e9 Monte Carlo cells; the default here is 1e7 so the
     whole benchmark suite stays fast — pass ``n_samples=1_000_000_000``
-    to reproduce at full scale.  With ``analytic_floor=True`` the
-    semi-analytic CER fills in points the MC cannot resolve (below
+    to reproduce at full scale (with ``jobs=0`` to use every core and a
+    ``ResultsCache`` so repeats are free).  With ``analytic_floor=True``
+    the semi-analytic CER fills in points the MC cannot resolve (below
     ``1/n_samples``), which is how the 3LC curves' deep tails are
     reported.
     """
@@ -109,7 +117,10 @@ def fig8_design_sweep(
     times = np.asarray(sorted(times_s), dtype=float)
     series: dict[str, np.ndarray] = {}
     for j, (name, design) in enumerate(designs.items()):
-        mc = design_cer(design, times, n_samples, seed=seed + 17 * j, schedule=schedule)
+        mc = design_cer(
+            design, times, n_samples, seed=seed + 17 * j, schedule=schedule,
+            jobs=jobs, cache=cache,
+        )
         curve = mc.cer.copy()
         if analytic_floor:
             an = analytic_design_cer(design, times, schedule=schedule)

@@ -1,0 +1,168 @@
+"""Parallel MC executor: deterministic fan-out, planning, apportionment."""
+
+import numpy as np
+import pytest
+
+from repro.cells.drift import escalation_schedule
+from repro.cells.params import TABLE1
+from repro.core.designs import four_level_naive
+from repro.montecarlo import executor
+from repro.montecarlo.cer import DEFAULT_CHUNK, design_cer, state_cer
+from repro.montecarlo.executor import (
+    RNG_BLOCK,
+    apportion_samples,
+    plan_blocks,
+    resolve_jobs,
+)
+from repro.montecarlo.rng import block_rng, seed_entropy, spawn_rngs
+
+#: Late times so S2 crosses the 4.5 tier and errs against tau=5.5 — the
+#: escalated-alpha path produces nonzero counts that must still agree.
+ESCALATION_TIMES = [2.0**15, 2.0**30, 2.0**40]
+
+
+class TestBlockRng:
+    def test_matches_spawned_children(self):
+        direct = block_rng(42, (3,))
+        spawned = spawn_rngs(42, 5)[3]
+        assert np.array_equal(direct.random(8), spawned.random(8))
+
+    def test_nested_key_matches_spawn_tree(self):
+        child = np.random.SeedSequence(7).spawn(2)[1].spawn(3)[2]
+        assert np.array_equal(
+            block_rng(7, (1, 2)).random(4), np.random.default_rng(child).random(4)
+        )
+
+    def test_distinct_keys_distinct_streams(self):
+        assert block_rng(0, (0,)).random() != block_rng(0, (1,)).random()
+
+
+class TestSeedEntropy:
+    def test_int_passthrough(self):
+        assert seed_entropy(17) == 17
+
+    def test_generator_reproducible(self):
+        a = seed_entropy(np.random.default_rng(3))
+        b = seed_entropy(np.random.default_rng(3))
+        assert a == b
+
+    def test_none_is_fresh(self):
+        assert seed_entropy(None) != seed_entropy(None)
+
+
+class TestPlanBlocks:
+    def test_exact_multiple(self):
+        assert plan_blocks(3 * RNG_BLOCK) == [RNG_BLOCK] * 3
+
+    def test_remainder(self):
+        assert plan_blocks(2 * RNG_BLOCK + 7) == [RNG_BLOCK, RNG_BLOCK, 7]
+
+    def test_small(self):
+        assert plan_blocks(5) == [5]
+
+    def test_zero(self):
+        assert plan_blocks(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            plan_blocks(-1)
+
+
+class TestApportionSamples:
+    def test_sums_exactly_where_rounding_overshoots(self):
+        # Per-state rounding would give 17 + 17 + 17 + 50 = 101.
+        shares = apportion_samples(100, (1 / 6, 1 / 6, 1 / 6, 1 / 2))
+        assert sum(shares) == 100
+
+    def test_sums_exactly_where_rounding_undershoots(self):
+        # Per-state rounding would give 33 * 3 = 99.
+        shares = apportion_samples(100, (1 / 3, 1 / 3, 1 / 3))
+        assert shares == [34, 33, 33]
+        assert sum(shares) == 100
+
+    def test_zero_weight_gets_zero(self):
+        assert apportion_samples(10, (0.5, 0.0, 0.5)) == [5, 0, 5]
+
+    def test_deterministic_tie_break(self):
+        assert apportion_samples(1, (0.5, 0.5)) == [1, 0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            apportion_samples(-1, (1.0,))
+        with pytest.raises(ValueError):
+            apportion_samples(10, (-0.5, 1.5))
+        with pytest.raises(ValueError):
+            apportion_samples(10, (0.0, 0.0))
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_all_cores(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) == resolve_jobs(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestDeterminism:
+    """Same seed => byte-identical CER for any chunk/jobs combination."""
+
+    @pytest.mark.parametrize("mode", ["correlated", "independent"])
+    def test_bit_identical_across_chunk_and_jobs(self, mode):
+        s = TABLE1["S2"]
+        sched = escalation_schedule(mode)
+        base = state_cer(
+            s, 5.5, ESCALATION_TIMES, 30_000, seed=11, schedule=sched,
+            chunk=10_000, jobs=1,
+        ).cer
+        assert base[-1] > 0  # escalation path actually exercised
+        for chunk in (10_000, DEFAULT_CHUNK):
+            for jobs in (1, 2, 4):
+                got = state_cer(
+                    s, 5.5, ESCALATION_TIMES, 30_000, seed=11, schedule=sched,
+                    chunk=chunk, jobs=jobs,
+                ).cer
+                assert got.tobytes() == base.tobytes(), (mode, chunk, jobs)
+
+    def test_design_cer_jobs_and_order_invariant(self):
+        d = four_level_naive()
+        a = design_cer(d, [1024.0, 2.0**20], 60_000, seed=5, jobs=1).cer
+        b = design_cer(
+            d, [2.0**20, 1024.0], 60_000, seed=5, jobs=3, chunk=10_000
+        ).cer
+        assert a.tobytes() == b.tobytes()
+        assert a[0] > 0
+
+    def test_different_seeds_differ(self):
+        s = TABLE1["S3"]
+        a = state_cer(s, 5.5, [1024.0], 50_000, seed=1).cer[0]
+        b = state_cer(s, 5.5, [1024.0], 50_000, seed=2).cer[0]
+        assert a != b
+
+
+class TestDesignCERAllocation:
+    def test_n_samples_reported_exactly(self):
+        d = four_level_naive()
+        res = design_cer(d, [1024.0], 100_001, seed=0)
+        assert res.n_samples == 100_001
+        assert res.floor == pytest.approx(1.0 / 100_001)
+
+    def test_skewed_occupancy_only_samples_active_states(self):
+        d = four_level_naive()
+        skew = d.with_(occupancy=(0.5, 0.0, 0.0, 0.5))
+        before = executor.blocks_evaluated()
+        res = design_cer(skew, [1024.0], 100_000, seed=4)
+        # only S1's 50k share runs (S4 never errs, S2/S3 have zero share)
+        assert executor.blocks_evaluated() - before == 5
+        assert res.cer[0] == 0.0
+
+
+class TestBlockCounter:
+    def test_counts_evaluated_blocks(self):
+        before = executor.blocks_evaluated()
+        state_cer(TABLE1["S2"], 4.5, [4.0], 2 * RNG_BLOCK + 1, seed=0)
+        assert executor.blocks_evaluated() - before == 3

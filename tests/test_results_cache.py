@@ -1,0 +1,154 @@
+"""Persistent MC result cache: keys, two-level store, end-to-end reuse."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cells.drift import PAPER_ESCALATION, escalation_schedule
+from repro.cells.params import TABLE1
+from repro.core.designs import four_level_naive
+from repro.montecarlo import executor
+from repro.montecarlo.cer import DEFAULT_CHUNK, design_cer, state_cer
+from repro.montecarlo.executor import StateRun
+from repro.montecarlo.results_cache import ResultsCache, state_counts_key
+from repro.montecarlo.sweep import fig8_design_sweep
+
+TIMES = (2.0, 1024.0, 2.0**20)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultsCache(cache_dir=tmp_path / "mc", memory_entries=4)
+
+
+def _run(**overrides):
+    base = dict(
+        state=TABLE1["S2"], tau=4.5, n_samples=10_000, entropy=7, prefix=()
+    )
+    base.update(overrides)
+    return StateRun(**base)
+
+
+class TestKey:
+    def test_stable(self):
+        assert state_counts_key(_run(), TIMES, PAPER_ESCALATION) == state_counts_key(
+            _run(), TIMES, PAPER_ESCALATION
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"n_samples": 10_001},
+            {"entropy": 8},
+            {"prefix": (1,)},
+            {"tau": 4.6},
+            {"state": TABLE1["S3"]},
+        ],
+    )
+    def test_sensitive_to_run_fields(self, change):
+        assert state_counts_key(_run(), TIMES, PAPER_ESCALATION) != state_counts_key(
+            _run(**change), TIMES, PAPER_ESCALATION
+        )
+
+    def test_sensitive_to_times_and_schedule(self):
+        k = state_counts_key(_run(), TIMES, PAPER_ESCALATION)
+        assert k != state_counts_key(_run(), (2.0, 1024.0), PAPER_ESCALATION)
+        assert k != state_counts_key(_run(), TIMES, escalation_schedule("correlated"))
+
+    def test_state_name_irrelevant(self):
+        renamed = dataclasses.replace(TABLE1["S2"], name="aliased")
+        assert state_counts_key(_run(), TIMES, PAPER_ESCALATION) == state_counts_key(
+            _run(state=renamed), TIMES, PAPER_ESCALATION
+        )
+
+
+class TestStore:
+    def test_roundtrip(self, cache):
+        counts = np.array([0, 3, 17], dtype=np.int64)
+        cache.put_counts("k1", counts)
+        got = cache.get_counts("k1", expected_len=3)
+        assert np.array_equal(got, counts)
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_miss_counted(self, cache):
+        assert cache.get_counts("absent") is None
+        assert cache.stats.misses == 1
+
+    def test_length_mismatch_is_miss(self, cache):
+        cache.put_counts("k1", np.array([1, 2], dtype=np.int64))
+        assert cache.get_counts("k1", expected_len=3) is None
+
+    def test_persists_across_instances(self, cache):
+        cache.put_counts("k1", np.array([5], dtype=np.int64))
+        fresh = ResultsCache(cache_dir=cache.cache_dir)
+        assert np.array_equal(fresh.get_counts("k1"), [5])
+
+    def test_memory_lru_bounded_but_disk_backed(self, tmp_path):
+        c = ResultsCache(cache_dir=tmp_path, memory_entries=1)
+        c.put_counts("a", np.array([1], dtype=np.int64))
+        c.put_counts("b", np.array([2], dtype=np.int64))
+        assert len(c._mem) == 1
+        assert np.array_equal(c.get_counts("a"), [1])  # served from disk
+
+    def test_returned_array_is_a_copy(self, cache):
+        cache.put_counts("k1", np.array([1, 2], dtype=np.int64))
+        got = cache.get_counts("k1")
+        got[0] = 99
+        assert np.array_equal(cache.get_counts("k1"), [1, 2])
+
+    def test_entries_nbytes_clear(self, cache):
+        cache.put_counts("a", np.array([1], dtype=np.int64))
+        cache.put_counts("b", np.array([2], dtype=np.int64))
+        assert cache.entries() == ["a", "b"]
+        assert cache.nbytes() > 0
+        assert cache.clear() == 2
+        assert cache.entries() == []
+        assert cache.get_counts("a") is None
+
+
+class TestEndToEnd:
+    def test_state_cer_repeat_evaluates_nothing(self, cache):
+        s = TABLE1["S3"]
+        first = state_cer(s, 5.5, TIMES, 30_000, seed=3, cache=cache)
+        before = executor.blocks_evaluated()
+        again = state_cer(s, 5.5, TIMES, 30_000, seed=3, cache=cache)
+        assert executor.blocks_evaluated() == before
+        assert np.array_equal(first.cer, again.cer)
+        assert cache.stats.hits >= 1
+
+    def test_chunk_and_jobs_share_one_entry(self, cache):
+        s = TABLE1["S3"]
+        state_cer(s, 5.5, TIMES, 30_000, seed=3, chunk=10_000, cache=cache)
+        before = executor.blocks_evaluated()
+        state_cer(s, 5.5, TIMES, 30_000, seed=3, chunk=DEFAULT_CHUNK, jobs=2, cache=cache)
+        assert executor.blocks_evaluated() == before
+        assert len(cache.entries()) == 1
+
+    def test_no_cache_recomputes(self):
+        s = TABLE1["S3"]
+        state_cer(s, 5.5, TIMES, 20_000, seed=3)
+        before = executor.blocks_evaluated()
+        state_cer(s, 5.5, TIMES, 20_000, seed=3)
+        assert executor.blocks_evaluated() - before == 2
+
+    def test_fig8_warm_repeat_zero_chunk_evaluations(self, cache):
+        cold = fig8_design_sweep(
+            n_samples=20_000, seed=0, analytic_floor=False, cache=cache
+        )
+        assert executor.blocks_evaluated() > 0
+        before = executor.blocks_evaluated()
+        warm = fig8_design_sweep(
+            n_samples=20_000, seed=0, analytic_floor=False, cache=cache
+        )
+        assert executor.blocks_evaluated() == before  # zero MC work on repeat
+        for name in cold.series:
+            assert np.array_equal(cold.series[name], warm.series[name])
+
+    def test_design_cer_reuses_shared_states_across_designs(self, cache):
+        d = four_level_naive()
+        design_cer(d, TIMES, 40_000, seed=9, cache=cache)
+        stores_before = cache.stats.stores
+        # Same states, same seed tree: a repeat is all hits, no new stores.
+        design_cer(d, TIMES, 40_000, seed=9, cache=cache)
+        assert cache.stats.stores == stores_before
