@@ -194,3 +194,21 @@ __all__ += ["FrequencySmartCode"]
 from repro.montecarlo.results_cache import ResultsCache
 
 __all__ += ["ResultsCache"]
+
+from repro.campaign import (
+    CampaignScheduler,
+    CampaignSpec,
+    RunStore,
+    builtin_campaign,
+    campaign_from_dict,
+    campaign_from_toml,
+)
+
+__all__ += [
+    "CampaignScheduler",
+    "CampaignSpec",
+    "RunStore",
+    "builtin_campaign",
+    "campaign_from_dict",
+    "campaign_from_toml",
+]

@@ -1,0 +1,153 @@
+"""Structured campaign events: JSONL log, metrics, terminal progress.
+
+Every state transition the scheduler makes is appended to
+``events.jsonl`` as one self-describing JSON object — ``campaign_start``,
+``job_start``, ``job_retry``, ``job_done``, ``job_failed``,
+``job_blocked``, ``job_cached``, ``campaign_end`` — with a wall-clock
+``ts``.  The log is the audit trail the resume tests rely on: a job that
+was restored from a previous run emits ``job_cached`` and *no* second
+``job_start``, so "zero re-executed jobs" is checkable from the file
+alone.
+
+:class:`Metrics` folds transitions into the counters surfaced in the
+``campaign_end`` event and the live progress line: jobs by state,
+cumulative Monte Carlo samples, samples/sec, and the result-cache hit
+rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import sys
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = ["EventLog", "Metrics", "ProgressLine", "read_events"]
+
+
+class EventLog:
+    """Append-only JSONL event writer (thread-safe, crash-tolerant).
+
+    Each ``emit`` writes one line and flushes, so a killed campaign's log
+    is complete up to the crash point; appending on resume preserves the
+    full history of the run directory.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        record = {"ts": time.time(), "event": event, **fields}
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as f:
+                f.write(line + "\n")
+                f.flush()
+        return record
+
+
+def read_events(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
+    """Parse an event log, skipping any torn trailing line."""
+    p = pathlib.Path(path)
+    if not p.is_file():
+        return
+    with open(p) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+@dataclasses.dataclass
+class Metrics:
+    """Live counters of one campaign execution."""
+
+    total: int = 0
+    done: int = 0
+    cached: int = 0
+    failed: int = 0
+    blocked: int = 0
+    running: int = 0
+    retries: int = 0
+    samples: int = 0
+    started_at: float = dataclasses.field(default_factory=time.time)
+
+    @property
+    def finished(self) -> int:
+        return self.done + self.cached + self.failed + self.blocked
+
+    @property
+    def elapsed_s(self) -> float:
+        return max(time.time() - self.started_at, 1e-9)
+
+    @property
+    def samples_per_s(self) -> float:
+        return self.samples / self.elapsed_s
+
+    def snapshot(self, cache=None) -> dict[str, Any]:
+        """JSON counters, including cache hit rate when a cache is live."""
+        snap: dict[str, Any] = {
+            "total": self.total,
+            "done": self.done,
+            "cached": self.cached,
+            "failed": self.failed,
+            "blocked": self.blocked,
+            "running": self.running,
+            "retries": self.retries,
+            "samples": self.samples,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "samples_per_s": round(self.samples_per_s, 1),
+        }
+        if cache is not None:
+            hits, misses = cache.stats.hits, cache.stats.misses
+            snap["cache_hits"] = hits
+            snap["cache_misses"] = misses
+            lookups = hits + misses
+            snap["cache_hit_rate"] = round(hits / lookups, 4) if lookups else None
+        return snap
+
+
+class ProgressLine:
+    """One-line terminal progress indicator (stderr, ``\\r``-refreshed)."""
+
+    def __init__(self, name: str, enabled: bool = True, stream=None):
+        self.name = name
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self._dirty = False
+
+    def update(self, metrics: Metrics, cache=None) -> None:
+        if not self.enabled:
+            return
+        parts = [
+            f"campaign {self.name}:",
+            f"{metrics.done + metrics.cached}/{metrics.total} done",
+            f"{metrics.running} running",
+        ]
+        if metrics.failed or metrics.blocked:
+            parts.append(f"{metrics.failed} failed {metrics.blocked} blocked")
+        if metrics.samples:
+            parts.append(f"{metrics.samples_per_s:,.0f} samples/s")
+        if cache is not None:
+            lookups = cache.stats.hits + cache.stats.misses
+            if lookups:
+                parts.append(f"cache {100 * cache.stats.hits / lookups:.0f}% hit")
+        self.stream.write("\r" + " | ".join(parts).ljust(78))
+        self.stream.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        if self.enabled and self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

@@ -1,0 +1,342 @@
+"""Campaign job kinds: the bridge from declarative params to the engines.
+
+Each kind is a function ``(job, ctx) -> dict`` that resolves its params
+against the campaign defaults and calls the existing analysis code —
+:func:`repro.montecarlo.sweep.fig3_state_sweep`,
+:func:`repro.montecarlo.cer.design_cer`,
+:func:`repro.mapping.optimizer.optimize_mapping`,
+:func:`repro.analysis.retention.retention_time_s` — with the campaign's
+seed, worker count, and shared :class:`ResultsCache`.  Because the calls
+and seeds are identical to the direct code paths, campaign results (and
+persistent cache keys) are bit-identical to running the figures by hand.
+
+Results must be JSON-serializable dicts: they are persisted per job under
+the run directory and fed to dependent jobs (``design_from`` lets a
+``design_cer``/``retention`` job consume the design a ``mapping_opt`` job
+produced).  Include an ``n_samples`` entry when the job draws Monte Carlo
+samples — the scheduler aggregates it into the samples/sec metric.
+
+``register_job_kind`` exists so tests and downstream users can add kinds;
+the built-in ``fail`` kind always raises, for retry/failure drills.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "JobContext",
+    "design_to_dict",
+    "design_from_dict",
+    "known_kinds",
+    "register_job_kind",
+    "run_job",
+]
+
+
+@dataclasses.dataclass
+class JobContext:
+    """Execution-time context handed to every job runner.
+
+    ``dep_results`` maps each dependency's job id to its (already
+    completed) result dict.  ``mc_jobs`` is the Monte Carlo worker count
+    forwarded to the executor; ``cache`` the shared results cache (or
+    ``None``).
+    """
+
+    seed: int = 0
+    defaults: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    mc_jobs: int | None = 1
+    cache: Any = None
+    dep_results: Mapping[str, Mapping[str, Any]] = dataclasses.field(
+        default_factory=dict
+    )
+
+
+_REGISTRY: dict[str, Callable[[Any, JobContext], dict]] = {}
+
+
+def register_job_kind(name: str, fn: Callable[[Any, JobContext], dict]) -> None:
+    """Register (or override) a job kind; ``fn`` is ``(job, ctx) -> dict``."""
+    _REGISTRY[name] = fn
+
+
+def known_kinds() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def run_job(job, ctx: JobContext) -> dict:
+    """Execute one job spec under ``ctx`` and return its result dict."""
+    return _REGISTRY[job.kind](job, ctx)
+
+
+# ----------------------------------------------------------------------
+# Param resolution helpers
+# ----------------------------------------------------------------------
+
+def _jsonable(x):
+    """Recursively convert numpy containers/scalars to plain Python."""
+    if isinstance(x, np.ndarray):
+        return [_jsonable(v) for v in x.tolist()]
+    if isinstance(x, (np.floating, np.integer, np.bool_)):
+        return x.item()
+    if isinstance(x, Mapping):
+        return {k: _jsonable(v) for k, v in x.items()}
+    if isinstance(x, (list, tuple)):
+        return [_jsonable(v) for v in x]
+    return x
+
+
+def _n_samples(job, ctx: JobContext) -> int:
+    n = job.params.get("n_samples", ctx.defaults.get("n_samples", 1_000_000))
+    return int(n)
+
+
+def _times_s(job, ctx: JobContext) -> list[float]:
+    from repro.montecarlo.sweep import PAPER_TIME_GRID_S
+
+    times = job.params.get("times_s", ctx.defaults.get("times_s", PAPER_TIME_GRID_S))
+    return [float(t) for t in times]
+
+
+def design_to_dict(design) -> dict:
+    """JSON form of a :class:`~repro.core.levels.LevelDesign`."""
+    return {
+        "name": design.name,
+        "state_names": list(design.state_names),
+        "mu_lrs": [float(s.mu_lr) for s in design.states],
+        "thresholds": [float(t) for t in design.thresholds],
+        "occupancy": [float(p) for p in design.occupancy],
+    }
+
+
+def design_from_dict(d: Mapping[str, Any]):
+    """Rebuild a :class:`LevelDesign` from :func:`design_to_dict` output."""
+    from repro.core.levels import LevelDesign
+
+    return LevelDesign.from_levels(
+        d["name"],
+        list(d["state_names"]),
+        [float(m) for m in d["mu_lrs"]],
+        thresholds=[float(t) for t in d["thresholds"]],
+        occupancy=[float(p) for p in d["occupancy"]],
+    )
+
+
+def _design_for(job, ctx: JobContext):
+    """The job's target design: a canonical name or an upstream job's output."""
+    from repro.core.designs import design_by_name
+
+    src = job.params.get("design_from")
+    if src is not None:
+        result = ctx.dep_results.get(src)
+        if result is None or "design" not in result:
+            raise ValueError(
+                f"job {job.id!r}: dependency {src!r} produced no design"
+            )
+        return design_from_dict(result["design"])
+    name = job.params.get("design")
+    if name is None:
+        raise ValueError(f"job {job.id!r} needs a 'design' or 'design_from' param")
+    return design_by_name(name)
+
+
+# ----------------------------------------------------------------------
+# Built-in kinds
+# ----------------------------------------------------------------------
+
+def _run_fig3_sweep(job, ctx: JobContext) -> dict:
+    from repro.montecarlo.sweep import fig3_state_sweep
+
+    n = _n_samples(job, ctx)
+    sweep = fig3_state_sweep(
+        n_samples=n,
+        times_s=_times_s(job, ctx),
+        seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+        jobs=ctx.mc_jobs,
+        cache=ctx.cache,
+    )
+    return _jsonable(
+        {
+            "times_s": sweep.times_s,
+            "series": dict(sweep.series),
+            "n_samples": n * len(sweep.series),
+        }
+    )
+
+
+def _run_fig8_sweep(job, ctx: JobContext) -> dict:
+    from repro.core.designs import all_designs
+    from repro.montecarlo.sweep import fig8_design_sweep
+
+    designs = None
+    if "designs" in job.params:
+        catalog = all_designs()
+        designs = {name: catalog[name] for name in job.params["designs"]}
+    n = _n_samples(job, ctx)
+    sweep = fig8_design_sweep(
+        n_samples=n,
+        times_s=_times_s(job, ctx),
+        seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+        designs=designs,
+        analytic_floor=bool(job.params.get("analytic_floor", True)),
+        jobs=ctx.mc_jobs,
+        cache=ctx.cache,
+    )
+    return _jsonable(
+        {
+            "times_s": sweep.times_s,
+            "series": dict(sweep.series),
+            "n_samples": n * len(sweep.series),
+        }
+    )
+
+
+def _run_state_cer(job, ctx: JobContext) -> dict:
+    from repro.montecarlo.cer import state_cer
+
+    design = _design_for(job, ctx)
+    idx = int(job.params["state_index"])
+    tau = design.upper_threshold(idx)
+    if not np.isfinite(tau):
+        raise ValueError(f"job {job.id!r}: top state {idx} never drift-errs")
+    n = _n_samples(job, ctx)
+    res = state_cer(
+        design.states[idx],
+        tau,
+        _times_s(job, ctx),
+        n,
+        seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+        jobs=ctx.mc_jobs,
+        cache=ctx.cache,
+    )
+    return _jsonable(
+        {
+            "design": design_to_dict(design),
+            "state": design.states[idx].name,
+            "times_s": res.times_s,
+            "cer": res.cer,
+            "n_samples": res.n_samples,
+        }
+    )
+
+
+def _run_design_cer(job, ctx: JobContext) -> dict:
+    from repro.montecarlo.cer import design_cer
+
+    design = _design_for(job, ctx)
+    n = _n_samples(job, ctx)
+    res = design_cer(
+        design,
+        _times_s(job, ctx),
+        n,
+        seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+        jobs=ctx.mc_jobs,
+        cache=ctx.cache,
+    )
+    return _jsonable(
+        {
+            "design": design_to_dict(design),
+            "times_s": res.times_s,
+            "cer": res.cer,
+            "n_samples": res.n_samples,
+        }
+    )
+
+
+def _run_mapping_opt(job, ctx: JobContext) -> dict:
+    from repro.mapping.optimizer import DEFAULT_EVAL_TIME_S, optimize_mapping
+
+    eval_times = job.params.get("eval_times_s", [DEFAULT_EVAL_TIME_S])
+    mc_confirm = int(job.params.get("mc_confirm_samples", 0))
+    result = optimize_mapping(
+        int(job.params["n_levels"]),
+        eval_time_s=[float(t) for t in eval_times],
+        occupancy=job.params.get("occupancy"),
+        name=job.params.get("name"),
+        mc_confirm_samples=mc_confirm,
+        mc_seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+        mc_jobs=ctx.mc_jobs,
+        mc_cache=ctx.cache,
+    )
+    out = {
+        "design": design_to_dict(result.design),
+        "cer_at_eval": result.cer_at_eval,
+        "eval_times_s": result.eval_times_s,
+        "start_cer": result.start_cer,
+        "improvement": result.improvement,
+        "n_evaluations": result.n_evaluations,
+        "mc_cer_at_eval": result.mc_cer_at_eval,
+    }
+    if mc_confirm:
+        out["n_samples"] = mc_confirm
+    return _jsonable(out)
+
+
+def _run_retention(job, ctx: JobContext) -> dict:
+    from repro.analysis.retention import retention_time_s
+    from repro.cells.params import T0_SECONDS
+
+    design = _design_for(job, ctx)
+    n_cells = int(job.params["n_cells"])
+    ecc_t = int(job.params.get("ecc_t", 1))
+    r = retention_time_s(design, n_cells, ecc_t)
+    out: dict[str, Any] = {
+        "design": design_to_dict(design),
+        "n_cells": n_cells,
+        "ecc_t": ecc_t,
+        "retention_s": r.retention_s,
+        "retention_years": r.retention_years,
+        "cer_at_retention": r.cer_at_retention,
+        "bler_at_retention": r.bler_at_retention,
+        "target_bler": r.target_bler,
+        "nonvolatile": r.retention_years >= 10.0,
+    }
+    mc_verify = int(job.params.get("mc_verify", 0))
+    if mc_verify and r.retention_s >= T0_SECONDS:
+        from repro.montecarlo.cer import design_cer
+
+        mc = design_cer(
+            design,
+            [min(r.retention_s, 1e12)],
+            mc_verify,
+            seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+            jobs=ctx.mc_jobs,
+            cache=ctx.cache,
+        )
+        out["mc_cer_at_retention"] = mc.cer[0]
+        out["n_samples"] = mc_verify
+    return _jsonable(out)
+
+
+def _run_capacity(job, ctx: JobContext) -> dict:
+    from repro.analysis.capacity import TABLE3_CAPACITIES
+
+    rows = {
+        name: {
+            "data_cells": c.data_cells,
+            "overhead_cells": c.overhead_cells,
+            "total_cells": c.total_cells,
+            "bits_per_cell": c.bits_per_cell,
+        }
+        for name, c in TABLE3_CAPACITIES.items()
+    }
+    return _jsonable({"capacities": rows})
+
+
+def _run_fail(job, ctx: JobContext) -> dict:
+    """Always fails — the built-in failure-injection / retry drill kind."""
+    raise RuntimeError(str(job.params.get("message", "injected failure")))
+
+
+register_job_kind("fig3_sweep", _run_fig3_sweep)
+register_job_kind("fig8_sweep", _run_fig8_sweep)
+register_job_kind("state_cer", _run_state_cer)
+register_job_kind("design_cer", _run_design_cer)
+register_job_kind("mapping_opt", _run_mapping_opt)
+register_job_kind("retention", _run_retention)
+register_job_kind("capacity", _run_capacity)
+register_job_kind("fail", _run_fail)

@@ -1,0 +1,191 @@
+"""Render a completed campaign run into ``results/`` tables.
+
+Reads the run directory (manifest + persisted job results + event log)
+and writes one plain-text table per job plus a campaign ``SUMMARY.txt``
+under ``<out_dir>/campaign_<name>/`` — the same artifact style as the
+``benchmarks/`` harness, so EXPERIMENTS.md can be refreshed from either
+path.  Also used by ``repro campaign report`` / ``status`` for terminal
+output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Mapping, Sequence
+
+from repro.campaign.events import read_events
+from repro.campaign.store import RunStore
+
+__all__ = ["render_job", "render_summary", "write_report"]
+
+
+def _sci(x: float) -> str:
+    if x == 0.0:
+        return "0"
+    return f"{x:.2E}"
+
+
+def _table(
+    title: str, header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    header = [str(h) for h in header]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _time_labels(times_s: Sequence[float]) -> list[str]:
+    from repro.montecarlo.sweep import PAPER_TIME_GRID_S, PAPER_TIME_LABELS
+
+    if list(times_s) == list(PAPER_TIME_GRID_S):
+        return list(PAPER_TIME_LABELS)
+    return [f"{t:.3G}s" for t in times_s]
+
+
+def _render_sweep(job_id: str, result: Mapping[str, Any]) -> str:
+    labels = _time_labels(result["times_s"])
+    names = list(result["series"])
+    rows = [
+        [label] + [_sci(result["series"][n][i]) for n in names]
+        for i, label in enumerate(labels)
+    ]
+    return _table(f"{job_id}: CER vs time", ["time"] + names, rows)
+
+
+def _render_cer(job_id: str, result: Mapping[str, Any]) -> str:
+    labels = _time_labels(result["times_s"])
+    rows = [[label, _sci(c)] for label, c in zip(labels, result["cer"])]
+    design = result["design"]["name"]
+    title = f"{job_id}: {design} CER ({result['n_samples']:,} MC cells)"
+    if "state" in result:
+        title = f"{job_id}: {design}/{result['state']} state CER"
+    return _table(title, ["time", "CER"], rows)
+
+
+def _render_mapping(job_id: str, result: Mapping[str, Any]) -> str:
+    d = result["design"]
+    lines = [
+        f"{job_id}: optimized mapping {d['name']}",
+        f"  levels:     {' '.join(f'{m:.4f}' for m in d['mu_lrs'])}",
+        f"  thresholds: {' '.join(f'{t:.4f}' for t in d['thresholds'])}",
+        f"  occupancy:  {' '.join(f'{p:.2f}' for p in d['occupancy'])}",
+        f"  CER at eval times: {_sci(result['cer_at_eval'])} "
+        f"(naive start {_sci(result['start_cer'])}, "
+        f"improvement x{result['improvement']:.3G})",
+    ]
+    if result.get("mc_cer_at_eval") is not None:
+        lines.append(f"  MC confirmation: {_sci(result['mc_cer_at_eval'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_retention(job_id: str, result: Mapping[str, Any]) -> str:
+    years = result["retention_years"]
+    if years >= 1:
+        horizon = f"{years:.1f} years"
+    elif result["retention_s"] >= 86400:
+        horizon = f"{result['retention_s'] / 86400:.1f} days"
+    else:
+        horizon = f"{result['retention_s'] / 60:.1f} minutes"
+    lines = [
+        f"{job_id}: {result['design']['name']} + BCH-{result['ecc_t']} "
+        f"({result['n_cells']} cells): refresh every {horizon}",
+        f"  CER {_sci(result['cer_at_retention'])}, "
+        f"BLER {_sci(result['bler_at_retention'])} "
+        f"vs target {_sci(result['target_bler'])}",
+        f"  nonvolatile (>10 years): "
+        f"{'yes' if result['nonvolatile'] else 'no'}",
+    ]
+    if "mc_cer_at_retention" in result:
+        lines.append(f"  MC check: {_sci(result['mc_cer_at_retention'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_capacity(job_id: str, result: Mapping[str, Any]) -> str:
+    rows = [
+        [name, c["data_cells"], c["overhead_cells"], c["total_cells"],
+         f"{c['bits_per_cell']:.3f}"]
+        for name, c in result["capacities"].items()
+    ]
+    return _table(
+        f"{job_id}: Table-3 storage densities",
+        ["design", "data", "overhead", "total", "bits/cell"],
+        rows,
+    )
+
+
+def render_job(job_id: str, kind: str, result: Mapping[str, Any]) -> str:
+    """Human-readable rendering of one completed job's result."""
+    if kind in ("fig3_sweep", "fig8_sweep"):
+        return _render_sweep(job_id, result)
+    if kind in ("design_cer", "state_cer"):
+        return _render_cer(job_id, result)
+    if kind == "mapping_opt":
+        return _render_mapping(job_id, result)
+    if kind == "retention":
+        return _render_retention(job_id, result)
+    if kind == "capacity":
+        return _render_capacity(job_id, result)
+    import json
+
+    return f"{job_id} ({kind}):\n{json.dumps(dict(result), indent=2, sort_keys=True)}\n"
+
+
+def render_summary(store: RunStore) -> str:
+    """Campaign-level summary: job states, counters, throughput."""
+    manifest = store.read_manifest()
+    status = store.read_status() or {}
+    states: Mapping[str, str] = status.get("states", {})
+    kinds = {j["id"]: j["kind"] for j in manifest["spec"]["job"]}
+    rows = [
+        [job_id, kinds.get(job_id, "?"), states.get(job_id, "pending")]
+        for job_id in manifest["order"]
+    ]
+    text = _table(
+        f"campaign {manifest['spec']['name']} — {store.run_dir}",
+        ["job", "kind", "state"],
+        rows,
+    )
+    metrics = status.get("metrics")
+    if metrics:
+        text += (
+            f"\njobs: {metrics.get('done', 0)} done, "
+            f"{metrics.get('cached', 0)} cached, "
+            f"{metrics.get('failed', 0)} failed, "
+            f"{metrics.get('blocked', 0)} blocked of {metrics.get('total', 0)}"
+            f" | {metrics.get('samples', 0):,} MC samples"
+            f" ({metrics.get('samples_per_s', 0):,.0f}/s)"
+        )
+        if metrics.get("cache_hit_rate") is not None:
+            text += f" | cache hit rate {100 * metrics['cache_hit_rate']:.0f}%"
+        text += "\n"
+    n_events = sum(1 for _ in read_events(store.events_path))
+    text += f"event log: {n_events} events in {store.events_path}\n"
+    return text
+
+
+def write_report(
+    store: RunStore, out_dir: str | pathlib.Path = "results"
+) -> list[pathlib.Path]:
+    """Write per-job tables + SUMMARY.txt; returns the written paths."""
+    manifest = store.read_manifest()
+    name = manifest["spec"]["name"]
+    kinds = {j["id"]: j["kind"] for j in manifest["spec"]["job"]}
+    target = pathlib.Path(out_dir) / f"campaign_{name}"
+    target.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    for job_id, result in store.completed_jobs().items():
+        path = target / f"{job_id}.txt"
+        path.write_text(render_job(job_id, kinds.get(job_id, "?"), result))
+        written.append(path)
+    summary = target / "SUMMARY.txt"
+    summary.write_text(render_summary(store))
+    written.append(summary)
+    return written

@@ -1,0 +1,121 @@
+"""Run-directory persistence: the crash-safe state of one campaign run.
+
+Layout of a run directory::
+
+    manifest.json   # the full spec + plan order, written once at start
+    status.json     # latest job-state snapshot (rewritten atomically)
+    events.jsonl    # append-only event log (see repro.campaign.events)
+    jobs/<id>.json  # one result file per *completed* job
+
+Every JSON file is written via a temp file + ``os.replace`` so a crash
+never leaves a half-written file.  The per-job result files are the
+ground truth for resume: a job counts as done if and only if its result
+file parses — ``status.json`` is merely the latest convenience snapshot,
+so a crash between a result write and a status write loses nothing.
+JSON floats round-trip exactly (``repr``-based), which is what makes a
+resumed campaign's final numbers bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Mapping
+
+__all__ = ["RunStore"]
+
+_MANIFEST_VERSION = 1
+
+
+def _atomic_write_json(path: pathlib.Path, payload: Any) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class RunStore:
+    """Filesystem state of one campaign run under ``run_dir``."""
+
+    def __init__(self, run_dir: str | os.PathLike):
+        self.run_dir = pathlib.Path(run_dir)
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.run_dir / "manifest.json"
+
+    @property
+    def status_path(self) -> pathlib.Path:
+        return self.run_dir / "status.json"
+
+    @property
+    def events_path(self) -> pathlib.Path:
+        return self.run_dir / "events.jsonl"
+
+    @property
+    def jobs_dir(self) -> pathlib.Path:
+        return self.run_dir / "jobs"
+
+    def result_path(self, job_id: str) -> pathlib.Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    # -- lifecycle ------------------------------------------------------
+    def exists(self) -> bool:
+        return self.manifest_path.is_file()
+
+    def init(self, spec_dict: Mapping[str, Any], order: list[str] | tuple) -> None:
+        """Create the run directory and persist the manifest (idempotent
+        only for an identical spec — a differing manifest is an error)."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs_dir.mkdir(exist_ok=True)
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "spec": dict(spec_dict),
+            "order": list(order),
+        }
+        if self.exists():
+            existing = self.read_manifest()
+            if existing != manifest:
+                raise ValueError(
+                    f"run dir {self.run_dir} already holds a different campaign "
+                    "(manifest mismatch); choose another --run-dir or remove it"
+                )
+            return
+        _atomic_write_json(self.manifest_path, manifest)
+
+    def read_manifest(self) -> dict[str, Any]:
+        return json.loads(self.manifest_path.read_text())
+
+    # -- job results ----------------------------------------------------
+    def write_result(self, job_id: str, result: Mapping[str, Any]) -> None:
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.result_path(job_id), dict(result))
+
+    def read_result(self, job_id: str) -> dict[str, Any] | None:
+        """The job's persisted result, or ``None`` if absent/corrupt."""
+        try:
+            return json.loads(self.result_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def completed_jobs(self) -> dict[str, dict[str, Any]]:
+        """All parseable persisted results — the resume ground truth."""
+        out: dict[str, dict[str, Any]] = {}
+        if not self.jobs_dir.is_dir():
+            return out
+        for p in sorted(self.jobs_dir.glob("*.json")):
+            result = self.read_result(p.stem)
+            if result is not None:
+                out[p.stem] = result
+        return out
+
+    # -- status snapshot ------------------------------------------------
+    def write_status(self, status: Mapping[str, Any]) -> None:
+        _atomic_write_json(self.status_path, dict(status))
+
+    def read_status(self) -> dict[str, Any] | None:
+        try:
+            return json.loads(self.status_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None

@@ -8,14 +8,24 @@ Examples::
     python -m repro retention --design 3LCo --ecc 1 --mc-verify 1000000
     python -m repro sweep --figure fig8 --samples 1000000 --jobs 0
     python -m repro cache info
+    python -m repro cache prune --max-bytes 512M
+    python -m repro campaign run --spec fig3_fig8 --jobs 0
+    python -m repro campaign status --run-dir campaign-runs/fig3_fig8
+    python -m repro campaign resume --run-dir campaign-runs/fig3_fig8
+    python -m repro campaign report --run-dir campaign-runs/fig3_fig8
     python -m repro availability --interval-min 17
     python -m repro capacity
     python -m repro simulate --workload STREAM --accesses 30000
 
 The Monte Carlo commands (``cer --mc-samples``, ``retention
---mc-verify``, ``sweep``) accept ``--jobs N`` (0 = all cores),
-``--cache-dir`` and ``--no-cache``; results are cached persistently by
-default, so repeating a sweep is free.
+--mc-verify``, ``sweep``, ``campaign``) accept ``--jobs N`` (0 = all
+cores), ``--cache-dir`` and ``--no-cache``; results are cached
+persistently by default, so repeating a sweep is free.  The cache grows
+without bound unless trimmed — ``cache prune --max-bytes N`` evicts
+least-recently-used entries down to the budget.
+
+Failures exit nonzero: 2 for bad arguments (argparse), 1 for runtime
+errors and for campaigns that finish with failed/blocked jobs.
 """
 
 from __future__ import annotations
@@ -39,9 +49,42 @@ __all__ = ["main"]
 _BLOCK_CELLS = {"4LCn": 306, "4LCs": 306, "4LCo": 306, "3LCn": 354, "3LCo": 354}
 
 
+def _jobs_count(text: str) -> int:
+    """``--jobs`` value: a non-negative integer (0 = all cores).
+
+    Rejected here, at parse time, so a bad value yields a one-line usage
+    error instead of a ProcessPoolExecutor traceback deep in a sweep.
+    """
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--jobs expects an integer, got {text!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = all cores), got {jobs}"
+        )
+    return jobs
+
+
+def _size_bytes(text: str) -> int:
+    """Byte count with an optional K/M/G/T suffix (e.g. ``512M``)."""
+    s = text.strip().upper().removesuffix("B")
+    scale = 1
+    if s and s[-1] in "KMGT":
+        scale = 1024 ** ("KMGT".index(s[-1]) + 1)
+        s = s[:-1]
+    try:
+        n = int(float(s) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r} (try 1000000 or 512M)")
+    if n < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0")
+    return n
+
+
 def _add_mc_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=_jobs_count, default=1,
         help="Monte Carlo worker processes (0 = all cores)",
     )
     p.add_argument(
@@ -158,11 +201,119 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached result(s) from {cache.cache_dir}")
+    elif args.action == "prune":
+        if args.max_bytes is None:
+            raise SystemExit("cache prune requires --max-bytes")
+        removed, freed = cache.prune(args.max_bytes)
+        print(
+            f"pruned {removed} least-recently-used entr"
+            f"{'y' if removed == 1 else 'ies'} ({freed:,} bytes) from "
+            f"{cache.cache_dir}; {cache.nbytes():,} bytes remain"
+        )
     else:
         entries = cache.entries()
         print(f"cache dir: {cache.cache_dir}")
         print(f"entries:   {len(entries)}")
         print(f"size:      {cache.nbytes():,} bytes")
+    return 0
+
+
+def _load_campaign_spec(spec_arg: str, samples: int | None, seed: int | None):
+    """Resolve ``--spec``: a built-in name or a TOML file path."""
+    import dataclasses
+    import os
+
+    from repro.campaign.spec import (
+        BUILTIN_CAMPAIGNS,
+        builtin_campaign,
+        campaign_from_toml,
+    )
+
+    if spec_arg in BUILTIN_CAMPAIGNS:
+        return builtin_campaign(spec_arg, n_samples=samples, seed=seed)
+    if os.path.exists(spec_arg):
+        spec = campaign_from_toml(spec_arg)
+        overrides = {}
+        if samples is not None:
+            overrides["defaults"] = {**spec.defaults, "n_samples": int(samples)}
+        if seed is not None:
+            overrides["seed"] = int(seed)
+        return dataclasses.replace(spec, **overrides) if overrides else spec
+    raise SystemExit(
+        f"--spec {spec_arg!r} is neither a built-in campaign "
+        f"({', '.join(sorted(BUILTIN_CAMPAIGNS))}) nor a TOML file"
+    )
+
+
+def _campaign_scheduler(args: argparse.Namespace, spec):
+    from repro.campaign.scheduler import CampaignScheduler
+    from repro.campaign.store import RunStore
+
+    run_dir = args.run_dir or f"campaign-runs/{spec.name}"
+    store = RunStore(run_dir)
+    progress = sys.stderr.isatty() and not getattr(args, "no_progress", False)
+    return CampaignScheduler(
+        spec,
+        store,
+        mc_jobs=args.jobs,
+        cache=_cache_from_args(args),
+        max_parallel=args.max_parallel,
+        progress=progress,
+    )
+
+
+def _finish_campaign(sched, resume: bool) -> int:
+    from repro.campaign.report import render_summary
+
+    result = sched.run(resume=resume)
+    print(render_summary(sched.store), end="")
+    if not result.ok:
+        print("campaign finished with failed/blocked jobs", file=sys.stderr)
+    return result.exit_code
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _load_campaign_spec(args.spec, args.samples, args.seed)
+    sched = _campaign_scheduler(args, spec)
+    return _finish_campaign(sched, resume=False)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.campaign.spec import campaign_from_dict
+    from repro.campaign.store import RunStore
+
+    store = RunStore(args.run_dir)
+    if not store.exists():
+        raise SystemExit(f"no campaign manifest under {args.run_dir}")
+    spec = campaign_from_dict(store.read_manifest()["spec"])
+    sched = _campaign_scheduler(args, spec)
+    return _finish_campaign(sched, resume=True)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign.report import render_summary
+    from repro.campaign.store import RunStore
+
+    store = RunStore(args.run_dir)
+    if not store.exists():
+        raise SystemExit(f"no campaign manifest under {args.run_dir}")
+    print(render_summary(store), end="")
+    status = store.read_status()
+    if status and status.get("finished") and not status.get("ok"):
+        return 1
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign.report import write_report
+    from repro.campaign.store import RunStore
+
+    store = RunStore(args.run_dir)
+    if not store.exists():
+        raise SystemExit(f"no campaign manifest under {args.run_dir}")
+    written = write_report(store, args.out)
+    for path in written:
+        print(f"wrote {path}")
     return 0
 
 
@@ -243,10 +394,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mc_flags(w)
     w.set_defaults(func=_cmd_sweep)
 
-    k = sub.add_parser("cache", help="inspect or clear the MC result cache")
-    k.add_argument("action", choices=["info", "clear"])
+    k = sub.add_parser(
+        "cache",
+        help="inspect, clear, or prune the MC result cache",
+        description=(
+            "Manage the persistent Monte Carlo result cache.  The store "
+            "grows without bound as sweeps accumulate; 'prune --max-bytes N' "
+            "evicts least-recently-used entries (by mtime) until it fits."
+        ),
+    )
+    k.add_argument("action", choices=["info", "clear", "prune"])
     k.add_argument("--cache-dir", default=None, help="cache directory to operate on")
+    k.add_argument(
+        "--max-bytes", type=_size_bytes, default=None,
+        help="prune: evict LRU entries until the store is at most this "
+        "large (accepts suffixes: 512M, 2G, ...)",
+    )
     k.set_defaults(func=_cmd_cache)
+
+    g = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns over the MC engine",
+        description=(
+            "Run a declarative campaign spec (a DAG of sweep/mapping/"
+            "retention jobs) with retries, failure isolation, and "
+            "crash-safe resume from the run directory."
+        ),
+    )
+    gsub = g.add_subparsers(dest="campaign_cmd", required=True)
+
+    def _add_campaign_exec_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--max-parallel", type=int, default=None,
+            help="concurrent campaign jobs (default: the spec's setting)",
+        )
+        p.add_argument(
+            "--no-progress", action="store_true",
+            help="suppress the terminal progress line",
+        )
+        _add_mc_flags(p)
+
+    cr = gsub.add_parser("run", help="start (or continue) a campaign")
+    cr.add_argument(
+        "--spec", required=True,
+        help="built-in campaign name (fig3, fig8, fig3_fig8, retention, "
+        "smoke) or a TOML spec file",
+    )
+    cr.add_argument(
+        "--run-dir", default=None,
+        help="run directory (default: campaign-runs/<name>)",
+    )
+    cr.add_argument(
+        "--samples", type=int, default=None,
+        help="override the spec's default MC sample count",
+    )
+    cr.add_argument("--seed", type=int, default=None, help="override the spec seed")
+    _add_campaign_exec_flags(cr)
+    cr.set_defaults(func=_cmd_campaign_run)
+
+    cm = gsub.add_parser(
+        "resume", help="finish a killed/failed campaign; completed jobs are kept"
+    )
+    cm.add_argument("--run-dir", required=True)
+    _add_campaign_exec_flags(cm)
+    cm.set_defaults(func=_cmd_campaign_resume)
+
+    cs = gsub.add_parser("status", help="job states and counters of a run")
+    cs.add_argument("--run-dir", required=True)
+    cs.set_defaults(func=_cmd_campaign_status)
+
+    cp = gsub.add_parser("report", help="render a run into results/ tables")
+    cp.add_argument("--run-dir", required=True)
+    cp.add_argument("--out", default="results", help="output directory")
+    cp.set_defaults(func=_cmd_campaign_report)
 
     a = sub.add_parser("availability", help="refresh availability model")
     a.add_argument("--device-gb", type=int, default=16)
@@ -265,8 +485,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse and dispatch; failed subcommands exit nonzero.
+
+    Runtime failures (bad design names, missing run dirs, spec errors,
+    I/O problems) print one ``error:`` line and return 1 instead of a
+    traceback; argparse itself exits 2 for malformed arguments.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SystemExit:
+        raise
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

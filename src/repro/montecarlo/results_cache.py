@@ -135,6 +135,11 @@ class ResultsCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            # Touch the entry so LRU pruning (mtime order) tracks use.
+            os.utime(self._path(key))
+        except OSError:
+            pass
         self._remember(key, counts)
         return counts.copy()
 
@@ -170,3 +175,36 @@ class ResultsCache:
                 removed += 1
         self._mem.clear()
         return removed
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict least-recently-used entries until the store fits ``max_bytes``.
+
+        Recency is mtime: ``get_counts``/``put_counts`` touch an entry's
+        file, so eviction order tracks actual use even across processes
+        sharing the directory.  Returns ``(entries_removed, bytes_freed)``.
+        The in-memory front drops evicted keys too, so a pruned entry
+        cannot be resurrected from memory with a stale on-disk view.
+        """
+        max_bytes = int(max_bytes)
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if not self.cache_dir.is_dir():
+            return (0, 0)
+        entries = []
+        for p in self.cache_dir.glob("*.npy"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue  # concurrently removed
+            entries.append((st.st_mtime, st.st_size, p))
+        total = sum(size for _, size, _ in entries)
+        removed = freed = 0
+        for _, size, p in sorted(entries):  # oldest mtime first
+            if total <= max_bytes:
+                break
+            p.unlink(missing_ok=True)
+            self._mem.pop(p.stem, None)
+            total -= size
+            removed += 1
+            freed += size
+        return (removed, freed)

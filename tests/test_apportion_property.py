@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) for largest-remainder apportionment.
+
+``apportion_samples`` allocates a design's total Monte Carlo sample count
+over its state occupancy weights; the MC resolution floor (``1/n``) is
+only honest if the shares sum *exactly* to ``n``.  Three invariants, over
+arbitrary inputs:
+
+1. shares always sum exactly to ``n_samples``;
+2. shares are never negative (and never exceed the ceiling of the quota);
+3. raising a single weight never lowers that entry's share (monotone in
+   weights — largest-remainder has no single-weight population paradox).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.montecarlo.executor import apportion_samples
+
+weights_st = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e9,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda w: sum(w) > 0)
+
+n_st = st.integers(min_value=0, max_value=10_000_000)
+
+
+@settings(deadline=None)
+@given(n=n_st, weights=weights_st)
+def test_shares_sum_exactly_to_n(n, weights):
+    shares = apportion_samples(n, weights)
+    assert sum(shares) == n
+    assert len(shares) == len(weights)
+
+
+@settings(deadline=None)
+@given(n=n_st, weights=weights_st)
+def test_shares_never_negative_and_bounded_by_quota_ceiling(n, weights):
+    shares = apportion_samples(n, weights)
+    quotas = n * np.asarray(weights) / sum(weights)
+    for share, quota in zip(shares, quotas):
+        assert share >= 0
+        assert share <= int(np.ceil(quota)) + 1  # +1 absorbs fp rounding of quota
+        # A zero weight can never receive samples.
+    for share, w in zip(shares, weights):
+        if w == 0.0:
+            assert share == 0
+
+
+@settings(deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=100_000),
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=8,
+    ).filter(lambda w: sum(w) > 0),
+    index=st.integers(min_value=0, max_value=7),
+    bump=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+)
+def test_monotone_in_weights(n, weights, index, bump):
+    """Increasing one weight (others fixed) never decreases its share."""
+    index %= len(weights)
+    before = apportion_samples(n, weights)[index]
+    bumped = list(weights)
+    bumped[index] += bump
+    after = apportion_samples(n, bumped)[index]
+    assert after >= before
+
+
+def test_paper_occupancies_exact():
+    """The canonical designs' weights split common sample counts exactly."""
+    for weights in [(0.25,) * 4, (0.35, 0.15, 0.15, 0.35), (1 / 3,) * 3]:
+        for n in (1, 10, 999, 10**6 + 7):
+            shares = apportion_samples(n, weights)
+            assert sum(shares) == n
+            assert all(s >= 0 for s in shares)

@@ -1,0 +1,79 @@
+"""LRU-by-mtime eviction of the persistent MC result cache."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.results_cache import ResultsCache
+
+
+def fill(cache: ResultsCache, n: int, length: int = 64) -> list[str]:
+    """Store n entries with strictly increasing mtimes; returns keys."""
+    keys = []
+    for i in range(n):
+        key = f"{i:064x}"
+        cache.put_counts(key, np.arange(length, dtype=np.int64))
+        # Deterministic mtime ordering regardless of filesystem resolution.
+        os.utime(cache._path(key), (1000.0 + i, 1000.0 + i))
+        keys.append(key)
+    return keys
+
+
+class TestPrune:
+    def test_evicts_oldest_first(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        keys = fill(cache, 4)
+        entry_size = cache.nbytes() // 4
+        removed, freed = cache.prune(2 * entry_size)
+        assert removed == 2
+        assert freed == 2 * entry_size
+        assert cache.entries() == sorted(keys[2:])
+        assert cache.nbytes() <= 2 * entry_size
+
+    def test_recently_read_entry_survives(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        keys = fill(cache, 3)
+        # Reading key 0 touches its mtime, so key 1 is now the LRU entry.
+        assert cache.get_counts(keys[0]) is not None
+        entry_size = cache.nbytes() // 3
+        cache.prune(2 * entry_size)
+        assert keys[0] in cache.entries()
+        assert keys[1] not in cache.entries()
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        keys = fill(cache, 3)
+        removed, _freed = cache.prune(0)
+        assert removed == 3
+        assert cache.entries() == []
+        # The memory front must not resurrect evicted entries.
+        assert cache.get_counts(keys[-1]) is None
+
+    def test_noop_when_under_budget(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        fill(cache, 2)
+        before = cache.entries()
+        assert cache.prune(cache.nbytes()) == (0, 0)
+        assert cache.entries() == before
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        cache = ResultsCache(tmp_path / "never-created")
+        assert cache.prune(100) == (0, 0)
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultsCache(tmp_path).prune(-1)
+
+    def test_pruned_entry_recomputes_identically(self, tmp_path):
+        """End to end: evicting an entry only costs recomputation."""
+        from repro.cells.params import TABLE1
+        from repro.montecarlo.cer import state_cer
+
+        cache = ResultsCache(tmp_path)
+        a = state_cer(TABLE1["S2"], 4.5, [1024.0], 20_000, seed=0, cache=cache).cer
+        cache.prune(0)
+        assert cache.entries() == []
+        b = state_cer(TABLE1["S2"], 4.5, [1024.0], 20_000, seed=0, cache=cache).cer
+        assert a.tobytes() == b.tobytes()
+        assert len(cache.entries()) == 1

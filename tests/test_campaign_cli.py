@@ -1,0 +1,175 @@
+"""CLI: campaign subcommands, --jobs validation, nonzero exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC_TOML = """
+name = "cli-mini"
+seed = 2
+
+[defaults]
+n_samples = 10000
+times_s = [1024.0, 1048576.0]
+
+[[job]]
+id = "cer"
+kind = "design_cer"
+[job.params]
+design = "4LCn"
+
+[[job]]
+id = "ret"
+kind = "retention"
+needs = ["cer"]
+[job.params]
+design = "4LCn"
+n_cells = 306
+"""
+
+
+@pytest.fixture()
+def run_env(tmp_path, monkeypatch):
+    """Isolated cwd + MC cache for CLI invocations."""
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_MC_CACHE_DIR", str(tmp_path / "mc-cache"))
+    spec = tmp_path / "spec.toml"
+    spec.write_text(SPEC_TOML)
+    return tmp_path, spec
+
+
+class TestCampaignCommands:
+    def test_run_status_report_round_trip(self, run_env, capsys):
+        tmp_path, spec = run_env
+        run_dir = tmp_path / "run"
+        assert main(
+            ["campaign", "run", "--spec", str(spec), "--run-dir", str(run_dir),
+             "--no-progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cli-mini" in out and "done" in out
+        assert (run_dir / "manifest.json").is_file()
+        assert (run_dir / "events.jsonl").is_file()
+        assert json.loads((run_dir / "jobs" / "cer.json").read_text())["n_samples"]
+
+        assert main(["campaign", "status", "--run-dir", str(run_dir)]) == 0
+        assert "done" in capsys.readouterr().out
+
+        out_dir = tmp_path / "results"
+        assert main(
+            ["campaign", "report", "--run-dir", str(run_dir), "--out", str(out_dir)]
+        ) == 0
+        report_dir = out_dir / "campaign_cli-mini"
+        assert (report_dir / "SUMMARY.txt").is_file()
+        assert (report_dir / "cer.txt").is_file()
+        assert "CER" in (report_dir / "cer.txt").read_text()
+
+    def test_resume_after_run_is_noop(self, run_env, capsys):
+        tmp_path, spec = run_env
+        run_dir = tmp_path / "run"
+        assert main(
+            ["campaign", "run", "--spec", str(spec), "--run-dir", str(run_dir),
+             "--no-progress"]
+        ) == 0
+        assert main(
+            ["campaign", "resume", "--run-dir", str(run_dir), "--no-progress"]
+        ) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_builtin_spec_smoke(self, run_env, capsys):
+        tmp_path, _ = run_env
+        run_dir = tmp_path / "smoke-run"
+        assert main(
+            ["campaign", "run", "--spec", "smoke", "--samples", "5000",
+             "--run-dir", str(run_dir), "--jobs", "2", "--no-progress"]
+        ) == 0
+        assert "retention-opt" in capsys.readouterr().out
+
+    def test_failed_campaign_exits_nonzero(self, run_env, capsys):
+        tmp_path, _ = run_env
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            """
+            name = "bad"
+            backoff_s = 0.0
+
+            [[job]]
+            id = "boom"
+            kind = "fail"
+
+            [[job]]
+            id = "child"
+            kind = "capacity"
+            needs = ["boom"]
+            """
+        )
+        run_dir = tmp_path / "bad-run"
+        assert main(
+            ["campaign", "run", "--spec", str(bad), "--run-dir", str(run_dir),
+             "--no-progress"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "failed/blocked" in err
+        assert main(["campaign", "status", "--run-dir", str(run_dir)]) == 1
+
+
+class TestErrorExits:
+    def test_unknown_spec_exits_nonzero(self, run_env):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--spec", "no-such-campaign"])
+
+    def test_status_of_missing_run_dir(self, run_env):
+        with pytest.raises(SystemExit):
+            main(["campaign", "status", "--run-dir", "does-not-exist"])
+
+    def test_negative_jobs_rejected_at_parse_time(self, run_env, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--jobs", "-1"])
+        assert exc.value.code == 2
+        assert "--jobs must be >= 0" in capsys.readouterr().err
+
+    def test_non_integer_jobs_rejected(self, run_env, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["cer", "--mc-samples", "10", "--jobs", "two"])
+        assert exc.value.code == 2
+        assert "expects an integer" in capsys.readouterr().err
+
+    def test_runtime_error_returns_one(self, run_env, capsys):
+        # A spec file that parses as TOML but fails validation.
+        tmp_path, _ = run_env
+        broken = tmp_path / "broken.toml"
+        broken.write_text('name = "x"\n')
+        assert main(["campaign", "run", "--spec", str(broken)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCachePruneCLI:
+    def test_prune_requires_max_bytes(self, run_env):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune"])
+
+    def test_prune_evicts_to_budget(self, run_env, capsys):
+        tmp_path, _ = run_env
+        import numpy as np
+
+        from repro.montecarlo.results_cache import ResultsCache
+
+        cache_dir = tmp_path / "prunable"
+        cache = ResultsCache(cache_dir)
+        for i in range(4):
+            cache.put_counts(f"{i:064x}", np.arange(100, dtype=np.int64))
+        assert main(
+            ["cache", "prune", "--max-bytes", "0", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "pruned 4" in capsys.readouterr().out
+        assert cache.entries() == []
+
+    def test_size_suffix(self, run_env, capsys):
+        tmp_path, _ = run_env
+        cache_dir = tmp_path / "empty-cache"
+        assert main(
+            ["cache", "prune", "--max-bytes", "1K", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "pruned 0" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Campaign crash-resume: a killed run finishes without re-executing any
+completed job (verified from the event log) and its final results are
+bit-identical to an uninterrupted run."""
+
+import json
+
+import pytest
+
+from repro.campaign.events import read_events
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import campaign_from_dict
+from repro.campaign.store import RunStore
+
+N = 15_000
+TIMES = [1024.0, 2.0**20]
+
+
+def chain_spec():
+    # a -> b -> c so the crash point (after a) leaves b/c unfinished.
+    return campaign_from_dict(
+        {
+            "name": "resumable",
+            "seed": 5,
+            "defaults": {"n_samples": N, "times_s": TIMES},
+            "job": [
+                {"id": "a", "kind": "design_cer", "params": {"design": "4LCn"}},
+                {
+                    "id": "b",
+                    "kind": "design_cer",
+                    "needs": ["a"],
+                    "params": {"design": "3LCn", "seed_offset": 1},
+                },
+                {
+                    "id": "c",
+                    "kind": "retention",
+                    "needs": ["b"],
+                    "params": {"design": "3LCn", "n_cells": 354, "ecc_t": 1},
+                },
+            ],
+        }
+    )
+
+
+class Crash(RuntimeError):
+    pass
+
+
+def crash_after(job_id):
+    def hook(done_id, _state):
+        if done_id == job_id:
+            raise Crash(f"simulated kill after {done_id}")
+
+    return hook
+
+
+def job_start_counts(store):
+    counts = {}
+    for e in read_events(store.events_path):
+        if e["event"] == "job_start":
+            counts[e["job"]] = counts.get(e["job"], 0) + 1
+    return counts
+
+
+class TestCrashResume:
+    def test_resume_completes_without_reexecution(self, tmp_path):
+        spec = chain_spec()
+
+        # Reference: one uninterrupted run.
+        ref_store = RunStore(tmp_path / "ref")
+        ref = CampaignScheduler(spec, ref_store).run()
+        assert ref.ok
+
+        # Crashed run: killed right after job "a" completes.
+        store = RunStore(tmp_path / "crashed")
+        with pytest.raises(Crash):
+            CampaignScheduler(spec, store, after_job=crash_after("a")).run()
+        assert set(store.completed_jobs()) == {"a"}
+        assert job_start_counts(store) == {"a": 1}
+
+        # Resume: only b and c execute; "a" is restored from disk.
+        result = CampaignScheduler(spec, store).run(resume=True)
+        assert result.ok
+        counts = job_start_counts(store)
+        assert counts == {"a": 1, "b": 1, "c": 1}, (
+            "a completed job was re-executed after resume"
+        )
+        cached = [
+            e["job"]
+            for e in read_events(store.events_path)
+            if e["event"] == "job_cached"
+        ]
+        assert cached == ["a"]
+
+        # Final results are bit-identical to the uninterrupted run
+        # (byte-equal persisted JSON, hence identical parsed floats).
+        for job_id in ("a", "b", "c"):
+            assert (
+                store.result_path(job_id).read_bytes()
+                == ref_store.result_path(job_id).read_bytes()
+            )
+            assert result.results[job_id] == json.loads(
+                ref_store.result_path(job_id).read_text()
+            )
+
+    def test_resume_requires_existing_run(self, tmp_path):
+        spec = chain_spec()
+        sched = CampaignScheduler(spec, RunStore(tmp_path / "missing"))
+        with pytest.raises(FileNotFoundError, match="campaign run"):
+            sched.run(resume=True)
+
+    def test_rerun_of_finished_campaign_is_all_cached(self, tmp_path):
+        spec = chain_spec()
+        store = RunStore(tmp_path / "run")
+        first = CampaignScheduler(spec, store).run()
+        assert first.ok
+        second = CampaignScheduler(spec, store).run(resume=True)
+        assert second.ok
+        assert set(second.states.values()) == {"cached"}
+        assert second.results == first.results
+        # No additional executions were logged.
+        assert job_start_counts(store) == {"a": 1, "b": 1, "c": 1}
+
+    def test_resume_retries_previously_failed_jobs(self, tmp_path):
+        spec = campaign_from_dict(
+            {
+                "name": "flaky",
+                "backoff_s": 0.0,
+                "job": [
+                    {"id": "ok", "kind": "capacity"},
+                    {"id": "bad", "kind": "fail"},
+                    {"id": "child", "kind": "capacity", "needs": ["bad"]},
+                ],
+            }
+        )
+        store = RunStore(tmp_path / "run")
+        first = CampaignScheduler(spec, store, sleep=lambda _t: None).run()
+        assert first.states == {"ok": "done", "bad": "failed", "child": "blocked"}
+
+        # On resume the failed job runs again (and fails again); the
+        # completed one does not.
+        second = CampaignScheduler(spec, store, sleep=lambda _t: None).run(
+            resume=True
+        )
+        assert second.states["ok"] == "cached"
+        assert second.states["bad"] == "failed"
+        assert job_start_counts(store)["ok"] == 1
+        assert job_start_counts(store)["bad"] == 2

@@ -1,0 +1,205 @@
+"""Campaign scheduler: execution, retry/backoff, failure isolation,
+and bit-identity of campaign results against the direct sweep paths."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.events import read_events
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import builtin_campaign, campaign_from_dict
+from repro.campaign.store import RunStore
+from repro.montecarlo import executor
+from repro.montecarlo.results_cache import ResultsCache
+from repro.montecarlo.sweep import fig3_state_sweep, fig8_design_sweep
+
+N = 20_000
+TIMES = [1024.0, 2.0**20]
+
+
+def run_campaign(spec, tmp_path, sub="run", **kw):
+    store = RunStore(tmp_path / sub)
+    sched = CampaignScheduler(spec, store, **kw)
+    return sched.run(), store
+
+
+def events_of(store, kind=None):
+    events = list(read_events(store.events_path))
+    if kind is None:
+        return events
+    return [e for e in events if e["event"] == kind]
+
+
+class TestExecution:
+    def test_chain_completes_and_persists(self, tmp_path):
+        spec = campaign_from_dict(
+            {
+                "name": "chain",
+                "seed": 3,
+                "defaults": {"n_samples": N, "times_s": TIMES},
+                "job": [
+                    {"id": "cer", "kind": "design_cer", "params": {"design": "4LCn"}},
+                    {
+                        "id": "ret",
+                        "kind": "retention",
+                        "needs": ["cer"],
+                        "params": {"design": "4LCn", "n_cells": 306, "ecc_t": 10},
+                    },
+                ],
+            }
+        )
+        result, store = run_campaign(spec, tmp_path)
+        assert result.ok and result.exit_code == 0
+        assert result.states == {"cer": "done", "ret": "done"}
+        assert store.read_result("cer")["n_samples"] == N
+        assert store.read_result("ret")["retention_s"] > 0
+        status = store.read_status()
+        assert status["finished"] and status["ok"]
+        start_events = events_of(store, "job_start")
+        assert [e["job"] for e in start_events] == ["cer", "ret"]
+
+    def test_design_from_feeds_optimized_design(self, tmp_path):
+        spec = campaign_from_dict(
+            {
+                "name": "opt-chain",
+                "defaults": {"n_samples": N, "times_s": TIMES},
+                "job": [
+                    {"id": "opt", "kind": "mapping_opt", "params": {"n_levels": 3}},
+                    {"id": "cer", "kind": "design_cer", "params": {"design_from": "opt"}},
+                ],
+            }
+        )
+        result, _ = run_campaign(spec, tmp_path)
+        assert result.ok
+        produced = result.results["opt"]["design"]
+        consumed = result.results["cer"]["design"]
+        assert consumed["mu_lrs"] == produced["mu_lrs"]
+        assert consumed["thresholds"] == produced["thresholds"]
+
+    def test_parallel_jobs_complete(self, tmp_path):
+        spec = campaign_from_dict(
+            {
+                "name": "par",
+                "max_parallel_jobs": 3,
+                "defaults": {"n_samples": N, "times_s": TIMES},
+                "job": [
+                    {"id": f"cer-{d}", "kind": "design_cer", "params": {"design": d}}
+                    for d in ("4LCn", "4LCs", "3LCn")
+                ],
+            }
+        )
+        result, _ = run_campaign(spec, tmp_path)
+        assert result.ok
+        assert len(result.results) == 3
+
+
+class TestBitIdentity:
+    """Campaign fig3/fig8 == the direct sweep paths: same numbers, same
+    cache keys (the acceptance criterion of the campaign subsystem)."""
+
+    def test_fig3_fig8_match_direct_sweeps_and_share_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        direct = ResultsCache(cache_dir)
+        f3 = fig3_state_sweep(n_samples=N, seed=0, cache=direct)
+        f8 = fig8_design_sweep(n_samples=N, seed=0, cache=direct)
+
+        spec = builtin_campaign("fig3_fig8", n_samples=N)
+        campaign_cache = ResultsCache(cache_dir)
+        before = executor.blocks_evaluated()
+        result, _ = run_campaign(spec, tmp_path, cache=campaign_cache)
+        assert result.ok
+        # Same cache keys: every state run is a hit, nothing re-evaluated.
+        assert campaign_cache.stats.misses == 0
+        assert campaign_cache.stats.hits > 0
+        assert executor.blocks_evaluated() == before
+
+        r3, r8 = result.results["fig3"], result.results["fig8"]
+        for s, curve in f3.series.items():
+            assert np.asarray(r3["series"][s]).tobytes() == curve.tobytes()
+        for d, curve in f8.series.items():
+            assert np.asarray(r8["series"][d]).tobytes() == curve.tobytes()
+
+
+class TestRetryAndIsolation:
+    def _failing_spec(self, retries=3):
+        return campaign_from_dict(
+            {
+                "name": "faulty",
+                "retries": 0,
+                "backoff_s": 0.5,
+                "backoff_factor": 2.0,
+                "backoff_max_s": 30.0,
+                "max_parallel_jobs": 2,
+                "job": [
+                    {
+                        "id": "bad",
+                        "kind": "fail",
+                        "retries": retries,
+                        "params": {"message": "boom"},
+                    },
+                    {"id": "child", "kind": "capacity", "needs": ["bad"]},
+                    {"id": "grandchild", "kind": "capacity", "needs": ["child"]},
+                    {"id": "independent", "kind": "capacity"},
+                ],
+            }
+        )
+
+    def test_retries_with_exponential_backoff(self, tmp_path):
+        delays = []
+        result, store = run_campaign(
+            self._failing_spec(retries=3), tmp_path, sleep=delays.append
+        )
+        # 1 initial attempt + 3 retries, backoff 0.5 * 2**k
+        assert delays == [0.5, 1.0, 2.0]
+        starts = [e for e in events_of(store, "job_start") if e["job"] == "bad"]
+        assert [e["attempt"] for e in starts] == [1, 2, 3, 4]
+        retries = events_of(store, "job_retry")
+        assert [e["delay_s"] for e in retries] == [0.5, 1.0, 2.0]
+        assert all("boom" in e["error"] for e in retries)
+        (failed,) = events_of(store, "job_failed")
+        assert failed["job"] == "bad" and failed["attempts"] == 4
+        assert result.metrics["retries"] == 3
+
+    def test_backoff_capped(self, tmp_path):
+        spec = campaign_from_dict(
+            {
+                "name": "cap",
+                "backoff_s": 10.0,
+                "backoff_factor": 10.0,
+                "backoff_max_s": 15.0,
+                "job": [{"id": "bad", "kind": "fail", "retries": 2}],
+            }
+        )
+        delays = []
+        run_campaign(spec, tmp_path, sleep=delays.append)
+        assert delays == [10.0, 15.0]
+
+    def test_failure_isolation_blocks_only_dependents(self, tmp_path):
+        result, store = run_campaign(
+            self._failing_spec(retries=0), tmp_path, sleep=lambda _t: None
+        )
+        assert result.states == {
+            "bad": "failed",
+            "child": "blocked",
+            "grandchild": "blocked",
+            "independent": "done",
+        }
+        assert not result.ok and result.exit_code == 1
+        blocked = events_of(store, "job_blocked")
+        assert {e["job"] for e in blocked} == {"child", "grandchild"}
+        assert all(e["cause"] == "bad" for e in blocked)
+        # Blocked jobs never started.
+        assert {e["job"] for e in events_of(store, "job_start")} == {
+            "bad",
+            "independent",
+        }
+        status = store.read_status()
+        assert status["finished"] and status["ok"] is False
+
+    def test_mismatched_run_dir_rejected(self, tmp_path):
+        spec_a = self._failing_spec()
+        result, store = run_campaign(spec_a, tmp_path, sleep=lambda _t: None)
+        other = campaign_from_dict(
+            {"name": "other", "job": [{"id": "a", "kind": "capacity"}]}
+        )
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignScheduler(other, store).run()

@@ -1,0 +1,176 @@
+"""Campaign spec validation and DAG planning."""
+
+import pytest
+
+from repro.campaign.plan import build_plan
+from repro.campaign.spec import (
+    BUILTIN_CAMPAIGNS,
+    SpecError,
+    builtin_campaign,
+    campaign_from_dict,
+    campaign_from_toml,
+)
+
+
+def _spec_dict(**over):
+    d = {
+        "name": "t",
+        "job": [
+            {"id": "a", "kind": "capacity"},
+            {"id": "b", "kind": "capacity", "needs": ["a"]},
+        ],
+    }
+    d.update(over)
+    return d
+
+
+class TestSpecValidation:
+    def test_minimal_round_trip(self):
+        spec = campaign_from_dict(_spec_dict())
+        assert campaign_from_dict(spec.to_dict()) == spec
+
+    def test_duplicate_job_id_rejected(self):
+        d = _spec_dict(job=[{"id": "a", "kind": "capacity"}] * 2)
+        with pytest.raises(SpecError, match="duplicate"):
+            campaign_from_dict(d)
+
+    def test_unknown_kind_rejected(self):
+        d = _spec_dict(job=[{"id": "a", "kind": "frobnicate"}])
+        with pytest.raises(SpecError, match="unknown kind"):
+            campaign_from_dict(d)
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown campaign key"):
+            campaign_from_dict(_spec_dict(retrys=3))
+
+    def test_unknown_job_key_rejected(self):
+        d = _spec_dict(job=[{"id": "a", "kind": "capacity", "need": ["x"]}])
+        with pytest.raises(SpecError, match="unknown key"):
+            campaign_from_dict(d)
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(SpecError, match="no jobs"):
+            campaign_from_dict(_spec_dict(job=[]))
+
+    def test_negative_retries_rejected(self):
+        d = _spec_dict(job=[{"id": "a", "kind": "capacity", "retries": -1}])
+        with pytest.raises(SpecError, match="retries"):
+            campaign_from_dict(d)
+
+    def test_toml_round_trip(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text(
+            """
+            name = "from-toml"
+            seed = 7
+
+            [defaults]
+            n_samples = 1000
+
+            [[job]]
+            id = "cer"
+            kind = "design_cer"
+            [job.params]
+            design = "4LCn"
+
+            [[job]]
+            id = "ret"
+            kind = "retention"
+            needs = ["cer"]
+            [job.params]
+            design = "4LCn"
+            n_cells = 306
+            """
+        )
+        spec = campaign_from_toml(path)
+        assert spec.name == "from-toml"
+        assert spec.seed == 7
+        assert spec.job("ret").needs == ("cer",)
+        assert spec.job("cer").params["design"] == "4LCn"
+
+
+class TestPlan:
+    def test_topological_order(self):
+        spec = campaign_from_dict(_spec_dict())
+        plan = build_plan(spec)
+        assert plan.order.index("a") < plan.order.index("b")
+
+    def test_deterministic_order(self):
+        d = _spec_dict(
+            job=[
+                {"id": "z", "kind": "capacity"},
+                {"id": "a", "kind": "capacity"},
+                {"id": "m", "kind": "capacity", "needs": ["z", "a"]},
+            ]
+        )
+        orders = {build_plan(campaign_from_dict(d)).order for _ in range(5)}
+        assert orders == {("a", "z", "m")}
+
+    def test_design_from_is_an_implicit_edge(self):
+        d = _spec_dict(
+            job=[
+                {"id": "opt", "kind": "mapping_opt", "params": {"n_levels": 3}},
+                {
+                    "id": "cer",
+                    "kind": "design_cer",
+                    "params": {"design_from": "opt"},
+                },
+            ]
+        )
+        plan = build_plan(campaign_from_dict(d))
+        assert plan.needs["cer"] == ("opt",)
+        assert plan.dependents["opt"] == ("cer",)
+
+    def test_unknown_dependency_rejected(self):
+        d = _spec_dict(job=[{"id": "a", "kind": "capacity", "needs": ["ghost"]}])
+        with pytest.raises(SpecError, match="unknown job"):
+            build_plan(campaign_from_dict(d))
+
+    def test_cycle_rejected(self):
+        d = _spec_dict(
+            job=[
+                {"id": "a", "kind": "capacity", "needs": ["b"]},
+                {"id": "b", "kind": "capacity", "needs": ["a"]},
+            ]
+        )
+        with pytest.raises(SpecError, match="cycle"):
+            build_plan(campaign_from_dict(d))
+
+    def test_self_dependency_rejected(self):
+        d = _spec_dict(job=[{"id": "a", "kind": "capacity", "needs": ["a"]}])
+        with pytest.raises(SpecError, match="itself"):
+            build_plan(campaign_from_dict(d))
+
+    def test_transitive_dependents(self):
+        d = _spec_dict(
+            job=[
+                {"id": "a", "kind": "capacity"},
+                {"id": "b", "kind": "capacity", "needs": ["a"]},
+                {"id": "c", "kind": "capacity", "needs": ["b"]},
+                {"id": "x", "kind": "capacity"},
+            ]
+        )
+        plan = build_plan(campaign_from_dict(d))
+        assert plan.transitive_dependents("a") == ("b", "c")
+        assert plan.transitive_dependents("x") == ()
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_CAMPAIGNS))
+    def test_all_builtins_plan(self, name):
+        plan = build_plan(builtin_campaign(name))
+        assert len(plan.order) >= 1
+
+    def test_sample_and_seed_overrides(self):
+        spec = builtin_campaign("fig3_fig8", n_samples=1234, seed=9)
+        assert spec.defaults["n_samples"] == 1234
+        assert spec.seed == 9
+
+    def test_unknown_builtin(self):
+        with pytest.raises(SpecError, match="unknown built-in"):
+            builtin_campaign("nope")
+
+    def test_retention_chain_wires_mapping_into_cer(self):
+        plan = build_plan(builtin_campaign("retention"))
+        assert "mapping-3lc" in plan.needs["cer-3lc"]
+        assert set(plan.needs["retention-3lc"]) == {"cer-3lc", "mapping-3lc"}

@@ -114,6 +114,8 @@ class TestCLIEdgeCases:
         out = capsys.readouterr().out
         assert "device refresh pass: 67 s" in out
 
-    def test_simulate_unknown_workload(self):
-        with pytest.raises(KeyError):
-            main(["simulate", "--workload", "gcc", "--accesses", "100"])
+    def test_simulate_unknown_workload_exits_nonzero(self, capsys):
+        # Runtime failures are reported as an error line + exit 1, not a
+        # traceback (the CLI's failed-subcommand contract).
+        assert main(["simulate", "--workload", "gcc", "--accesses", "100"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
