@@ -7,13 +7,11 @@ quantifies that trade against the paper's retention-first 3LCo:
 S2 window scale -> write pulses -> S2 spread -> retention.
 """
 
-import numpy as np
 
 from repro.cells.params import (
     SIGMA_R,
     WRITE_TRUNCATION_SIGMA,
     StateParams,
-    state_params_for_levels,
 )
 from repro.cells.program import IterativeWriteModel
 from repro.core.designs import three_level_optimal

@@ -10,7 +10,7 @@ the wearout-tolerance overhead of the generalized mark-and-spare for a
 
 import numpy as np
 
-from repro.coding.enumerative import EnumerativeCode, best_group
+from repro.coding.enumerative import best_group
 
 from _report import emit, render_table
 

@@ -10,7 +10,6 @@ net of those check bits: denser cells remain nonvolatile, but the
 "simple or no ECC" property is unique to the 3-level design.
 """
 
-import numpy as np
 
 from repro.analysis.bler import block_error_rate
 from repro.analysis.targets import PAPER_TARGET, SECONDS_PER_YEAR

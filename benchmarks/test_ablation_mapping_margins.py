@@ -8,7 +8,6 @@ level, thresholds pinned against the neighbouring write window — while
 the window width itself scales with sigma.
 """
 
-import numpy as np
 
 from repro.cells.params import SIGMA_R, WRITE_TRUNCATION_SIGMA
 from repro.core.levels import LevelDesign

@@ -5,7 +5,6 @@ the three pressures it balances (Section 4.1): bank availability, write-
 bandwidth share left to applications, and the BLER margin under BCH-10.
 """
 
-import numpy as np
 
 from repro.analysis.availability import PAPER_REFRESH_MODEL
 from repro.analysis.bler import block_error_rate

@@ -7,7 +7,6 @@ plus no escalation — the spread explains the residual gap between our
 Figure-8 3LC tails and the paper's (see EXPERIMENTS.md).
 """
 
-import numpy as np
 
 from repro.cells.drift import NO_ESCALATION, escalation_schedule
 from repro.core.designs import three_level_optimal

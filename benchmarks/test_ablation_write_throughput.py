@@ -7,9 +7,8 @@ the 3LC advantage shrinking as write bandwidth stops being the
 bottleneck.
 """
 
-import dataclasses
 
-from repro.sim.config import MachineConfig, PAPER_VARIANTS
+from repro.sim.config import MachineConfig
 from repro.sim.runner import run_fig16
 
 from _report import emit, render_table

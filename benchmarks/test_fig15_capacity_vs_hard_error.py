@@ -1,6 +1,5 @@
 """Figure 15: storage capacity vs number of tolerated hard errors."""
 
-import numpy as np
 
 from repro.analysis.capacity import capacity_vs_hard_errors
 

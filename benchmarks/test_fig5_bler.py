@@ -1,6 +1,5 @@
 """Figure 5: block error rate vs cell error rate and ECC strength."""
 
-import numpy as np
 
 from repro.analysis.bler import block_error_rate, fig5_cell_counts
 from repro.analysis.targets import PAPER_TARGET, SECONDS_PER_YEAR, SEVENTEEN_MINUTES_S

@@ -7,7 +7,6 @@ model and marked with '*'.
 
 import os
 
-import numpy as np
 
 from repro.montecarlo.sweep import (
     PAPER_TIME_LABELS,

@@ -8,7 +8,6 @@ kernels are caught.
 """
 
 import numpy as np
-import pytest
 
 from repro.coding.bch import BCH
 from repro.coding.blockcodec import FourLevelBlockCodec, ThreeOnTwoBlockCodec

@@ -42,7 +42,12 @@ class EventLog:
         self._lock = threading.Lock()
 
     def emit(self, event: str, **fields: Any) -> dict[str, Any]:
-        record = {"ts": time.time(), "event": event, **fields}
+        record = {
+            # repro-lint: disable=RPL003 -- audit-trail timestamp; never enters job results or cache keys
+            "ts": time.time(),
+            "event": event,
+            **fields,
+        }
         line = json.dumps(record, sort_keys=True)
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -80,7 +85,10 @@ class Metrics:
     running: int = 0
     retries: int = 0
     samples: int = 0
-    started_at: float = dataclasses.field(default_factory=time.time)
+    started_at: float = dataclasses.field(
+        # repro-lint: disable=RPL003 -- throughput-metric epoch; reported, never part of results
+        default_factory=time.time
+    )
 
     @property
     def finished(self) -> int:
@@ -88,6 +96,7 @@ class Metrics:
 
     @property
     def elapsed_s(self) -> float:
+        # repro-lint: disable=RPL003 -- elapsed-time metric for samples/s display only
         return max(time.time() - self.started_at, 1e-9)
 
     @property

@@ -21,6 +21,7 @@ only orchestrates).  Robustness properties, each covered by tests:
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any, Callable
@@ -95,6 +96,9 @@ class CampaignScheduler:
         self.events = EventLog(store.events_path)
         self.results: dict[str, dict] = {}
         self.states: dict[str, str] = {}
+        # Guards states/results: worker threads snapshot dependency
+        # results while the scheduler thread mutates both maps (RPL004).
+        self._lock = threading.Lock()
 
     # -- helpers --------------------------------------------------------
     def _backoff(self, attempt: int) -> float:
@@ -113,14 +117,16 @@ class CampaignScheduler:
             self.events.emit("job_start", job=job.id, attempt=attempt)
             t0 = time.perf_counter()
             try:
+                with self._lock:
+                    dep_results = {
+                        dep: self.results[dep] for dep in self.plan.needs[job.id]
+                    }
                 ctx = JobContext(
                     seed=self.spec.seed,
                     defaults=self.spec.defaults,
                     mc_jobs=self.mc_jobs,
                     cache=self.cache,
-                    dep_results={
-                        dep: self.results[dep] for dep in self.plan.needs[job.id]
-                    },
+                    dep_results=dep_results,
                 )
                 result = run_job(job, ctx)
                 return result, attempt, time.perf_counter() - t0
@@ -152,7 +158,8 @@ class CampaignScheduler:
     def _block_dependents(self, job_id: str, metrics: Metrics) -> None:
         for dep in self.plan.transitive_dependents(job_id):
             if self.states[dep] == "pending":
-                self.states[dep] = "blocked"
+                with self._lock:
+                    self.states[dep] = "blocked"
                 metrics.blocked += 1
                 self.events.emit("job_blocked", job=dep, cause=job_id)
 
@@ -171,12 +178,14 @@ class CampaignScheduler:
         self.store.init(self.spec.to_dict(), list(self.plan.order))
 
         metrics = Metrics(total=len(self.plan.order))
-        self.states = {job_id: "pending" for job_id in self.plan.order}
+        with self._lock:
+            self.states = {job_id: "pending" for job_id in self.plan.order}
         restored = self.store.completed_jobs()
         for job_id in self.plan.order:
             if job_id in restored:
-                self.states[job_id] = "cached"
-                self.results[job_id] = restored[job_id]
+                with self._lock:
+                    self.states[job_id] = "cached"
+                    self.results[job_id] = restored[job_id]
                 metrics.cached += 1
                 self.events.emit("job_cached", job=job_id)
         self.events.emit(
@@ -195,7 +204,8 @@ class CampaignScheduler:
                 if self.states[job_id] != "pending":
                     continue
                 if all(self.states[d] in DONE_STATES for d in self.plan.needs[job_id]):
-                    self.states[job_id] = "running"
+                    with self._lock:
+                        self.states[job_id] = "running"
                     metrics.running += 1
                     futures[pool.submit(self._execute, self.plan.job(job_id))] = job_id
 
@@ -215,7 +225,8 @@ class CampaignScheduler:
                         result, attempts, elapsed = fut.result()
                     except Exception as exc:
                         attempts = self._retries_for(self.plan.job(job_id)) + 1
-                        self.states[job_id] = "failed"
+                        with self._lock:
+                            self.states[job_id] = "failed"
                         metrics.failed += 1
                         metrics.retries += attempts - 1
                         self.events.emit(
@@ -227,8 +238,9 @@ class CampaignScheduler:
                         self._block_dependents(job_id, metrics)
                     else:
                         self.store.write_result(job_id, result)
-                        self.results[job_id] = result
-                        self.states[job_id] = "done"
+                        with self._lock:
+                            self.results[job_id] = result
+                            self.states[job_id] = "done"
                         metrics.done += 1
                         metrics.retries += attempts - 1
                         n_samples = int(result.get("n_samples", 0) or 0)

@@ -38,7 +38,7 @@ class CellArray:
         rng: int | np.random.Generator = 0,
         wearout: WearoutModel | None = None,
         schedule: TieredDrift = PAPER_ESCALATION,
-    ):
+    ) -> None:
         if n < 1:
             raise ValueError("need at least one cell")
         self.n = n

@@ -19,7 +19,6 @@ are exposed for the ablation benchmarks.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
 
 import numpy as np
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cells.params import T0_SECONDS
 from repro.core.levels import LevelDesign
+from repro.montecarlo.rng import make_rng
 
 __all__ = [
     "SensingPolicy",
@@ -98,7 +99,7 @@ class ReferenceCellSensing(SensingPolicy):
     def measured_means(self, design: LevelDesign, age_s: float) -> np.ndarray:
         from repro.montecarlo.cer import sample_state_cells
 
-        rng = np.random.default_rng(self.seed)
+        rng = make_rng(self.seed)
         L = np.log10(max(age_s, T0_SECONDS) / T0_SECONDS)
         means = []
         for state in design.states:

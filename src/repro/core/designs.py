@@ -26,7 +26,6 @@ observation recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.core.levels import LevelDesign
 from repro.mapping.constraints import MARGIN

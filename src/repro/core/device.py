@@ -64,7 +64,7 @@ class PCMDevice:
         wearout: WearoutModel | None = None,
         schedule: TieredDrift = PAPER_ESCALATION,
         data_bits: int = 512,
-    ):
+    ) -> None:
         if n_blocks < 1:
             raise ValueError("need at least one block")
         self.n_blocks = n_blocks
@@ -109,7 +109,7 @@ class PCMDevice:
         base = block * self.cells_per_block
         return np.arange(base, base + self.cells_per_block)
 
-    def block_state(self, block: int):
+    def block_state(self, block: int) -> object:
         """Controller-side wearout state (MarkAndSpareBlock or ECPTable)."""
         self._cell_range(block)  # bounds check
         return self._block_state[block]

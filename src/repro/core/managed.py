@@ -16,7 +16,7 @@ import numpy as np
 from repro.cells.drift import PAPER_ESCALATION, TieredDrift
 from repro.cells.faults import WearoutModel
 from repro.coding.blockcodec import DecodedBlock
-from repro.core.device import PCMDevice
+from repro.core.device import DeviceStats, PCMDevice
 from repro.wearout.mark_and_spare import SpareExhausted
 from repro.wearout.remap import PoolExhausted, RemapDirectory
 
@@ -34,7 +34,7 @@ class ManagedPCMDevice:
         seed: int = 0,
         wearout: WearoutModel | None = None,
         schedule: TieredDrift = PAPER_ESCALATION,
-    ):
+    ) -> None:
         self.directory = RemapDirectory(n_logical_blocks, n_spare_blocks)
         self.device = PCMDevice(
             n_logical_blocks + n_spare_blocks,
@@ -80,5 +80,5 @@ class ManagedPCMDevice:
         return self.directory.spares_left
 
     @property
-    def stats(self):
+    def stats(self) -> DeviceStats:
         return self.device.stats

@@ -1,0 +1,40 @@
+"""`repro.lint` — AST-based invariant linter for this repository.
+
+The repo's reproducibility guarantees (bit-identical Monte Carlo results
+for any worker count, zero-re-execution campaign resume) rest on code
+conventions that ordinary linters cannot see: every generator must come
+from the :mod:`repro.montecarlo.rng` SeedSequence fan-out, every cache
+key must be salted with ``ENGINE_VERSION``, scheduler shared state must
+be mutated under its lock.  This package turns those conventions into
+machine-checked invariants:
+
+- per-rule AST visitors with stable codes (``RPL001``…), each documented
+  in ``docs/LINTING.md`` with the invariant it protects;
+- ``# repro-lint: disable=RPLxxx -- reason`` inline suppressions;
+- a ``[tool.repro-lint]`` pyproject config block (excludes, per-path
+  rule enables, severity and per-rule option overrides);
+- file-parallel execution with deterministic output ordering;
+- text and JSON reporters (schema in ``docs/LINTING.md``).
+
+Run it as ``python -m repro.lint [paths...]``; it exits nonzero iff an
+error-severity violation survives suppression.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintResult, lint_file, run_paths
+from repro.lint.rules import all_rules
+from repro.lint.rules.base import Rule, Severity, Violation
+
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "lint_file",
+    "load_config",
+    "run_paths",
+]

@@ -1,0 +1,116 @@
+"""CLI entry: ``python -m repro.lint [paths...]``.
+
+Exit status: 0 — clean (warnings allowed); 1 — at least one
+error-severity violation (or an unparseable file); 2 — usage or
+configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.config import ConfigError, LintConfig, load_config
+from repro.lint.engine import run_paths
+from repro.lint.reporters import render_json, render_rule_list, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant linter for the repro codebase: RNG "
+            "discipline, cache-key salting, wall-clock hygiene, lock "
+            "discipline, and general determinism hazards."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="files or directories to lint (default: current directory)",
+    )
+    parser.add_argument(
+        "-f",
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: min(cpus, 8); 1 = serial)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated codes to run (overrides config select)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="CODES",
+        help="comma-separated codes to skip (adds to config disable)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PATH",
+        help="pyproject.toml (or directory) to read [tool.repro-lint] from "
+        "(default: nearest pyproject above the current directory)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject configuration entirely",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the report body; only the exit status matters",
+    )
+    return parser
+
+
+def _codes(raw: str) -> list[str]:
+    return [c.strip().upper() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    try:
+        if args.no_config:
+            config = LintConfig()
+        else:
+            config = load_config(args.config if args.config else ".")
+    except ConfigError as exc:
+        print(f"repro.lint: configuration error: {exc}", file=sys.stderr)
+        return 2
+    if args.select:
+        config.select = _codes(args.select)
+    if args.disable:
+        config.disable = [*config.disable, *_codes(args.disable)]
+    result = run_paths(args.paths, config, jobs=args.jobs)
+    if not args.quiet:
+        report = (
+            render_json(result) if args.format == "json" else render_text(result)
+        )
+        print(report)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Lint engine: file discovery, per-file rule dispatch, parallel map.
+
+One file is one unit of work: read, tokenize suppressions, parse, run
+every enabled rule, filter suppressed findings.  Files fan out to a
+process pool (``ast.parse`` is CPU-bound) and results are re-sorted by
+``(path, line, col, code)``, so output is byte-identical for any
+``--jobs`` value — the linter holds itself to the same determinism
+contract it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import Rule, all_rules
+from repro.lint.rules.base import Severity, Violation
+from repro.lint.suppress import Suppressions
+
+__all__ = ["FileContext", "LintResult", "discover_files", "lint_file", "run_paths"]
+
+#: Code reported for files the parser rejects (not a rule; always on).
+PARSE_ERROR_CODE = "RPL000"
+
+
+@dataclasses.dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    rel_posix: str
+    source: str
+    config: LintConfig
+
+    @property
+    def display_path(self) -> str:
+        return self.rel_posix
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    violations: list[Violation]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for v in self.violations if v.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for v in self.violations if v.severity is Severity.WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def _rel_posix(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def discover_files(
+    paths: Sequence[str | os.PathLike], config: LintConfig
+) -> list[pathlib.Path]:
+    """Python files under ``paths``, minus config excludes, sorted."""
+    root = pathlib.Path(config.root)
+    seen: set[pathlib.Path] = set()
+    out: list[pathlib.Path] = []
+    for entry in paths:
+        p = pathlib.Path(entry)
+        if p.is_dir():
+            candidates: Iterable[pathlib.Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for c in candidates:
+            r = c.resolve()
+            if r in seen or config.is_excluded(_rel_posix(c, root)):
+                continue
+            seen.add(r)
+            out.append(c)
+    return sorted(out, key=lambda p: _rel_posix(p, pathlib.Path(config.root)))
+
+
+def lint_file(
+    path: str | os.PathLike,
+    config: LintConfig,
+    rules: Sequence[Rule] | None = None,
+) -> tuple[list[Violation], int]:
+    """Lint one file; returns ``(violations, n_suppressed)``."""
+    rules = list(rules) if rules is not None else all_rules()
+    p = pathlib.Path(path)
+    rel = _rel_posix(p, pathlib.Path(config.root))
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        unreadable = Violation(
+            path=rel,
+            line=1,
+            col=0,
+            code=PARSE_ERROR_CODE,
+            rule="unreadable-file",
+            severity=Severity.ERROR,
+            message=f"cannot read file: {exc}",
+        )
+        return [unreadable], 0
+    ctx = FileContext(path=str(p), rel_posix=rel, source=source, config=config)
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except SyntaxError as exc:
+        parse_error = Violation(
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR_CODE,
+            rule="syntax-error",
+            severity=Severity.ERROR,
+            message=f"cannot parse: {exc.msg}",
+        )
+        return [parse_error], 0
+    suppressions = Suppressions.from_source(source)
+    enabled = config.enabled_codes([r.code for r in rules], rel)
+    violations: list[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        if rule.code not in enabled:
+            continue
+        for violation in rule.check(tree, ctx):
+            if suppressions.is_suppressed(violation.code, violation.line):
+                suppressed += 1
+            else:
+                violations.append(violation)
+    violations.sort(key=Violation.sort_key)
+    return violations, suppressed
+
+
+def _lint_one(args: tuple[str, LintConfig]) -> tuple[list[Violation], int]:
+    # Top-level function so ProcessPoolExecutor can pickle the task.
+    path, config = args
+    return lint_file(path, config)
+
+
+def run_paths(
+    paths: Sequence[str | os.PathLike],
+    config: LintConfig | None = None,
+    jobs: int | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` (file-parallel).
+
+    ``jobs=None`` picks ``min(cpu_count, 8)``; ``jobs<=1`` or a handful
+    of files runs serially.  If the pool cannot start (restricted
+    sandboxes), the run silently degrades to serial — results are
+    identical by construction.
+    """
+    config = config if config is not None else LintConfig()
+    files = discover_files(paths, config)
+    tasks = [(str(f), config) for f in files]
+    if jobs is None:
+        jobs = min(os.cpu_count() or 1, 8)
+    results: list[tuple[list[Violation], int]]
+    if jobs <= 1 or len(tasks) < 4:
+        results = [_lint_one(t) for t in tasks]
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                chunk = max(1, len(tasks) // (jobs * 4))
+                results = list(pool.map(_lint_one, tasks, chunksize=chunk))
+        except (OSError, PermissionError, RuntimeError):
+            results = [_lint_one(t) for t in tasks]
+    violations: list[Violation] = []
+    suppressed = 0
+    for file_violations, file_suppressed in results:
+        violations.extend(file_violations)
+        suppressed += file_suppressed
+    violations.sort(key=Violation.sort_key)
+    return LintResult(
+        violations=violations, files_checked=len(files), suppressed=suppressed
+    )

@@ -1,0 +1,31 @@
+"""Rule registry: one instance of every shipped rule, ordered by code."""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Rule, Severity, Violation
+from repro.lint.rules.rpl001_rng import BannedRandomRule
+from repro.lint.rules.rpl002_cache_key import CacheKeyVersionRule
+from repro.lint.rules.rpl003_wallclock import WallClockRule
+from repro.lint.rules.rpl004_lock import LockDisciplineRule
+from repro.lint.rules.rpl005_float_eq import FloatEqualityRule
+from repro.lint.rules.rpl006_except import ExceptionSwallowRule
+from repro.lint.rules.rpl007_shell import ShellInvocationRule
+from repro.lint.rules.rpl008_mutable_defaults import MutableDefaultRule
+
+__all__ = ["Rule", "Severity", "Violation", "all_rules"]
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    BannedRandomRule,
+    CacheKeyVersionRule,
+    WallClockRule,
+    LockDisciplineRule,
+    FloatEqualityRule,
+    ExceptionSwallowRule,
+    ShellInvocationRule,
+    MutableDefaultRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return sorted((cls() for cls in _RULE_CLASSES), key=lambda r: r.code)

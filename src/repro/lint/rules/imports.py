@@ -1,0 +1,50 @@
+"""Import-alias resolution so rules match *canonical* dotted names.
+
+``np.random.default_rng``, ``numpy.random.default_rng`` and
+``from numpy.random import default_rng`` must all trip the same rule.
+:class:`ImportMap` records what each local name was bound to by the
+file's import statements, and :meth:`canonical` rewrites an expression's
+dotted path into fully-qualified module terms.  Resolution is purely
+lexical — a local variable shadowing an import alias later in the file
+is not tracked — which is the right trade for a linter: false positives
+stay suppressible, and no code is executed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import qualified_name
+
+__all__ = ["ImportMap"]
+
+
+class ImportMap:
+    """Local-name → canonical-module map for one parsed file."""
+
+    def __init__(self, tree: ast.Module):
+        self._alias: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._alias[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the *top* name.
+                        top = alias.name.split(".", 1)[0]
+                        self._alias[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay project-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._alias[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of an attribute chain, or None."""
+        dotted = qualified_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = self._alias.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved

@@ -1,0 +1,131 @@
+"""RPL001 — banned nondeterministic / unroutled RNG construction.
+
+Bit-identical Monte Carlo results (any worker count, any chunk size)
+hold only because every generator descends from the ``SeedSequence``
+spawn tree in :mod:`repro.montecarlo.rng`.  Three hazards break that:
+
+1. legacy global-state API (``np.random.seed``, ``np.random.normal``,
+   ``np.random.RandomState`` …) — hidden shared state, order-dependent;
+2. unseeded construction (``default_rng()`` / ``default_rng(None)`` /
+   ``SeedSequence()``) — fresh OS entropy every run;
+3. ad-hoc ``default_rng(...)`` / ``Generator(...)`` construction in
+   engine code — even seeded, it forks the stream outside the spawn
+   tree, so results stop being a pure function of the campaign seed.
+
+(1) and (2) are flagged everywhere.  (3) is flagged only under the
+``restricted`` path globs (default: ``src/*``) and never in the
+``allow``-listed fan-out modules; tests and benchmarks may build seeded
+generators directly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, Severity, Violation
+from repro.lint.rules.imports import ImportMap
+
+__all__ = ["BannedRandomRule"]
+
+_NS = "numpy.random"
+
+#: Legacy global-state functions plus the legacy RandomState class.
+_LEGACY = {
+    "seed", "random", "rand", "randn", "random_sample", "ranf", "sample",
+    "randint", "random_integers", "choice", "shuffle", "permutation",
+    "bytes", "normal", "standard_normal", "uniform", "binomial", "poisson",
+    "exponential", "gamma", "beta", "lognormal", "laplace", "logistic",
+    "multinomial", "multivariate_normal", "pareto", "rayleigh",
+    "triangular", "vonmises", "wald", "weibull", "zipf", "geometric",
+    "gumbel", "hypergeometric", "chisquare", "dirichlet", "logseries",
+    "negative_binomial", "power", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_t",
+    "get_state", "set_state", "RandomState",
+}
+
+_CONSTRUCTORS = {f"{_NS}.default_rng", f"{_NS}.Generator"}
+_SEEDED_CONSTRUCTORS = _CONSTRUCTORS | {f"{_NS}.SeedSequence"}
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True for ``f()`` / ``f(None)`` / ``f(entropy=None)`` / ``f(seed=None)``."""
+    if call.args and not (
+        isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    ):
+        return False
+    seedish = [
+        kw
+        for kw in call.keywords
+        if kw.arg in ("seed", "entropy") or kw.arg is None
+    ]
+    if call.args:
+        return not seedish  # positional None seed, nothing else seeding it
+    if not seedish:
+        return not call.keywords  # no args at all; other kwargs may seed
+    return all(
+        isinstance(kw.value, ast.Constant) and kw.value.value is None
+        for kw in seedish
+        if kw.arg is not None
+    )
+
+
+class BannedRandomRule(Rule):
+    code = "RPL001"
+    name = "banned-nondeterministic-rng"
+    severity = Severity.ERROR
+    rationale = (
+        "all randomness must flow through the SeedSequence spawn tree in "
+        "repro.montecarlo.rng, or results stop being reproducible"
+    )
+    default_options = {
+        # Where ad-hoc (even seeded) construction is an error.
+        "restricted": ["src/*"],
+        # Spawn-tree home modules, exempt from every clause.
+        "allow": ["*/montecarlo/rng.py", "*/montecarlo/executor.py"],
+    }
+
+    def check(self, tree: ast.Module, ctx) -> list[Violation]:
+        opts = self.options(ctx)
+        from repro.lint.config import path_matches
+
+        if path_matches(ctx.rel_posix, list(opts["allow"])):
+            return []
+        restricted = path_matches(ctx.rel_posix, list(opts["restricted"]))
+        imports = ImportMap(tree)
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(node.func)
+            if name is None or not name.startswith(_NS + "."):
+                continue
+            tail = name[len(_NS) + 1 :]
+            if tail in _LEGACY:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"legacy global-state RNG call {name}(); draw from a "
+                        "Generator built by repro.montecarlo.rng instead",
+                    )
+                )
+            elif name in _SEEDED_CONSTRUCTORS and _is_unseeded(node):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"unseeded {name}() draws fresh OS entropy; pass an "
+                        "explicit seed (or derive via repro.montecarlo.rng)",
+                    )
+                )
+            elif name in _CONSTRUCTORS and restricted:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"direct {name}(...) construction outside the "
+                        "SeedSequence fan-out modules; use "
+                        "repro.montecarlo.rng.make_rng/spawn_rngs/block_rng",
+                    )
+                )
+        return out

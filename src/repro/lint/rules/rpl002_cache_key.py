@@ -1,0 +1,70 @@
+"""RPL002 — cache-key builders must salt with ``ENGINE_VERSION``.
+
+The persistent result cache (:mod:`repro.montecarlo.results_cache`)
+promises that bumping ``ENGINE_VERSION`` invalidates every stale entry.
+That only holds if *every* function hashing key material mixes the
+version in; an unsalted key silently serves results computed by an old
+engine — byte-equal resume would restore wrong numbers.
+
+Detection: a function whose name looks like a key builder (``*_key``,
+``key``, ``*cache_key*`` by default) and whose body computes a digest
+via :mod:`hashlib` must reference one of the configured version names
+(default ``ENGINE_VERSION``) somewhere in its body.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+
+from repro.lint.rules.base import Rule, Severity, Violation, qualified_name
+from repro.lint.rules.imports import ImportMap
+
+__all__ = ["CacheKeyVersionRule"]
+
+
+class CacheKeyVersionRule(Rule):
+    code = "RPL002"
+    name = "cache-key-missing-engine-version"
+    severity = Severity.ERROR
+    rationale = (
+        "an unsalted cache key survives engine changes and silently "
+        "serves results computed by stale code"
+    )
+    default_options = {
+        "name_patterns": ["*_key", "key", "*cache_key*"],
+        "version_names": ["ENGINE_VERSION"],
+    }
+
+    def check(self, tree: ast.Module, ctx) -> list[Violation]:
+        opts = self.options(ctx)
+        patterns = list(opts["name_patterns"])
+        versions = set(opts["version_names"])
+        imports = ImportMap(tree)
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not any(fnmatch.fnmatch(node.name, p) for p in patterns):
+                continue
+            hashes = False
+            salted = False
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    name = imports.canonical(sub.func) or ""
+                    if name.startswith("hashlib."):
+                        hashes = True
+                dotted = qualified_name(sub)
+                if dotted is not None and dotted.split(".")[-1] in versions:
+                    salted = True
+            if hashes and not salted:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"cache-key builder {node.name}() hashes key material "
+                        "without referencing ENGINE_VERSION; stale entries "
+                        "will survive engine changes",
+                    )
+                )
+        return out

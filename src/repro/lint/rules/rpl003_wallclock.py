@@ -1,0 +1,71 @@
+"""RPL003 — wall clock reads in deterministic paths.
+
+Monte Carlo results and campaign job payloads must be pure functions of
+``(spec, seed, ENGINE_VERSION)``; a ``time.time()`` or
+``datetime.now()`` folded into a result (or a cache key) makes runs
+unrepeatable and resume non-byte-equal.  The rule bans wall-clock reads
+inside the configured deterministic path globs (default: ``montecarlo``
+and ``campaign``).  Monotonic clocks for *metrics* — ``perf_counter``,
+``monotonic`` — stay allowed: they measure, they never enter results.
+Telemetry timestamps (event logs) are the intended use of an inline
+``# repro-lint: disable=RPL003 -- <why>`` waiver.
+
+Both calls and bare references are flagged: ``default_factory=time.time``
+is as much a wall-clock read as ``time.time()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, Severity, Violation
+from repro.lint.rules.imports import ImportMap
+
+__all__ = ["WallClockRule"]
+
+_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    code = "RPL003"
+    name = "wall-clock-in-deterministic-path"
+    severity = Severity.ERROR
+    rationale = (
+        "results must be a pure function of (spec, seed, ENGINE_VERSION); "
+        "wall-clock reads make them unrepeatable"
+    )
+    default_options = {
+        "paths": ["*/montecarlo/*", "*/campaign/*"],
+    }
+
+    def check(self, tree: ast.Module, ctx) -> list[Violation]:
+        opts = self.options(ctx)
+        from repro.lint.config import path_matches
+
+        if not path_matches(ctx.rel_posix, list(opts["paths"])):
+            return []
+        imports = ImportMap(tree)
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            name = imports.canonical(node)
+            if name in _BANNED:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"wall-clock read {name} in a deterministic path; "
+                        "results must not depend on when they were computed "
+                        "(use time.perf_counter for durations, or suppress "
+                        "with a justification for telemetry)",
+                    )
+                )
+        return out

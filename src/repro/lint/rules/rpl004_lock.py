@@ -1,0 +1,127 @@
+"""RPL004 — scheduler shared state is mutated only under its lock.
+
+The campaign scheduler fans jobs out to a thread pool; its ``states`` /
+``results`` maps are read by worker threads (dependency results are
+snapshotted per job) while the orchestrating thread mutates them.  The
+repo's convention is that every mutation happens inside
+``with self._lock:`` so the maps can never be observed mid-update —
+a torn read turns into a wrong dependency payload, which is exactly the
+kind of silent corruption the resume tests cannot catch.
+
+The rule applies to the configured files (default:
+``*/campaign/scheduler.py``).  Inside any class there, a statement that
+mutates ``self.<guarded attr>`` — assignment, augmented assignment,
+subscript store/delete, or a mutating method call such as ``.pop()`` —
+must be lexically inside a ``with self._lock:`` block in the *same*
+function.  ``__init__`` is exempt (the object is not shared yet), and a
+nested function does not inherit its definition site's lock: it runs
+later, when the lock may no longer be held.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, Severity, Violation, qualified_name
+
+__all__ = ["LockDisciplineRule"]
+
+_MUTATORS = {
+    "update", "pop", "popitem", "clear", "setdefault",
+    "append", "extend", "insert", "remove", "add", "discard",
+}
+
+
+def _guarded_base(node: ast.AST, guarded: set[str]) -> ast.AST | None:
+    """The ``self.<attr>`` node a store/delete targets, if guarded."""
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in guarded
+    ):
+        return node
+    return None
+
+
+class LockDisciplineRule(Rule):
+    code = "RPL004"
+    name = "shared-state-mutation-outside-lock"
+    severity = Severity.ERROR
+    rationale = (
+        "scheduler maps are read concurrently by worker threads; "
+        "unlocked mutation risks torn dependency snapshots"
+    )
+    default_options = {
+        "files": ["*/campaign/scheduler.py"],
+        "guarded": ["states", "results"],
+        "lock": "_lock",
+        "exempt_methods": ["__init__"],
+    }
+
+    def check(self, tree: ast.Module, ctx) -> list[Violation]:
+        opts = self.options(ctx)
+        from repro.lint.config import path_matches
+
+        if not path_matches(ctx.rel_posix, list(opts["files"])):
+            return []
+        guarded = set(opts["guarded"])
+        lock_name = f"self.{opts['lock']}"
+        exempt = set(opts["exempt_methods"])
+        out: list[Violation] = []
+
+        def visit(node: ast.AST, lock_depth: int) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in exempt:
+                    return
+                lock_depth = 0  # the body runs later, lock not inherited
+            elif isinstance(node, ast.Lambda):
+                lock_depth = 0
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                if any(
+                    qualified_name(item.context_expr) == lock_name
+                    for item in node.items
+                ):
+                    lock_depth += 1
+            elif lock_depth == 0:
+                hit: ast.AST | None = None
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        elts = (
+                            target.elts
+                            if isinstance(target, (ast.Tuple, ast.List))
+                            else [target]
+                        )
+                        for elt in elts:
+                            hit = hit or _guarded_base(elt, guarded)
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        hit = hit or _guarded_base(target, guarded)
+                elif isinstance(node, ast.Call):
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _MUTATORS
+                    ):
+                        hit = _guarded_base(node.func.value, guarded)
+                if hit is not None:
+                    attr = f"self.{hit.attr}"  # type: ignore[attr-defined]
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f"mutation of shared {attr} outside "
+                            f"'with {lock_name}:'",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child, lock_depth)
+
+        visit(tree, 0)
+        return out

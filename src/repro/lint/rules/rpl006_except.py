@@ -1,0 +1,83 @@
+"""RPL006 — swallowed exceptions in retry-adjacent code.
+
+The campaign scheduler's retry/backoff machinery depends on failures
+*propagating*: a handler that catches everything and does nothing turns
+a failed job into a silently-wrong "success", defeating retry
+accounting, failure isolation, and the event-log audit trail.  The rule
+flags
+
+- bare ``except:`` (catches ``SystemExit``/``KeyboardInterrupt`` too);
+- ``except Exception:`` / ``except BaseException:`` (alone or in a
+  tuple) whose body does nothing but ``pass`` / ``...`` / ``continue``.
+
+A broad handler that logs, re-raises, or records the error is fine —
+breadth is only flagged when combined with swallowing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, Severity, Violation, qualified_name
+
+__all__ = ["ExceptionSwallowRule"]
+
+_BROAD = {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+
+
+def _is_broad(type_node: ast.AST | None) -> bool:
+    if type_node is None:
+        return True
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(elt) for elt in type_node.elts)
+    return qualified_name(type_node) in _BROAD
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and (stmt.value.value is Ellipsis or isinstance(stmt.value.value, str))
+        ):
+            continue  # ``...`` or a docstring-style string
+        return False
+    return True
+
+
+class ExceptionSwallowRule(Rule):
+    code = "RPL006"
+    name = "swallowed-broad-exception"
+    severity = Severity.ERROR
+    rationale = (
+        "retry/isolation accounting requires failures to propagate; "
+        "a swallowing broad handler converts them into silent wrong results"
+    )
+    default_options = {}
+
+    def check(self, tree: ast.Module, ctx) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                        "name the exceptions (and never swallow them silently)",
+                    )
+                )
+            elif _is_broad(node.type) and _swallows(node.body):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        "broad exception handler swallows the error; handle, "
+                        "log, or re-raise so retry/isolation can account for it",
+                    )
+                )
+        return out

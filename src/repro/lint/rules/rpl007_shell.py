@@ -1,0 +1,63 @@
+"""RPL007 — shell-interpreted subprocess invocation.
+
+``subprocess.*(..., shell=True)`` and ``os.system``/``os.popen`` route
+the command line through ``/bin/sh``: any interpolated path or spec
+field becomes an injection vector, and quoting differences make runs
+environment-dependent.  Campaign specs accept user-provided strings, so
+the repo's convention is argv-list execution only.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, Severity, Violation
+from repro.lint.rules.imports import ImportMap
+
+__all__ = ["ShellInvocationRule"]
+
+_OS_SHELL = {"os.system", "os.popen", "os.popen2", "os.popen3", "os.popen4"}
+
+
+class ShellInvocationRule(Rule):
+    code = "RPL007"
+    name = "shell-interpreted-subprocess"
+    severity = Severity.ERROR
+    rationale = (
+        "shell=True turns interpolated strings into injection vectors; "
+        "pass an argv list instead"
+    )
+    default_options = {}
+
+    def check(self, tree: ast.Module, ctx) -> list[Violation]:
+        imports = ImportMap(tree)
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(node.func)
+            if name in _OS_SHELL:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{name}() runs through /bin/sh; use subprocess.run "
+                        "with an argv list",
+                    )
+                )
+            elif name is not None and name.startswith("subprocess."):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "shell"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        out.append(
+                            self.violation(
+                                ctx,
+                                node,
+                                f"{name}(..., shell=True) is shell-interpreted; "
+                                "pass an argv list without shell=True",
+                            )
+                        )
+        return out

@@ -1,0 +1,69 @@
+"""RPL008 — mutable default arguments.
+
+A mutable default is evaluated once at ``def`` time and shared by every
+call; state leaks across calls (and across campaign jobs sharing a
+helper).  The rule flags list/dict/set displays, comprehensions, and
+calls to well-known mutable constructors used as parameter defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, Severity, Violation
+from repro.lint.rules.imports import ImportMap
+
+__all__ = ["MutableDefaultRule"]
+
+_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict",
+}
+
+
+class MutableDefaultRule(Rule):
+    code = "RPL008"
+    name = "mutable-default-argument"
+    severity = Severity.ERROR
+    rationale = (
+        "a mutable default is shared across calls; use None and "
+        "construct inside the function"
+    )
+    default_options = {}
+
+    def check(self, tree: ast.Module, ctx) -> list[Violation]:
+        imports = ImportMap(tree)
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [
+                d
+                for d in (*node.args.defaults, *node.args.kw_defaults)
+                if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, _DISPLAYS)
+                if not bad and isinstance(default, ast.Call):
+                    bad = imports.canonical(default.func) in _MUTABLE_CALLS
+                if bad:
+                    label = getattr(node, "name", "<lambda>")
+                    out.append(
+                        self.violation(
+                            ctx,
+                            default,
+                            f"mutable default argument in {label}(); default "
+                            "to None and construct inside the body",
+                        )
+                    )
+        return out

@@ -100,7 +100,7 @@ class ResultsCache:
         self,
         cache_dir: str | os.PathLike | None = None,
         memory_entries: int = 256,
-    ):
+    ) -> None:
         self.cache_dir = (
             pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )

@@ -17,7 +17,8 @@ from repro.cells.drift import PAPER_ESCALATION, TieredDrift
 from repro.core.designs import all_designs, four_level_naive
 from repro.core.levels import LevelDesign
 from repro.montecarlo.analytic import analytic_design_cer
-from repro.montecarlo.cer import CERResult, design_cer, state_cer
+from repro.montecarlo.cer import design_cer, state_cer
+from repro.montecarlo.results_cache import ResultsCache
 
 __all__ = [
     "PAPER_TIME_GRID_S",
@@ -65,7 +66,7 @@ def fig3_state_sweep(
     seed: int = 0,
     schedule: TieredDrift = PAPER_ESCALATION,
     jobs: int | None = 1,
-    cache=None,
+    cache: ResultsCache | None = None,
 ) -> SweepResult:
     """Figure 3: per-state drift error rates of the naive four-level cell.
 
@@ -101,7 +102,7 @@ def fig8_design_sweep(
     designs: Mapping[str, LevelDesign] | None = None,
     analytic_floor: bool = True,
     jobs: int | None = 1,
-    cache=None,
+    cache: ResultsCache | None = None,
 ) -> SweepResult:
     """Figure 8: design-level CER of 4LCn/4LCs/4LCo/3LCn/3LCo.
 

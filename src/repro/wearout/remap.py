@@ -18,6 +18,8 @@ import dataclasses
 
 import numpy as np
 
+from repro.montecarlo.rng import make_rng
+
 __all__ = ["RemapDirectory", "PoolExhausted", "lifetime_with_remapping"]
 
 
@@ -91,7 +93,7 @@ def lifetime_with_remapping(
     The per-cell endurance distribution matches
     :class:`repro.cells.faults.WearoutModel`.
     """
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     total_blocks = n_blocks + n_spare_blocks
 
     def block_lifetimes(n: int) -> np.ndarray:

@@ -16,6 +16,8 @@ import dataclasses
 
 import numpy as np
 
+from repro.montecarlo.rng import make_rng
+
 __all__ = [
     "Trace",
     "stream_trace",
@@ -92,7 +94,7 @@ def random_trace(
     seed: int = 0,
 ) -> Trace:
     """Uniform random accesses over a footprint."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     addr = rng.integers(0, footprint_lines, n)
     is_write = rng.random(n) < write_fraction
     dep = np.zeros(n, dtype=bool)
@@ -146,7 +148,7 @@ def zipfian_trace(
         raise ValueError("footprint too small")
     if skew <= 0:
         raise ValueError("skew must be positive")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     ranks = np.arange(1, footprint_lines + 1, dtype=float)
     probs = ranks**-skew
     probs /= probs.sum()
@@ -170,7 +172,7 @@ def interleave(name: str, traces: list[tuple[Trace, float]], seed: int = 0) -> T
     """
     if not traces:
         raise ValueError("need at least one component")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     weights = np.array([w for _, w in traces], dtype=float)
     weights /= weights.sum()
     total = sum(len(t) for t, _ in traces)

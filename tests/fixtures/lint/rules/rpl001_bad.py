@@ -1,0 +1,5 @@
+import numpy as np
+
+np.random.seed(42)                  # legacy global-state call
+g_unseeded = np.random.default_rng()  # fresh OS entropy
+g_adhoc = np.random.default_rng(7)  # ad-hoc construction (restricted paths)

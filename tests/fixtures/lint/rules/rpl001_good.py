@@ -1,0 +1,7 @@
+import numpy as np
+
+from repro.montecarlo.rng import block_rng, make_rng
+
+rng = make_rng(0)
+child = block_rng(0, (3,))
+ss = np.random.SeedSequence(1234)  # seeded SeedSequence is the fan-out primitive

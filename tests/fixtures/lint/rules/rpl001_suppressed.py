@@ -1,0 +1,5 @@
+import numpy as np
+
+# repro-lint: disable=RPL001 -- fixture: demonstrating a justified waiver
+np.random.seed(42)
+g = np.random.default_rng(7)  # repro-lint: disable=RPL001 -- fixture: same-line waiver

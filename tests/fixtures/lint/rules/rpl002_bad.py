@@ -1,0 +1,6 @@
+import hashlib
+import json
+
+
+def counts_key(payload: dict) -> str:
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

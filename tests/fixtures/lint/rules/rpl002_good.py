@@ -1,0 +1,14 @@
+import hashlib
+import json
+
+ENGINE_VERSION = "mc-1"
+
+
+def counts_key(payload: dict) -> str:
+    salted = {"engine": ENGINE_VERSION, **payload}
+    return hashlib.sha256(json.dumps(salted).encode()).hexdigest()
+
+
+def digest_blob(blob: bytes) -> str:
+    # hashes, but is not a key builder by name -- out of scope
+    return hashlib.sha256(blob).hexdigest()

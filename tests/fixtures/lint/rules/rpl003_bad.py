@@ -1,0 +1,10 @@
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def day() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,9 @@
+import time
+
+
+def elapsed(t0: float) -> float:
+    return time.perf_counter() - t0
+
+
+def tick() -> float:
+    return time.monotonic()

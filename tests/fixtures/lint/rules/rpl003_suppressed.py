@@ -1,0 +1,6 @@
+import time
+
+
+def stamp() -> float:
+    # repro-lint: disable=RPL003 -- fixture: telemetry timestamp, not result material
+    return time.time()

@@ -1,0 +1,18 @@
+import threading
+
+
+class Sched:
+    def __init__(self) -> None:
+        self.states: dict[str, str] = {}
+        self.results: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    def settle(self, job: str, result: dict) -> None:
+        self.results[job] = result       # unlocked store
+        self.states.pop(job, None)       # unlocked mutating call
+
+    def reset(self) -> None:
+        with self._lock:
+            def later() -> None:
+                self.states.clear()      # nested def does NOT inherit the lock
+            later()

@@ -1,0 +1,11 @@
+import threading
+
+
+class Sched:
+    def __init__(self) -> None:
+        self.states: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def solo_thread_setup(self) -> None:
+        # repro-lint: disable=RPL004 -- fixture: runs before the pool starts
+        self.states["boot"] = "pending"

@@ -1,0 +1,2 @@
+def check(x: float, y: float) -> bool:
+    return x == 0.3 or (x + 0.1) != y

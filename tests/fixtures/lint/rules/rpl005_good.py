@@ -1,0 +1,8 @@
+import math
+
+
+def check(x: float, y: float, n: int) -> bool:
+    near = math.isclose(x, 0.3, rel_tol=1e-9)
+    sentinel = y == 0.0      # exact-zero sentinel is allowed by default
+    ints = n == 3
+    return near or sentinel or ints

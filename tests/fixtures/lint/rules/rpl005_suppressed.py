@@ -1,0 +1,2 @@
+def check(x: float) -> bool:
+    return x == 0.5  # repro-lint: disable=RPL005 -- fixture: value is stored, never computed

@@ -1,0 +1,12 @@
+def run(action) -> None:
+    try:
+        action()
+    except:
+        pass
+
+
+def retry(action) -> None:
+    try:
+        action()
+    except Exception:
+        pass

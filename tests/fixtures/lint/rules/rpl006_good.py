@@ -1,0 +1,9 @@
+def run(action) -> int:
+    try:
+        action()
+    except ValueError:
+        pass  # narrow handler may swallow
+    except Exception as exc:
+        print("failed:", exc)  # broad handler that records is fine
+        raise
+    return 0

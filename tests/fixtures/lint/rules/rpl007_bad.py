@@ -1,0 +1,7 @@
+import os
+import subprocess
+
+
+def run(cmd: str) -> None:
+    subprocess.check_output(cmd, shell=True)
+    os.system(cmd)

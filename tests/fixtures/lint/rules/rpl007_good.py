@@ -1,0 +1,6 @@
+import subprocess
+
+
+def run() -> None:
+    subprocess.run(["echo", "ok"], check=True)
+    subprocess.run(["ls"], shell=False)

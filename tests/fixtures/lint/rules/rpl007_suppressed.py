@@ -1,0 +1,6 @@
+import subprocess
+
+
+def run() -> None:
+    # repro-lint: disable=RPL007 -- fixture: constant command, no interpolation
+    subprocess.run("echo ok", shell=True)

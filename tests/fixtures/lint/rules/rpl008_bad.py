@@ -1,0 +1,4 @@
+def gather(item: int, acc: list = [], index: dict = {}) -> list:
+    acc.append(item)
+    index[item] = True
+    return acc

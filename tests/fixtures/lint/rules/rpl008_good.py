@@ -1,0 +1,5 @@
+def gather(item: int, acc: list | None = None, when: tuple = ()) -> list:
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

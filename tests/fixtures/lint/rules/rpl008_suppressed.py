@@ -1,0 +1,3 @@
+# repro-lint: disable-file=RPL008 -- fixture: read-only default, documented
+def gather(item: int, acc: list = []) -> list:
+    return [*acc, item]

@@ -1,0 +1,6 @@
+"""RPL001: legacy global-state RNG call."""
+import numpy as np
+
+
+def roll() -> float:
+    return float(np.random.random())

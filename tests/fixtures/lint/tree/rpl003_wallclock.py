@@ -1,0 +1,6 @@
+"""RPL003: wall-clock read in a deterministic path."""
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,11 @@
+"""RPL004: shared-state mutation outside the lock."""
+import threading
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self.states: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def mark(self, job: str) -> None:
+        self.states[job] = "done"

@@ -1,0 +1,5 @@
+"""RPL005: exact equality against a float literal."""
+
+
+def is_third(x: float) -> bool:
+    return x == 0.3

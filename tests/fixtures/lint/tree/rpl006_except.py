@@ -1,0 +1,8 @@
+"""RPL006: bare except swallowing everything."""
+
+
+def swallow(action) -> None:
+    try:
+        action()
+    except:
+        pass

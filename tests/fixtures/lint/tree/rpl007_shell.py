@@ -1,0 +1,6 @@
+"""RPL007: shell-interpreted subprocess call."""
+import subprocess
+
+
+def run(cmd: str) -> None:
+    subprocess.run(cmd, shell=True)

@@ -1,0 +1,6 @@
+"""RPL008: mutable default argument."""
+
+
+def collect(item: int, acc: list = []) -> list:
+    acc.append(item)
+    return acc

@@ -1,6 +1,5 @@
 """ASCII log-chart renderer."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.asciichart import log_chart

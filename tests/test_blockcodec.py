@@ -9,7 +9,6 @@ from repro.coding.blockcodec import (
     UncorrectableBlock,
 )
 from repro.coding.smart import RotationSmartCode
-from repro.core import three_on_two as t32
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Set-associative write-back caches."""
 
-import numpy as np
 import pytest
 
 from repro.sim.cache import Cache, Hierarchy

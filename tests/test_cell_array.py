@@ -5,7 +5,7 @@ import pytest
 
 from repro.cells.cell_array import CellArray
 from repro.cells.drift import NO_ESCALATION, escalation_schedule
-from repro.cells.faults import FaultMode, WearoutModel
+from repro.cells.faults import WearoutModel
 from repro.core.designs import four_level_naive, three_level_optimal
 
 

@@ -5,9 +5,6 @@ import pytest
 
 from repro.cells.drift import (
     NO_ESCALATION,
-    PAPER_ESCALATION,
-    DriftTier,
-    TieredDrift,
     escalation_schedule,
 )
 from repro.cells.params import TABLE1

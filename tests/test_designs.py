@@ -1,6 +1,5 @@
 """The five canonical designs of Figure 8."""
 
-import numpy as np
 import pytest
 
 from repro.cells.params import GUARD_BAND_DELTA

@@ -5,7 +5,6 @@ kind of soak test a downstream adopter runs before trusting the stack.
 """
 
 import numpy as np
-import pytest
 
 from repro.cells.faults import WearoutModel
 from repro.core.managed import ManagedPCMDevice

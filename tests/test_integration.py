@@ -7,7 +7,6 @@ from repro.cells.cell_array import CellArray
 from repro.core.designs import four_level_naive, three_level_optimal
 from repro.core.device import PCMDevice
 from repro.montecarlo.analytic import analytic_design_cer
-from repro.montecarlo.cer import design_cer
 
 
 class TestCellArrayMatchesCEREngine:

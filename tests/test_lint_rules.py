@@ -1,0 +1,99 @@
+"""Per-rule fixture tests: positive, negative, and suppressed cases.
+
+Each rule RPLnnn has three fixtures under ``tests/fixtures/lint/rules``:
+``rplnnn_bad.py`` (must flag), ``rplnnn_good.py`` (near-misses, must not
+flag), ``rplnnn_suppressed.py`` (same hazard with a justified inline
+waiver — zero violations, nonzero suppressed count).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.lint import LintConfig, lint_file
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "lint" / "rules"
+
+#: code -> number of violations its bad fixture must produce.
+EXPECTED_BAD = {
+    "RPL001": 3,
+    "RPL002": 1,
+    "RPL003": 2,
+    "RPL004": 3,
+    "RPL005": 2,
+    "RPL006": 2,
+    "RPL007": 2,
+    "RPL008": 2,
+}
+
+
+def fixture_config() -> LintConfig:
+    """Widen the path-scoped rules so fixture files are always in scope."""
+    return LintConfig(
+        root=str(FIXTURES),
+        rule_options={
+            "RPL001": {"restricted": ["*"], "allow": []},
+            "RPL003": {"paths": ["*"]},
+            "RPL004": {"files": ["*"]},
+        },
+    )
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_BAD))
+class TestPerRuleFixtures:
+    def test_bad_fixture_flags(self, code):
+        path = FIXTURES / f"{code.lower()}_bad.py"
+        violations, _ = lint_file(path, fixture_config())
+        assert [v.code for v in violations] == [code] * EXPECTED_BAD[code]
+
+    def test_good_fixture_clean(self, code):
+        path = FIXTURES / f"{code.lower()}_good.py"
+        violations, suppressed = lint_file(path, fixture_config())
+        assert violations == [] and suppressed == 0
+
+    def test_suppressed_fixture(self, code):
+        path = FIXTURES / f"{code.lower()}_suppressed.py"
+        violations, suppressed = lint_file(path, fixture_config())
+        assert violations == []
+        assert suppressed >= 1
+
+
+class TestRuleDetails:
+    def test_rpl001_aliased_import_still_caught(self, tmp_path):
+        f = tmp_path / "aliased.py"
+        f.write_text(
+            "import numpy.random as npr\n"
+            "from numpy.random import default_rng\n"
+            "npr.shuffle([1])\n"
+            "g = default_rng()\n"
+        )
+        cfg = fixture_config()
+        cfg.root = str(tmp_path)
+        violations, _ = lint_file(f, cfg)
+        assert [v.code for v in violations] == ["RPL001", "RPL001"]
+
+    def test_rpl001_allowlisted_module_exempt(self, tmp_path):
+        f = tmp_path / "rng.py"
+        f.write_text("import numpy as np\ng = np.random.default_rng(0)\n")
+        cfg = LintConfig(
+            root=str(tmp_path),
+            rule_options={"RPL001": {"restricted": ["*"], "allow": ["rng.py"]}},
+        )
+        violations, _ = lint_file(f, cfg)
+        assert violations == []
+
+    def test_rpl004_violation_names_the_attribute(self):
+        violations, _ = lint_file(FIXTURES / "rpl004_bad.py", fixture_config())
+        messages = " ".join(v.message for v in violations)
+        assert "self.results" in messages and "self.states" in messages
+
+    def test_rpl005_zero_literal_configurable(self, tmp_path):
+        f = tmp_path / "zero.py"
+        f.write_text("def f(x: float) -> bool:\n    return x == 0.0\n")
+        lax = LintConfig(root=str(tmp_path))
+        strict = LintConfig(
+            root=str(tmp_path),
+            rule_options={"RPL005": {"allow_zero_literal": False}},
+        )
+        assert lint_file(f, lax)[0] == []
+        assert [v.code for v in lint_file(f, strict)[0]] == ["RPL005"]

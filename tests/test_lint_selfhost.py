@@ -1,0 +1,93 @@
+"""Self-hosting and CLI contract tests.
+
+The acceptance bar for the linter: the repository's own ``src``,
+``tests`` and ``benchmarks`` trees lint clean under the committed
+``[tool.repro-lint]`` config (every waiver inline and justified), while
+a seeded fixture tree still fails — the rules are green because the
+code is clean, not because they are toothless.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.lint import load_config, run_paths
+from repro.lint.__main__ import main
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+TREE = ROOT / "tests" / "fixtures" / "lint" / "tree"
+
+
+def repo_result():
+    config = load_config(ROOT)
+    return run_paths(
+        [ROOT / "src", ROOT / "tests", ROOT / "benchmarks"], config
+    )
+
+
+class TestSelfHost:
+    def test_repo_lints_clean(self):
+        result = repo_result()
+        report = "\n".join(
+            f"{v.path}:{v.line}: {v.code} {v.message}" for v in result.violations
+        )
+        assert result.exit_code == 0, f"repo must lint clean:\n{report}"
+
+    def test_repo_run_actually_checked_files(self):
+        result = repo_result()
+        assert result.files_checked > 100
+        # The justified telemetry waivers in campaign/events.py.
+        assert result.suppressed >= 3
+
+    def test_fixture_violations_are_excluded_not_silenced(self):
+        config = load_config(ROOT)
+        rel = TREE.relative_to(ROOT).as_posix() + "/rpl001_rng.py"
+        assert config.is_excluded(rel)
+
+
+class TestMainEntry:
+    def test_main_on_seeded_tree(self, capsys, monkeypatch):
+        monkeypatch.chdir(TREE)
+        code = main([".", "--format", "json", "--jobs", "1"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["by_code"] == {
+            f"RPL00{i}": 1 for i in range(1, 9)
+        }
+
+    def test_main_quiet_suppresses_body(self, capsys, monkeypatch):
+        monkeypatch.chdir(TREE)
+        code = main([".", "--quiet", "--jobs", "1"])
+        assert code == 1
+        assert capsys.readouterr().out == ""
+
+    def test_main_disable_flag(self, capsys, monkeypatch):
+        monkeypatch.chdir(TREE)
+        codes = ",".join(f"RPL00{i}" for i in range(1, 9))
+        assert main([".", "--disable", codes, "--jobs", "1"]) == 0
+
+    def test_list_rules_covers_catalog(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 9):
+            assert f"RPL00{i}" in out
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_exit_codes(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", ".", "--format", "json"],
+            cwd=TREE,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1, proc.stderr
+        assert json.loads(proc.stdout)["exit_code"] == 1

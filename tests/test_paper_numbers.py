@@ -4,7 +4,6 @@ Each test cites the paper section it checks.  These are the
 reproduction's anchor points; EXPERIMENTS.md reports the same values.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.availability import PAPER_REFRESH_MODEL

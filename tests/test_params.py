@@ -1,6 +1,5 @@
 """Table 1 parameters and the drift-tier map."""
 
-import numpy as np
 import pytest
 
 from repro.cells.params import (
@@ -10,7 +9,6 @@ from repro.cells.params import (
     TABLE1,
     WRITE_TRUNCATION_SIGMA,
     DriftParams,
-    StateParams,
     alpha_params_for_level,
     state_params_for_levels,
 )

@@ -1,10 +1,8 @@
 """Retention solver (Table 3's refresh-period column) and datapath timing."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.retention import meets_nonvolatility, retention_time_s
-from repro.analysis.targets import SECONDS_PER_YEAR
 from repro.core.datapath import (
     FOUR_LC_TIMING,
     THREE_LC_TIMING,

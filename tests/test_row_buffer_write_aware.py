@@ -1,6 +1,5 @@
 """Row-buffer model (Section 6.7) and write-aware scrub (after [2])."""
 
-import numpy as np
 import pytest
 
 from repro.sim.config import DesignVariant, MachineConfig, RefreshMode

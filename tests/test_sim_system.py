@@ -1,6 +1,5 @@
 """System simulation: core model, energy accounting, Figure 16 runner."""
 
-import numpy as np
 import pytest
 
 from repro.sim.config import MachineConfig, PAPER_VARIANTS

@@ -1,6 +1,5 @@
 """PCM timing model: banks, the four-write window, refresh policies."""
 
-import numpy as np
 import pytest
 
 from repro.sim.config import (

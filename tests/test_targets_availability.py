@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.availability import PAPER_REFRESH_MODEL, RefreshModel
+from repro.analysis.availability import PAPER_REFRESH_MODEL
 from repro.analysis.targets import (
     PAPER_TARGET,
     SECONDS_PER_YEAR,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.latency import PAPER_AREA_MODEL
-from repro.workloads.synthetic import Trace, interleave, stream_trace, zipfian_trace
+from repro.workloads.synthetic import interleave, stream_trace, zipfian_trace
 from repro.workloads.tracefile import load_trace, save_trace
 
 
