@@ -26,6 +26,8 @@ import threading
 import time
 from typing import Any, Iterator
 
+from repro.chaos.registry import fault_point
+
 __all__ = ["EventLog", "Metrics", "ProgressLine", "read_events"]
 
 
@@ -34,12 +36,28 @@ class EventLog:
 
     Each ``emit`` writes one line and flushes, so a killed campaign's log
     is complete up to the crash point; appending on resume preserves the
-    full history of the run directory.
+    full history of the run directory.  A crash *mid-append* can leave a
+    torn final line (no trailing newline); the first ``emit`` of a new
+    writer repairs it by terminating the fragment, so the resumed run's
+    events never merge into the torn one.
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = pathlib.Path(path)
         self._lock = threading.Lock()
+        self._tail_checked = False
+
+    def _repair_torn_tail(self) -> None:
+        """Terminate a torn final line left by a crash mid-append."""
+        try:
+            with open(self.path, "rb") as f:
+                f.seek(-1, os.SEEK_END)
+                torn = f.read(1) != b"\n"
+        except (OSError, ValueError):
+            return  # missing or empty log: nothing to repair
+        if torn:
+            with open(self.path, "a") as f:
+                f.write("\n")
 
     def emit(self, event: str, **fields: Any) -> dict[str, Any]:
         record = {
@@ -51,26 +69,49 @@ class EventLog:
         line = json.dumps(record, sort_keys=True)
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            if not self._tail_checked:
+                self._tail_checked = True
+                self._repair_torn_tail()
+            fault_point("events.append", path=self.path, line=line)
             with open(self.path, "a") as f:
                 f.write(line + "\n")
                 f.flush()
         return record
 
 
-def read_events(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
-    """Parse an event log, skipping any torn trailing line."""
+def read_events(
+    path: str | os.PathLike, strict: bool = False
+) -> Iterator[dict[str, Any]]:
+    """Parse an event log, tolerating a torn final line.
+
+    A crash mid-append legitimately leaves an unparseable fragment *at
+    the end* of the file (no trailing newline); that is always skipped.
+    An unparseable line anywhere else means real corruption: with
+    ``strict=True`` it raises ``ValueError``, otherwise it is skipped —
+    the historical behavior the status/report paths rely on.
+    """
     p = pathlib.Path(path)
     if not p.is_file():
         return
-    with open(p) as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield json.loads(line)
-            except json.JSONDecodeError:
-                continue
+    raw = p.read_text()
+    ends_complete = raw.endswith("\n")
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1 and not ends_complete:
+                return  # torn tail from a crash mid-append
+            if strict:
+                raise ValueError(
+                    f"corrupt event log line {i + 1} in {p}"
+                ) from None
+            continue
 
 
 @dataclasses.dataclass

@@ -31,6 +31,7 @@ from repro.campaign.jobs import JobContext, run_job
 from repro.campaign.plan import Plan, build_plan
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import RunStore
+from repro.chaos.registry import fault_point
 
 __all__ = [
     "CampaignResult",
@@ -117,6 +118,7 @@ class CampaignScheduler:
             self.events.emit("job_start", job=job.id, attempt=attempt)
             t0 = time.perf_counter()
             try:
+                fault_point("scheduler.job", job=job.id, attempt=attempt)
                 with self._lock:
                     dep_results = {
                         dep: self.results[dep] for dep in self.plan.needs[job.id]

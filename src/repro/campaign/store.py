@@ -23,6 +23,8 @@ import os
 import pathlib
 from typing import Any, Mapping
 
+from repro.chaos.registry import fault_point
+
 __all__ = ["RunStore"]
 
 _MANIFEST_VERSION = 1
@@ -75,13 +77,22 @@ class RunStore:
             "order": list(order),
         }
         if self.exists():
-            existing = self.read_manifest()
-            if existing != manifest:
-                raise ValueError(
-                    f"run dir {self.run_dir} already holds a different campaign "
-                    "(manifest mismatch); choose another --run-dir or remove it"
-                )
-            return
+            try:
+                existing = self.read_manifest()
+            except (OSError, json.JSONDecodeError):
+                # A torn/unreadable manifest (crash or disk corruption):
+                # the caller is re-supplying the full spec, so rewrite it
+                # rather than wedging the run directory forever.
+                existing = None
+            if existing is not None:
+                if existing != manifest:
+                    raise ValueError(
+                        f"run dir {self.run_dir} already holds a different "
+                        "campaign (manifest mismatch); choose another "
+                        "--run-dir or remove it"
+                    )
+                return
+        fault_point("store.write_manifest", path=self.manifest_path)
         _atomic_write_json(self.manifest_path, manifest)
 
     def read_manifest(self) -> dict[str, Any]:
@@ -90,6 +101,7 @@ class RunStore:
     # -- job results ----------------------------------------------------
     def write_result(self, job_id: str, result: Mapping[str, Any]) -> None:
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        fault_point("store.write_result", path=self.result_path(job_id), job=job_id)
         _atomic_write_json(self.result_path(job_id), dict(result))
 
     def read_result(self, job_id: str) -> dict[str, Any] | None:
@@ -112,6 +124,7 @@ class RunStore:
 
     # -- status snapshot ------------------------------------------------
     def write_status(self, status: Mapping[str, Any]) -> None:
+        fault_point("store.write_status", path=self.status_path)
         _atomic_write_json(self.status_path, dict(status))
 
     def read_status(self) -> dict[str, Any] | None:

@@ -1,0 +1,52 @@
+"""Deterministic chaos harness: seeded fault injection for the
+Monte-Carlo / cache / campaign stack (docs/TESTING.md).
+
+The package has two halves:
+
+- :mod:`repro.chaos.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  pure-data fault schedules on a dedicated seed stream that never
+  perturbs simulation RNG;
+- :mod:`repro.chaos.registry` — the fault-point catalog
+  (:data:`FAULT_POINTS`), the :func:`activate` context manager, and the
+  :func:`fault_point` hook instrumented through every durability
+  boundary (results cache, run store, event log, scheduler, executor).
+
+Chaos is off by default and costs one global load per fault point; the
+chaos test suite under ``tests/chaos/`` is the intended consumer.
+"""
+
+from repro.chaos.plan import (
+    BUILTIN_PLANS,
+    CHAOS_SPAWN_KEY,
+    FaultPlan,
+    FaultSpec,
+    builtin_plan,
+)
+from repro.chaos.registry import (
+    FAULT_POINTS,
+    FaultPointInfo,
+    FiredFault,
+    InjectedCrash,
+    InjectedFault,
+    InjectedOSError,
+    activate,
+    chaos_active,
+    fault_point,
+)
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "CHAOS_SPAWN_KEY",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultPointInfo",
+    "FaultSpec",
+    "FiredFault",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedOSError",
+    "activate",
+    "builtin_plan",
+    "chaos_active",
+    "fault_point",
+]

@@ -1,0 +1,209 @@
+"""Deterministic fault plans: *what* fails, *when*, reproducibly.
+
+A :class:`FaultPlan` is pure data — a tuple of :class:`FaultSpec`
+entries scheduling one fault each at a named fault point's Nth matching
+call — plus a seed.  The seed feeds a dedicated ``SeedSequence`` stream
+(spawn key :data:`CHAOS_SPAWN_KEY`, reusing the engine's
+:func:`~repro.montecarlo.rng.block_rng` factory) that supplies garbage
+bytes and offsets for file-corrupting actions and drives
+:meth:`FaultPlan.random`.  Chaos randomness therefore never touches the
+simulation's RNG spawn tree: a faulted run draws exactly the same Monte
+Carlo samples as a clean one, which is what makes the differential
+chaos tests meaningful.
+
+Replaying a failure is one call: ``FaultPlan.random(seed=<printed
+seed>)`` rebuilds the identical plan, and activating it reproduces the
+identical fault schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.chaos.registry import FAULT_POINTS
+from repro.montecarlo.rng import block_rng
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "CHAOS_SPAWN_KEY",
+    "FaultPlan",
+    "FaultSpec",
+    "builtin_plan",
+]
+
+#: Spawn-tree position of the chaos RNG stream.  Simulation streams use
+#: small state/block indices; this key is far outside that space, so no
+#: chaos draw can ever collide with a simulation draw.
+CHAOS_SPAWN_KEY = 0xC7A05
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``action`` at ``point``'s Nth matching call.
+
+    ``occurrence`` is 0-based and counts only calls whose context
+    matches ``match`` (a sub-dict the call's keyword context must
+    contain, e.g. ``match=(("job", "b"),)`` to target one campaign
+    job).  ``args`` parameterizes the action (e.g. ``n_bytes`` for
+    ``corrupt_file``).  Both are stored as sorted tuples so specs stay
+    hashable and plans compare by value.
+    """
+
+    point: str
+    occurrence: int = 0
+    action: str = "raise_transient"
+    args: tuple[tuple[str, Any], ...] = ()
+    match: tuple[tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(
+        point: str,
+        occurrence: int = 0,
+        action: str = "raise_transient",
+        args: Mapping[str, Any] | None = None,
+        match: Mapping[str, Any] | None = None,
+    ) -> "FaultSpec":
+        """Build a spec from plain dicts (sorted into tuple form)."""
+        return FaultSpec(
+            point=point,
+            occurrence=int(occurrence),
+            action=action,
+            args=tuple(sorted((args or {}).items())),
+            match=tuple(sorted((match or {}).items())),
+        )
+
+    def matches(self, ctx: Mapping[str, Any]) -> bool:
+        return all(ctx.get(k) == v for k, v in self.match)
+
+    def describe(self) -> str:
+        where = f"{self.point}[{self.occurrence}]"
+        if self.match:
+            sel = ",".join(f"{k}={v!r}" for k, v in self.match)
+            where += f"{{{sel}}}"
+        return f"{where} -> {self.action}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible fault schedule: specs plus the chaos seed."""
+
+    faults: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def make_rng(self) -> np.random.Generator:
+        """The plan's private generator (chaos stream, never simulation's)."""
+        return block_rng(self.seed, (CHAOS_SPAWN_KEY,))
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed {self.seed}, {len(self.faults)} fault(s)):"]
+        lines += [f"  {spec.describe()}" for spec in self.faults]
+        return "\n".join(lines)
+
+    @staticmethod
+    def random(
+        seed: int,
+        n_faults: int = 3,
+        points: Sequence[str] | None = None,
+        max_occurrence: int = 3,
+    ) -> "FaultPlan":
+        """Draw a recoverable plan: same seed, same plan, always.
+
+        Faults are drawn uniformly over the catalog's *recoverable*
+        actions (each guaranteed to leave a resumable/retryable path to
+        a bit-identical final state), with occurrence indices in
+        ``[0, max_occurrence]``.  ``points`` restricts the candidate
+        fault points.
+        """
+        if n_faults < 0:
+            raise ValueError(f"n_faults must be >= 0, got {n_faults}")
+        names = sorted(points if points is not None else FAULT_POINTS)
+        unknown = [n for n in names if n not in FAULT_POINTS]
+        if unknown:
+            raise ValueError(f"unknown fault point(s): {unknown}")
+        candidates = [
+            (name, action)
+            for name in names
+            for action in FAULT_POINTS[name].recoverable_actions
+        ]
+        if not candidates:
+            raise ValueError("no recoverable actions among the given points")
+        rng = block_rng(seed, (CHAOS_SPAWN_KEY,))
+        specs = []
+        for _ in range(n_faults):
+            name, action = candidates[int(rng.integers(0, len(candidates)))]
+            specs.append(
+                FaultSpec.make(
+                    point=name,
+                    occurrence=int(rng.integers(0, max_occurrence + 1)),
+                    action=action,
+                )
+            )
+        return FaultPlan(faults=tuple(specs), seed=int(seed))
+
+
+def _plan(seed: int, *specs: FaultSpec) -> FaultPlan:
+    return FaultPlan(faults=tuple(specs), seed=seed)
+
+
+#: Named plans the differential suite runs — each targets one durability
+#: boundary, and each must recover to a bit-identical final state.
+BUILTIN_PLANS: dict[str, FaultPlan] = {
+    # A cached blob is corrupted before its first read-back: the cache
+    # must quarantine it and recompute, never serve garbage.
+    "cache-corruption": _plan(
+        101,
+        FaultSpec.make("cache.get", occurrence=0, action="corrupt_file"),
+        FaultSpec.make("cache.get", occurrence=2, action="truncate_file"),
+    ),
+    # A cache write fails with an I/O error: stores are best-effort, so
+    # the run completes (uncached) with identical results.
+    "cache-write-eio": _plan(
+        102,
+        FaultSpec.make("cache.put", occurrence=0, action="raise_oserror"),
+        FaultSpec.make("cache.put", occurrence=1, action="raise_oserror"),
+    ),
+    # The process dies mid-append, leaving a torn events.jsonl tail that
+    # resume must tolerate (and repair on its next append).
+    "torn-event-tail": _plan(
+        103,
+        FaultSpec.make("events.append", occurrence=4, action="torn_append"),
+    ),
+    # A truncated per-job result JSON is left behind: resume must treat
+    # the job as incomplete and re-execute it.
+    "torn-result": _plan(
+        104,
+        FaultSpec.make("store.write_result", occurrence=1, action="torn_json"),
+    ),
+    # The process dies before the first result is persisted at all.
+    "crash-before-result": _plan(
+        105,
+        FaultSpec.make("store.write_result", occurrence=0, action="crash"),
+    ),
+    # Transient worker failures: the scheduler's retry/backoff absorbs
+    # them with no externally visible difference.
+    "flaky-workers": _plan(
+        106,
+        FaultSpec.make("scheduler.job", occurrence=0, action="raise_transient"),
+        FaultSpec.make("scheduler.job", occurrence=2, action="raise_transient"),
+    ),
+    # A Monte Carlo chunk task dies mid-fan-out; the job-level retry
+    # re-runs the whole deterministic fan-out.
+    "mc-task-crash": _plan(
+        107,
+        FaultSpec.make("executor.task", occurrence=1, action="raise_transient"),
+    ),
+}
+
+
+def builtin_plan(name: str) -> FaultPlan:
+    """Look up a built-in plan by name, with a helpful error."""
+    try:
+        return BUILTIN_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown built-in fault plan {name!r} "
+            f"(known: {', '.join(sorted(BUILTIN_PLANS))})"
+        ) from None

@@ -1,0 +1,360 @@
+"""Fault-point registry: where chaos hooks into the production stack.
+
+A *fault point* is one named call site at a durability boundary —
+``fault_point("cache.get", path=..., key=...)`` — that does nothing in
+normal operation (one module-global load and a ``None`` check) and,
+while a :class:`~repro.chaos.plan.FaultPlan` is activated, consults the
+plan: if a scheduled fault's occurrence index matches this call, its
+*action* runs — raising an injected exception, corrupting the file the
+site is about to read, or simulating a crash mid-write.
+
+The registry is deliberately a module global (not a ``contextvar``):
+the campaign scheduler executes jobs on pool threads that must observe
+the plan activated by the test thread, and ``contextvar`` values do not
+propagate into already-running pool workers.  Monkeypatching
+``repro.chaos.registry._ACTIVE`` (or using :func:`activate`) is the
+supported way to turn chaos on; production code never does.
+
+Injected exception taxonomy:
+
+- :class:`InjectedFault` (``RuntimeError``) — a transient failure the
+  retry machinery is expected to absorb.
+- :class:`InjectedOSError` (``OSError``) — an I/O failure from the
+  filesystem layer (e.g. ``ENOSPC`` during a cache write).
+- :class:`InjectedCrash` (``BaseException``) — simulated process death.
+  Deriving from ``BaseException`` is the point: it rips through
+  ``except Exception`` retry layers exactly like a real ``SIGKILL``
+  would, so recovery must come from persisted state, not from handlers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import pathlib
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.chaos.plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "ACTIONS",
+    "FAULT_POINTS",
+    "FaultPointInfo",
+    "FiredFault",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedOSError",
+    "activate",
+    "chaos_active",
+    "fault_point",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A transient injected failure; retry/backoff should absorb it."""
+
+
+class InjectedOSError(OSError):
+    """An injected filesystem failure (write error, unreadable blob)."""
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death: passes through ``except Exception``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPointInfo:
+    """Catalog entry: what a fault point guards and how it can fail.
+
+    ``recoverable_actions`` are the actions randomized differential
+    plans may draw — every one of them must leave the system able to
+    reach a bit-identical final state (via retry, resume, or cache
+    regeneration).  ``actions`` may additionally list destructive
+    modes only targeted tests use.
+    """
+
+    name: str
+    description: str
+    ctx_keys: tuple[str, ...]
+    recoverable_actions: tuple[str, ...]
+    actions: tuple[str, ...] = ()
+
+    def all_actions(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.recoverable_actions + self.actions))
+
+
+#: Every instrumented fault point in the production stack, by name.
+FAULT_POINTS: dict[str, FaultPointInfo] = {
+    p.name: p
+    for p in (
+        FaultPointInfo(
+            name="cache.get",
+            description=(
+                "before ResultsCache.get_counts loads an on-disk .npy blob; "
+                "file-mutating actions exercise the corruption quarantine"
+            ),
+            ctx_keys=("path", "key"),
+            recoverable_actions=("corrupt_file", "truncate_file", "delete_file"),
+        ),
+        FaultPointInfo(
+            name="cache.put",
+            description=(
+                "before ResultsCache.put_counts writes a blob; an injected "
+                "OSError must degrade to a skipped (best-effort) store"
+            ),
+            ctx_keys=("path", "key"),
+            recoverable_actions=("raise_oserror",),
+        ),
+        FaultPointInfo(
+            name="store.write_manifest",
+            description="before RunStore.init persists the campaign manifest",
+            ctx_keys=("path",),
+            recoverable_actions=("torn_json",),
+            actions=("crash",),
+        ),
+        FaultPointInfo(
+            name="store.write_result",
+            description=(
+                "before RunStore.write_result persists a completed job; "
+                "crash here means the job re-executes on resume"
+            ),
+            ctx_keys=("path", "job"),
+            recoverable_actions=("crash", "torn_json"),
+        ),
+        FaultPointInfo(
+            name="store.write_status",
+            description="before RunStore.write_status rewrites the snapshot",
+            ctx_keys=("path",),
+            recoverable_actions=("crash",),
+        ),
+        FaultPointInfo(
+            name="events.append",
+            description=(
+                "before EventLog.emit appends a line; torn_append writes a "
+                "partial line and crashes, leaving the torn tail resume "
+                "must tolerate"
+            ),
+            ctx_keys=("path", "line"),
+            recoverable_actions=("torn_append",),
+        ),
+        FaultPointInfo(
+            name="scheduler.job",
+            description=(
+                "inside the scheduler worker body, before run_job; "
+                "raise_transient drives the real retry/backoff path"
+            ),
+            ctx_keys=("job", "attempt"),
+            recoverable_actions=("raise_transient",),
+            actions=("crash",),
+        ),
+        FaultPointInfo(
+            name="executor.task",
+            description=(
+                "inside a Monte Carlo chunk task (in-process execution); "
+                "a transient failure aborts the fan-out mid-flight"
+            ),
+            ctx_keys=("item", "first_block"),
+            recoverable_actions=("raise_transient",),
+        ),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+
+def _ctx_path(ctx: Mapping[str, Any]) -> pathlib.Path:
+    return pathlib.Path(ctx["path"])
+
+
+def _act_raise_transient(spec: "FaultSpec", ctx: Mapping[str, Any],
+                         activation: "_Activation") -> None:
+    raise InjectedFault(
+        f"injected transient fault at {spec.point} (occurrence {spec.occurrence})"
+    )
+
+
+def _act_raise_oserror(spec: "FaultSpec", ctx: Mapping[str, Any],
+                       activation: "_Activation") -> None:
+    raise InjectedOSError(
+        f"injected I/O failure at {spec.point} (occurrence {spec.occurrence})"
+    )
+
+
+def _act_crash(spec: "FaultSpec", ctx: Mapping[str, Any],
+               activation: "_Activation") -> None:
+    raise InjectedCrash(
+        f"injected crash at {spec.point} (occurrence {spec.occurrence})"
+    )
+
+
+def _act_corrupt_file(spec: "FaultSpec", ctx: Mapping[str, Any],
+                      activation: "_Activation") -> None:
+    """Overwrite a slice of the file with plan-seeded garbage bytes."""
+    path = _ctx_path(ctx)
+    if not path.is_file():
+        return
+    size = path.stat().st_size
+    if size == 0:
+        return
+    n = max(1, min(size, int(dict(spec.args).get("n_bytes", 16))))
+    offset = int(activation.rng.integers(0, max(size - n, 0) + 1))
+    garbage = activation.rng.integers(0, 256, size=n, dtype="uint8").tobytes()
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        f.write(garbage)
+
+
+def _act_truncate_file(spec: "FaultSpec", ctx: Mapping[str, Any],
+                       activation: "_Activation") -> None:
+    """Chop the file to a plan-chosen fraction of its size."""
+    path = _ctx_path(ctx)
+    if not path.is_file():
+        return
+    size = path.stat().st_size
+    keep = int(size * float(dict(spec.args).get("keep_fraction", 0.5)))
+    with open(path, "r+b") as f:
+        f.truncate(keep)
+
+
+def _act_delete_file(spec: "FaultSpec", ctx: Mapping[str, Any],
+                     activation: "_Activation") -> None:
+    _ctx_path(ctx).unlink(missing_ok=True)
+
+
+def _act_torn_append(spec: "FaultSpec", ctx: Mapping[str, Any],
+                     activation: "_Activation") -> None:
+    """Append the first half of the pending line (no newline) and crash."""
+    path = _ctx_path(ctx)
+    line = str(ctx.get("line", '{"event": "torn"}'))
+    cut = max(1, len(line) // 2)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as f:
+        f.write(line[:cut])
+        f.flush()
+    raise InjectedCrash(f"injected crash mid-append at {spec.point}")
+
+
+def _act_torn_json(spec: "FaultSpec", ctx: Mapping[str, Any],
+                   activation: "_Activation") -> None:
+    """Leave a truncated JSON document at the final path and crash."""
+    path = _ctx_path(ctx)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text('{"torn": tru')
+    raise InjectedCrash(f"injected crash mid-write at {spec.point}")
+
+
+_ActionFn = Callable[["FaultSpec", Mapping[str, Any], "_Activation"], None]
+
+ACTIONS: dict[str, _ActionFn] = {
+    "raise_transient": _act_raise_transient,
+    "raise_oserror": _act_raise_oserror,
+    "crash": _act_crash,
+    "corrupt_file": _act_corrupt_file,
+    "truncate_file": _act_truncate_file,
+    "delete_file": _act_delete_file,
+    "torn_append": _act_torn_append,
+    "torn_json": _act_torn_json,
+}
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class FiredFault:
+    """One fault that actually fired, for reports and assertions."""
+
+    point: str
+    occurrence: int
+    action: str
+    ctx: dict[str, Any]
+
+
+class _Activation:
+    """Runtime state of one activated plan: counters, rng, fired log."""
+
+    def __init__(self, plan: "FaultPlan"):
+        self.plan = plan
+        self.rng = plan.make_rng()
+        self.lock = threading.Lock()
+        # One matching-call counter per FaultSpec (plans may schedule
+        # several faults on the same point).
+        self.counters = [0] * len(plan.faults)
+        self.fired: list[FiredFault] = []
+
+    def visit(self, name: str, ctx: Mapping[str, Any]) -> None:
+        due: list["FaultSpec"] = []
+        with self.lock:
+            for i, spec in enumerate(self.plan.faults):
+                if spec.point != name or not spec.matches(ctx):
+                    continue
+                if self.counters[i] == spec.occurrence:
+                    due.append(spec)
+                    self.fired.append(
+                        FiredFault(
+                            point=name,
+                            occurrence=spec.occurrence,
+                            action=spec.action,
+                            ctx={k: ctx[k] for k in ctx if k != "line"},
+                        )
+                    )
+                self.counters[i] += 1
+        # Actions run outside the lock: they may touch the filesystem or
+        # raise, and fault points can be reached from several threads.
+        for spec in due:
+            ACTIONS[spec.action](spec, ctx, self)
+
+
+_ACTIVE: _Activation | None = None
+_ACTIVATE_LOCK = threading.Lock()
+
+
+def fault_point(name: str, **ctx: Any) -> None:
+    """Declare one instrumented fault point; a no-op unless chaos is on.
+
+    The off path costs one module-global load and a ``None`` check, so
+    production code can call this unconditionally on hot-ish paths.
+    May raise an injected exception when an activated plan schedules a
+    fault here.
+    """
+    active = _ACTIVE
+    if active is None:
+        return
+    active.visit(name, ctx)
+
+
+def chaos_active() -> bool:
+    """True while a fault plan is activated."""
+    return _ACTIVE is not None
+
+
+@contextlib.contextmanager
+def activate(plan: "FaultPlan") -> Iterator[list[FiredFault]]:
+    """Activate ``plan`` for the duration of the block.
+
+    Yields the live list of fired faults (appended to as faults fire).
+    Activations do not nest: chaos tests own the whole process while
+    they run.
+    """
+    global _ACTIVE
+    unknown = [f.point for f in plan.faults if f.point not in FAULT_POINTS]
+    if unknown:
+        raise ValueError(f"unknown fault point(s): {sorted(set(unknown))}")
+    bad = [f.action for f in plan.faults if f.action not in ACTIONS]
+    if bad:
+        raise ValueError(f"unknown action(s): {sorted(set(bad))}")
+    activation = _Activation(plan)
+    with _ACTIVATE_LOCK:
+        if _ACTIVE is not None:
+            raise RuntimeError("a fault plan is already active")
+        _ACTIVE = activation
+    try:
+        yield activation.fired
+    finally:
+        with _ACTIVATE_LOCK:
+            _ACTIVE = None

@@ -262,20 +262,50 @@ def _campaign_scheduler(args: argparse.Namespace, spec):
     )
 
 
-def _finish_campaign(sched, resume: bool) -> int:
+def _chaos_plan_from_args(args: argparse.Namespace):
+    """The ``--chaos-seed`` fault plan, or ``None`` when chaos is off."""
+    seed = getattr(args, "chaos_seed", None)
+    if seed is None:
+        return None
+    from repro.chaos import FaultPlan
+
+    return FaultPlan.random(int(seed), n_faults=args.chaos_faults)
+
+
+def _finish_campaign(sched, resume: bool, chaos_plan=None) -> int:
     from repro.campaign.report import render_summary
 
-    result = sched.run(resume=resume)
+    if chaos_plan is None:
+        result = sched.run(resume=resume)
+    else:
+        from repro.chaos import InjectedCrash, activate
+
+        print(chaos_plan.describe(), file=sys.stderr)
+        try:
+            with activate(chaos_plan):
+                result = sched.run(resume=resume)
+        except InjectedCrash as crash:
+            print(
+                f"injected crash: {crash} [chaos seed {chaos_plan.seed}; "
+                f"replay with FaultPlan.random({chaos_plan.seed})]; "
+                f"resume with 'repro campaign resume --run-dir "
+                f"{sched.store.run_dir}'",
+                file=sys.stderr,
+            )
+            return 1
     print(render_summary(sched.store), end="")
     if not result.ok:
-        print("campaign finished with failed/blocked jobs", file=sys.stderr)
+        msg = "campaign finished with failed/blocked jobs"
+        if chaos_plan is not None:
+            msg += f" [chaos seed {chaos_plan.seed}]"
+        print(msg, file=sys.stderr)
     return result.exit_code
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     spec = _load_campaign_spec(args.spec, args.samples, args.seed)
     sched = _campaign_scheduler(args, spec)
-    return _finish_campaign(sched, resume=False)
+    return _finish_campaign(sched, resume=False, chaos_plan=_chaos_plan_from_args(args))
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
@@ -287,7 +317,35 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
         raise SystemExit(f"no campaign manifest under {args.run_dir}")
     spec = campaign_from_dict(store.read_manifest()["spec"])
     sched = _campaign_scheduler(args, spec)
-    return _finish_campaign(sched, resume=True)
+    return _finish_campaign(sched, resume=True, chaos_plan=_chaos_plan_from_args(args))
+
+
+def _cmd_chaos_points(_args: argparse.Namespace) -> int:
+    from repro.chaos import FAULT_POINTS
+
+    for name in sorted(FAULT_POINTS):
+        info = FAULT_POINTS[name]
+        print(name)
+        print(f"  {info.description}")
+        print(f"  ctx: {', '.join(info.ctx_keys)}")
+        print(f"  recoverable: {', '.join(info.recoverable_actions)}")
+        targeted = tuple(
+            a for a in info.actions if a not in info.recoverable_actions
+        )
+        if targeted:
+            print(f"  targeted-only: {', '.join(targeted)}")
+    return 0
+
+
+def _cmd_chaos_plan(args: argparse.Namespace) -> int:
+    from repro.chaos import builtin_plan
+    from repro.chaos.plan import FaultPlan
+
+    if args.builtin is not None:
+        print(builtin_plan(args.builtin).describe())
+    else:
+        print(FaultPlan.random(args.seed, n_faults=args.faults).describe())
+    return 0
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -432,6 +490,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-progress", action="store_true",
             help="suppress the terminal progress line",
         )
+        p.add_argument(
+            "--chaos-seed", type=int, default=None, metavar="N",
+            help="inject a FaultPlan.random(N) fault schedule (testing aid; "
+            "the seed is echoed on failure for exact replay)",
+        )
+        p.add_argument(
+            "--chaos-faults", type=int, default=3, metavar="K",
+            help="faults drawn into the --chaos-seed plan (default 3)",
+        )
         _add_mc_flags(p)
 
     cr = gsub.add_parser("run", help="start (or continue) a campaign")
@@ -467,6 +534,31 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--run-dir", required=True)
     cp.add_argument("--out", default="results", help="output directory")
     cp.set_defaults(func=_cmd_campaign_report)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection harness (docs/TESTING.md)",
+        description=(
+            "Inspect the chaos harness: the fault-point catalog and "
+            "reproducible fault plans (random by seed, or built-in)."
+        ),
+    )
+    chsub = ch.add_subparsers(dest="chaos_cmd", required=True)
+    cpt = chsub.add_parser("points", help="catalog of instrumented fault points")
+    cpt.set_defaults(func=_cmd_chaos_points)
+    cpl = chsub.add_parser("plan", help="show a fault plan (random or built-in)")
+    which = cpl.add_mutually_exclusive_group(required=True)
+    which.add_argument(
+        "--seed", type=int, help="derive the random recoverable plan for this seed"
+    )
+    which.add_argument(
+        "--builtin", metavar="NAME",
+        help="a named plan from the differential suite (e.g. cache-corruption)",
+    )
+    cpl.add_argument(
+        "--faults", type=int, default=3, help="faults in a random plan (default 3)"
+    )
+    cpl.set_defaults(func=_cmd_chaos_plan)
 
     a = sub.add_parser("availability", help="refresh availability model")
     a.add_argument("--device-gb", type=int, default=16)

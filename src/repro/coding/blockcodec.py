@@ -33,6 +33,7 @@ from repro.wearout.ecp import ECPConfig, ECPTable, ecp_cells_mlc
 from repro.wearout.mark_and_spare import (
     MarkAndSpareBlock,
     MarkAndSpareConfig,
+    SpareExhausted,
     correct_values,
 )
 
@@ -120,11 +121,24 @@ class ThreeOnTwoBlockCodec:
             tec_bits, n_corrected = self.tec.decode(received)
         except BCHDecodeFailure as exc:
             raise UncorrectableBlock(f"TEC failure: {exc}") from exc
+        # No valid encoding contains the cell pattern "10" (S1=00, S2=01,
+        # S4=11), so one surviving BCH correction is a multi-error escape
+        # that landed on a BCH codeword outside the TEC image: detectable,
+        # not correctable.
+        grouped = tec_bits.reshape(-1, 2)
+        if np.any((grouped[:, 0] == 1) & (grouped[:, 1] == 0)):
+            raise UncorrectableBlock(
+                "invalid TEC cell pattern '10' after correction "
+                "(multi-error escape)"
+            )
         corrected_states = t32.tec_bits_to_states(tec_bits)
         # Stage 2 - hard error correction (mark-and-spare).
         values = t32.decode_values(corrected_states)
         n_inv = int(np.sum(values == t32.INV_VALUE))
-        data_values = correct_values(values, self.ms_config)
+        try:
+            data_values = correct_values(values, self.ms_config)
+        except SpareExhausted as exc:
+            raise UncorrectableBlock(f"HEC failure: {exc}") from exc
         # Stage 3 - symbol decoding to binary.
         bits = t32.values_to_bits(data_values)[: self.data_bits]
         return DecodedBlock(

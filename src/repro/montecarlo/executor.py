@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.cells.drift import PAPER_ESCALATION, TieredDrift
 from repro.cells.params import StateParams
+from repro.chaos.registry import fault_point
 from repro.montecarlo.rng import block_rng
 
 __all__ = [
@@ -147,6 +148,10 @@ def _eval_task(task: _Task) -> np.ndarray:
     # Imported here (not at module top) so the import graph stays acyclic:
     # cer.py orchestrates through this module.
     from repro.montecarlo.cer import critical_log_times, sample_state_cells
+
+    # Only observable with in-process execution (jobs=1): worker
+    # processes do not share the chaos registry's module globals.
+    fault_point("executor.task", item=task.item, first_block=task.first_block)
 
     counts = np.zeros(len(task.L_grid), dtype=np.int64)
     for offset, size in enumerate(task.sizes):

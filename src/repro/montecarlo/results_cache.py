@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
 import os
 import pathlib
@@ -31,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cells.drift import TieredDrift
+from repro.chaos.registry import fault_point
 from repro.montecarlo.executor import ENGINE_VERSION, StateRun
 
 __all__ = [
@@ -86,11 +88,19 @@ def state_counts_key(
 
 @dataclasses.dataclass
 class CacheStats:
-    """Lookup/store counters of one :class:`ResultsCache` instance."""
+    """Lookup/store counters of one :class:`ResultsCache` instance.
+
+    ``quarantined`` counts on-disk blobs that failed the integrity check
+    on load and were moved aside; ``store_errors`` counts best-effort
+    writes that failed with an ``OSError`` (the result is still computed
+    and returned — only the cache entry is lost).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
+    store_errors: int = 0
 
 
 class ResultsCache:
@@ -111,27 +121,110 @@ class ResultsCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.cache_dir / f"{key}.npy"
 
+    def _sum_path(self, key: str) -> pathlib.Path:
+        return self.cache_dir / f"{key}.sum"
+
     def _remember(self, key: str, counts: np.ndarray) -> None:
         self._mem[key] = counts
         self._mem.move_to_end(key)
         while len(self._mem) > self.memory_entries:
             self._mem.popitem(last=False)
 
+    @staticmethod
+    def _valid_counts(arr: object, expected_len: int | None) -> bool:
+        """Structural integrity of a count vector.
+
+        Every stored entry is an error-count vector against a *sorted*
+        time grid, so a genuine blob is a 1-D array of non-negative,
+        non-decreasing integers (of ``expected_len`` when given).
+        Anything else is corruption or a foreign file.
+        """
+        if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+            return False
+        if not np.issubdtype(arr.dtype, np.integer):
+            return False
+        if expected_len is not None and arr.shape != (expected_len,):
+            return False
+        if arr.size and (int(arr[0]) < 0 or np.any(np.diff(arr) < 0)):
+            return False
+        return True
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt blob aside so it is never loaded again.
+
+        The quarantined copy keeps the evidence for debugging without
+        matching the ``*.npy`` store glob; a subsequent ``put_counts``
+        simply writes a fresh entry at the original path.
+        """
+        path = self._path(key)
+        try:
+            os.replace(path, self.cache_dir / f"{key}.quarantined")
+        except OSError:
+            path.unlink(missing_ok=True)
+        try:
+            self._sum_path(key).unlink(missing_ok=True)
+        except OSError:
+            # repro-lint: disable=RPL006 -- best-effort sidecar cleanup;
+            # the blob itself is already out of the store
+            pass
+        self._mem.pop(key, None)
+        self.stats.quarantined += 1
+
+    def _load_validated(
+        self, key: str, expected_len: int | None
+    ) -> np.ndarray | None:
+        """Load one blob from disk, quarantining anything corrupt.
+
+        Entries written by this version carry a ``.sum`` sidecar (sha256
+        of the blob's bytes), which catches *any* bit damage — including
+        garbage that still parses as a plausible count vector.  Blobs
+        without a sidecar (legacy entries) fall back to the structural
+        check alone.
+        """
+        path = self._path(key)
+        fault_point("cache.get", path=path, key=key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None  # a plain miss
+        except OSError:
+            self._quarantine(key)
+            return None
+        try:
+            want_sum = self._sum_path(key).read_text().strip()
+        except OSError:
+            want_sum = None
+        if want_sum is not None and hashlib.sha256(blob).hexdigest() != want_sum:
+            self._quarantine(key)
+            return None
+        try:
+            arr = np.load(io.BytesIO(blob))
+        except (OSError, ValueError, EOFError):
+            # Unreadable npy header/payload: truncated, garbled, or a
+            # pickled file (np.load refuses pickles by default).
+            self._quarantine(key)
+            return None
+        if not self._valid_counts(arr, expected_len):
+            self._quarantine(key)
+            return None
+        return arr
+
     def get_counts(self, key: str, expected_len: int | None = None) -> np.ndarray | None:
         """Cached count vector for ``key``, or ``None`` on a miss.
 
-        An entry whose length disagrees with ``expected_len`` (a truncated
-        or foreign file) is treated as a miss rather than trusted.
+        On-disk blobs are integrity-checked before being trusted: an
+        unreadable, truncated, wrong-shape, or structurally invalid file
+        is *quarantined* (moved aside, counted in ``stats.quarantined``)
+        and reported as a miss — a corrupted entry is never served.
         """
         counts = self._mem.get(key)
-        if counts is None:
-            try:
-                counts = np.load(self._path(key))
-            except (OSError, ValueError):
-                counts = None
-        if counts is None or (
+        if counts is not None and (
             expected_len is not None and counts.shape != (expected_len,)
         ):
+            counts = None  # foreign length under this key: do not trust
+        elif counts is None:
+            counts = self._load_validated(key, expected_len)
+        if counts is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -144,21 +237,51 @@ class ResultsCache:
         return counts.copy()
 
     def put_counts(self, key: str, counts: np.ndarray) -> None:
-        """Store one count vector, atomically, and front it in memory."""
+        """Store one count vector atomically; best-effort on I/O errors.
+
+        The cache is an optimization, so a failed write (disk full,
+        permissions, injected fault) must not fail the computation that
+        produced the result: the error is counted in
+        ``stats.store_errors``, the temp file is cleaned up, and the
+        vector is still fronted in memory.
+        """
         arr = np.ascontiguousarray(counts, dtype=np.int64)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp"
-        with open(tmp, "wb") as f:
-            np.save(f, arr)
-        os.replace(tmp, self._path(key))
+        try:
+            fault_point("cache.put", path=self._path(key), key=key)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            buf = io.BytesIO()
+            np.save(buf, arr)
+            blob = buf.getvalue()
+            tmp.write_bytes(blob)
+            # Sidecar first: content-addressed entries always hold the
+            # same bytes, so a reader can never pair a fresh blob with a
+            # stale mismatching checksum.
+            self._sum_path(key).write_text(hashlib.sha256(blob).hexdigest() + "\n")
+            os.replace(tmp, self._path(key))
+        except OSError:
+            self.stats.store_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                # repro-lint: disable=RPL006 -- cleanup of a best-effort
+                # write; the store_errors counter already recorded it
+                pass
+        else:
+            self.stats.stores += 1
         self._remember(key, arr)
-        self.stats.stores += 1
 
     def entries(self) -> list[str]:
         """Keys present on disk."""
         if not self.cache_dir.is_dir():
             return []
         return sorted(p.stem for p in self.cache_dir.glob("*.npy"))
+
+    def quarantined(self) -> list[str]:
+        """Keys whose blobs failed integrity checks and were set aside."""
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.cache_dir.glob("*.quarantined"))
 
     def nbytes(self) -> int:
         """Total on-disk size of the store."""
@@ -167,12 +290,19 @@ class ResultsCache:
         return sum(p.stat().st_size for p in self.cache_dir.glob("*.npy"))
 
     def clear(self) -> int:
-        """Delete every entry (disk and memory); returns how many."""
+        """Delete every entry (disk and memory); returns how many.
+
+        Quarantined blobs are removed too (not counted in the total).
+        """
         removed = 0
         if self.cache_dir.is_dir():
             for p in self.cache_dir.glob("*.npy"):
                 p.unlink(missing_ok=True)
                 removed += 1
+            for p in self.cache_dir.glob("*.quarantined"):
+                p.unlink(missing_ok=True)
+            for p in self.cache_dir.glob("*.sum"):
+                p.unlink(missing_ok=True)
         self._mem.clear()
         return removed
 
@@ -203,6 +333,7 @@ class ResultsCache:
             if total <= max_bytes:
                 break
             p.unlink(missing_ok=True)
+            self._sum_path(p.stem).unlink(missing_ok=True)
             self._mem.pop(p.stem, None)
             total -= size
             removed += 1

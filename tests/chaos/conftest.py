@@ -1,0 +1,8 @@
+"""Everything under tests/chaos/ carries the ``chaos`` marker."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.chaos)

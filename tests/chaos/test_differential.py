@@ -1,0 +1,205 @@
+"""Differential chaos: a faulted-then-recovered campaign is bit-identical
+to a clean one.
+
+For every built-in fault plan (and a seed-matrix of randomized plans in
+CI), the harness runs one clean reference campaign, then the same
+campaign under the activated plan — resuming after each injected crash —
+and asserts:
+
+- the final exit code is 0 and every job state is done/cached,
+- every persisted per-job result JSON is *byte*-equal to the reference,
+- no job ever starts again after its ``job_done`` was logged (no
+  duplicate execution of completed work),
+- the cache never serves a corrupted entry (recovered cache contents
+  decode to the reference counts),
+- every scheduled fault of the built-in plans actually fired.
+
+Monte Carlo sampling uses its own RNG spawn tree; the chaos stream lives
+at a disjoint spawn key, which is why bit-identity is achievable at all.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.events import read_events
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import campaign_from_dict
+from repro.campaign.store import RunStore
+from repro.chaos import BUILTIN_PLANS, FaultPlan, InjectedCrash, activate
+from repro.montecarlo.results_cache import ResultsCache
+
+N = 4_000
+TIMES = [1024.0, 2.0**20]
+MAX_RESUMES = 8
+
+
+def campaign_spec():
+    return campaign_from_dict(
+        {
+            "name": "differential",
+            "seed": 5,
+            "retries": 2,
+            "backoff_s": 0.0,
+            "defaults": {"n_samples": N, "times_s": TIMES},
+            "job": [
+                {"id": "a", "kind": "design_cer", "params": {"design": "4LCn"}},
+                {
+                    "id": "b",
+                    "kind": "design_cer",
+                    "needs": ["a"],
+                    "params": {"design": "3LCn", "seed_offset": 1},
+                },
+                {
+                    "id": "c",
+                    "kind": "retention",
+                    "needs": ["b"],
+                    "params": {"design": "3LCn", "n_cells": 354, "ecc_t": 1},
+                },
+            ],
+        }
+    )
+
+
+def run_clean(run_dir, cache_dir):
+    result = CampaignScheduler(
+        campaign_spec(),
+        RunStore(run_dir),
+        cache=ResultsCache(cache_dir=cache_dir),
+        sleep=lambda _t: None,
+    ).run()
+    assert result.ok
+    return result
+
+
+def run_faulted(plan, run_dir, cache_dir):
+    """Run under ``plan``, resuming after every injected crash."""
+    store = RunStore(run_dir)
+    crashes = 0
+    with activate(plan) as fired:
+        for attempt in range(MAX_RESUMES):
+            scheduler = CampaignScheduler(
+                campaign_spec(),
+                store,
+                # A fresh cache instance per (re)start: recovery must come
+                # from disk, exactly like a restarted process.
+                cache=ResultsCache(cache_dir=cache_dir),
+                sleep=lambda _t: None,
+            )
+            try:
+                result = scheduler.run(resume=attempt > 0)
+            except InjectedCrash:
+                crashes += 1
+                continue
+            return result, list(fired), crashes
+    raise AssertionError(f"no recovery within {MAX_RESUMES} restarts")
+
+
+def assert_no_rework(store):
+    """No job starts again after its result was durably logged done."""
+    done = set()
+    for e in read_events(store.events_path):
+        if e["event"] == "job_start":
+            assert e["job"] not in done, (
+                f"job {e['job']} re-executed after completion"
+            )
+        elif e["event"] == "job_done":
+            done.add(e["job"])
+
+
+def assert_identical_outcome(ref_dir, faulted_dir, result):
+    assert result.ok and result.exit_code == 0
+    ref, faulted = RunStore(ref_dir), RunStore(faulted_dir)
+    jobs = sorted(ref.completed_jobs())
+    assert jobs == sorted(faulted.completed_jobs())
+    for job_id in jobs:
+        assert (
+            faulted.result_path(job_id).read_bytes()
+            == ref.result_path(job_id).read_bytes()
+        ), f"job {job_id} diverged from the clean run"
+        assert result.results[job_id] == json.loads(
+            ref.result_path(job_id).read_text()
+        )
+    assert_no_rework(faulted)
+
+
+def plan_touches(plan, point):
+    return any(spec.point == point for spec in plan.faults)
+
+
+@pytest.mark.parametrize("name", sorted(BUILTIN_PLANS))
+def test_builtin_plan_recovers_bit_identical(name, tmp_path):
+    plan = BUILTIN_PLANS[name]
+    ref_cache = tmp_path / "ref-cache"
+    run_clean(tmp_path / "ref", ref_cache)
+
+    faulted_cache = tmp_path / "faulted-cache"
+    if plan_touches(plan, "cache.get"):
+        # Read-path faults need a populated cache to corrupt: prime it
+        # with a throwaway clean run sharing the faulted cache dir.
+        run_clean(tmp_path / "prime", faulted_cache)
+
+    result, fired, crashes = run_faulted(plan, tmp_path / "faulted", faulted_cache)
+    assert_identical_outcome(tmp_path / "ref", tmp_path / "faulted", result)
+
+    # Every scheduled fault of a built-in plan is reachable by design.
+    assert len(fired) == len(plan.faults), (
+        f"{name}: fired {[(f.point, f.occurrence) for f in fired]}"
+    )
+    # Crash-action plans must actually have exercised the resume path.
+    n_crash_specs = sum(
+        1 for s in plan.faults if s.action in ("crash", "torn_json", "torn_append")
+    )
+    assert crashes == n_crash_specs
+
+    # The recovered cache serves only valid entries matching the clean
+    # run's: every reference key decodes identically from the faulted dir.
+    ref_entries = ResultsCache(cache_dir=ref_cache)
+    faulted_entries = ResultsCache(cache_dir=faulted_cache)
+    if not plan_touches(plan, "cache.put"):
+        assert faulted_entries.entries() == ref_entries.entries()
+    for key in faulted_entries.entries():
+        got = faulted_entries.get_counts(key)
+        want = ref_entries.get_counts(key)
+        assert want is not None and (got == want).all()
+    assert faulted_entries.stats.quarantined == 0  # survivors are all valid
+
+
+def test_cache_corruption_plan_quarantines(tmp_path):
+    """The cache-corruption plan's damage is visible: the faulted run
+    quarantined blobs and recomputed them (misses where the clean resumed
+    run would have hit)."""
+    plan = BUILTIN_PLANS["cache-corruption"]
+    cache_dir = tmp_path / "cache"
+    run_clean(tmp_path / "prime", cache_dir)
+    result, fired, _crashes = run_faulted(plan, tmp_path / "faulted", cache_dir)
+    assert result.ok
+    assert {(f.point, f.action) for f in fired} == {
+        ("cache.get", "corrupt_file"),
+        ("cache.get", "truncate_file"),
+    }
+    quarantined = [
+        p.name for p in cache_dir.glob("*.quarantined")
+    ]
+    assert len(quarantined) == 2
+
+
+@pytest.mark.slow
+def test_random_plan_recovers_bit_identical(tmp_path):
+    """CI seed matrix: REPRO_CHAOS_SEED selects a randomized recoverable
+    plan; replaying a failure locally is ``FaultPlan.random(seed)``."""
+    seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+    plan = FaultPlan.random(seed, n_faults=3)
+    ref_cache = tmp_path / "ref-cache"
+    run_clean(tmp_path / "ref", ref_cache)
+
+    faulted_cache = tmp_path / "faulted-cache"
+    if plan_touches(plan, "cache.get"):
+        run_clean(tmp_path / "prime", faulted_cache)
+
+    result, _fired, _crashes = run_faulted(
+        plan, tmp_path / "faulted", faulted_cache
+    )
+    # On any failure here, replay locally with FaultPlan.random(seed).
+    assert_identical_outcome(tmp_path / "ref", tmp_path / "faulted", result)

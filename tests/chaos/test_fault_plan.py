@@ -1,0 +1,192 @@
+"""FaultPlan / registry semantics: determinism, occurrence counting,
+context matching, activation discipline, and RNG-stream isolation."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    BUILTIN_PLANS,
+    CHAOS_SPAWN_KEY,
+    FAULT_POINTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    activate,
+    builtin_plan,
+    chaos_active,
+    fault_point,
+)
+from repro.chaos.registry import ACTIONS
+from repro.montecarlo.cer import state_cer
+from repro.montecarlo.rng import block_rng
+
+
+class TestFaultSpec:
+    def test_make_sorts_mappings_into_tuples(self):
+        spec = FaultSpec.make(
+            "cache.get", args={"n_bytes": 4, "a": 1}, match={"key": "k", "b": 2}
+        )
+        assert spec.args == (("a", 1), ("n_bytes", 4))
+        assert spec.match == (("b", 2), ("key", "k"))
+        # Hashable by construction (frozen dataclass of tuples).
+        hash(spec)
+
+    def test_matches_is_subset_semantics(self):
+        spec = FaultSpec.make("scheduler.job", match={"job": "b"})
+        assert spec.matches({"job": "b", "attempt": 3})
+        assert not spec.matches({"job": "a", "attempt": 1})
+        assert not spec.matches({})
+        assert FaultSpec.make("scheduler.job").matches({"anything": 1})
+
+    def test_describe_names_point_occurrence_action(self):
+        spec = FaultSpec.make("cache.get", 2, "corrupt_file", match={"key": "k"})
+        text = spec.describe()
+        assert "cache.get[2]" in text
+        assert "corrupt_file" in text
+        assert "key" in text
+
+
+class TestFaultPlanRandom:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.random(7) == FaultPlan.random(7)
+        assert FaultPlan.random(7, n_faults=5) == FaultPlan.random(7, n_faults=5)
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.random(s).faults for s in range(20)}
+        assert len(plans) > 1
+
+    def test_draws_only_recoverable_actions(self):
+        for seed in range(25):
+            for spec in FaultPlan.random(seed, n_faults=4).faults:
+                assert spec.point in FAULT_POINTS
+                info = FAULT_POINTS[spec.point]
+                assert spec.action in info.recoverable_actions
+                assert 0 <= spec.occurrence <= 3
+
+    def test_points_restriction(self):
+        plan = FaultPlan.random(3, n_faults=6, points=["cache.get"])
+        assert {s.point for s in plan.faults} == {"cache.get"}
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultPlan.random(0, points=["nope"])
+        with pytest.raises(ValueError, match="n_faults"):
+            FaultPlan.random(0, n_faults=-1)
+        with pytest.raises(ValueError, match="no recoverable actions"):
+            FaultPlan.random(0, points=[])
+
+    def test_rng_is_the_dedicated_chaos_stream(self):
+        plan = FaultPlan(faults=(), seed=11)
+        want = block_rng(11, (CHAOS_SPAWN_KEY,)).integers(0, 2**31, 8)
+        got = plan.make_rng().integers(0, 2**31, 8)
+        assert np.array_equal(want, got)
+
+
+class TestBuiltinPlans:
+    def test_lookup_and_error(self):
+        assert builtin_plan("cache-corruption") is BUILTIN_PLANS["cache-corruption"]
+        with pytest.raises(ValueError, match="unknown built-in fault plan"):
+            builtin_plan("nope")
+
+    def test_builtins_use_cataloged_points_and_actions(self):
+        for name, plan in BUILTIN_PLANS.items():
+            assert plan.faults, name
+            for spec in plan.faults:
+                assert spec.point in FAULT_POINTS, name
+                assert spec.action in ACTIONS, name
+
+    def test_describe_mentions_seed_and_every_fault(self):
+        plan = builtin_plan("flaky-workers")
+        text = plan.describe()
+        assert f"seed {plan.seed}" in text
+        for spec in plan.faults:
+            assert spec.point in text
+
+
+class TestActivation:
+    def test_fault_point_is_noop_when_inactive(self):
+        assert not chaos_active()
+        fault_point("scheduler.job", job="x", attempt=1)  # must not raise
+
+    def test_fires_exactly_at_nth_matching_call(self):
+        plan = FaultPlan(
+            faults=(FaultSpec.make("scheduler.job", occurrence=2),), seed=0
+        )
+        with activate(plan) as fired:
+            assert chaos_active()
+            fault_point("scheduler.job", job="a", attempt=1)
+            fault_point("scheduler.job", job="a", attempt=2)
+            with pytest.raises(InjectedFault):
+                fault_point("scheduler.job", job="a", attempt=3)
+            # One-shot: the spec never fires again.
+            fault_point("scheduler.job", job="a", attempt=4)
+        assert not chaos_active()
+        assert [(f.point, f.occurrence, f.action) for f in fired] == [
+            ("scheduler.job", 2, "raise_transient")
+        ]
+        assert fired[0].ctx == {"job": "a", "attempt": 3}
+
+    def test_match_filters_the_occurrence_count(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec.make("scheduler.job", occurrence=1, match={"job": "b"}),
+            ),
+            seed=0,
+        )
+        with activate(plan) as fired:
+            fault_point("scheduler.job", job="a", attempt=1)  # not counted
+            fault_point("scheduler.job", job="b", attempt=1)  # occurrence 0
+            fault_point("scheduler.job", job="a", attempt=2)  # not counted
+            with pytest.raises(InjectedFault):
+                fault_point("scheduler.job", job="b", attempt=2)
+        assert len(fired) == 1
+
+    def test_unrelated_points_do_not_count(self):
+        plan = FaultPlan(faults=(FaultSpec.make("cache.put", 0, "raise_oserror"),))
+        with activate(plan):
+            fault_point("cache.get", path="p", key="k")  # different point
+            with pytest.raises(OSError):
+                fault_point("cache.put", path="p", key="k")
+
+    def test_rejects_unknown_point_and_action(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            with activate(FaultPlan(faults=(FaultSpec.make("nope"),))):
+                pass
+        bad = FaultPlan(faults=(FaultSpec.make("cache.get", action="nope"),))
+        with pytest.raises(ValueError, match="unknown action"):
+            with activate(bad):
+                pass
+
+    def test_rejects_nested_activation(self):
+        plan = FaultPlan(faults=())
+        with activate(plan):
+            with pytest.raises(RuntimeError, match="already active"):
+                with activate(plan):
+                    pass
+        # Cleanly deactivated after the error.
+        with activate(plan):
+            pass
+
+    def test_catalog_entries_are_consistent(self):
+        for info in FAULT_POINTS.values():
+            for action in info.all_actions():
+                assert action in ACTIONS, (info.name, action)
+            assert info.description
+            assert info.ctx_keys
+
+
+class TestStreamIsolation:
+    def test_active_plan_never_perturbs_simulation_draws(self):
+        """A faulted run samples the exact same Monte Carlo population."""
+        from repro.core.designs import three_level_naive
+
+        design = three_level_naive()
+        state, tau = design.states[0], design.upper_threshold(0)
+        clean = state_cer(state, tau, [1e4, 1e6], n_samples=2_000, seed=9)
+        plan = FaultPlan(
+            faults=(FaultSpec.make("scheduler.job", occurrence=0),), seed=42
+        )
+        with activate(plan) as fired:
+            chaotic = state_cer(state, tau, [1e4, 1e6], n_samples=2_000, seed=9)
+        assert not fired  # no campaign ran, so the fault never triggered
+        assert np.array_equal(clean.cer, chaotic.cer)

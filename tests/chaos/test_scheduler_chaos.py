@@ -1,0 +1,182 @@
+"""Scheduler retry/backoff under injected worker faults: attempt counts
+come from the event log, backoff delays from an injected sleep recorder,
+and exhausted retries block exactly the transitive dependents."""
+
+from repro.campaign.events import read_events
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import campaign_from_dict
+from repro.campaign.store import RunStore
+from repro.chaos import FaultPlan, FaultSpec, activate
+
+
+def diamond_spec(**overrides):
+    """a -> b -> c plus independent d, on the instant ``capacity`` kind."""
+    d = {
+        "name": "retrying",
+        "retries": 2,
+        "backoff_s": 0.25,
+        "backoff_factor": 4.0,
+        "backoff_max_s": 0.5,
+        "job": [
+            {"id": "a", "kind": "capacity"},
+            {"id": "b", "kind": "capacity", "needs": ["a"]},
+            {"id": "c", "kind": "capacity", "needs": ["b"]},
+            {"id": "d", "kind": "capacity"},
+        ],
+    }
+    d.update(overrides)
+    return campaign_from_dict(d)
+
+
+def transient(job, *occurrences):
+    return tuple(
+        FaultSpec.make("scheduler.job", occ, "raise_transient", match={"job": job})
+        for occ in occurrences
+    )
+
+
+def events_by_type(store, event):
+    return [e for e in read_events(store.events_path) if e["event"] == event]
+
+
+class SleepRecorder:
+    def __init__(self):
+        self.delays = []
+
+    def __call__(self, delay):
+        self.delays.append(delay)
+
+
+class TestRetryBackoff:
+    def test_one_transient_fault_costs_one_retry(self, tmp_path):
+        sleeps = SleepRecorder()
+        store = RunStore(tmp_path / "run")
+        plan = FaultPlan(faults=transient("a", 0), seed=1)
+        with activate(plan) as fired:
+            result = CampaignScheduler(
+                diamond_spec(), store, sleep=sleeps
+            ).run()
+        assert len(fired) == 1
+        assert result.ok and result.exit_code == 0
+        starts = events_by_type(store, "job_start")
+        assert [e["attempt"] for e in starts if e["job"] == "a"] == [1, 2]
+        assert all(
+            e["attempt"] == 1 for e in starts if e["job"] != "a"
+        ), "only the faulted job may retry"
+        retries = events_by_type(store, "job_retry")
+        assert [(e["job"], e["attempt"]) for e in retries] == [("a", 1)]
+        assert "InjectedFault" in retries[0]["error"]
+        assert sleeps.delays == [0.25]  # backoff_s * factor**0
+        assert result.metrics["retries"] == 1
+
+    def test_backoff_grows_and_caps(self, tmp_path):
+        """Two consecutive faults on one job: delays follow
+        ``backoff_s * factor**(attempt-1)`` capped at ``backoff_max_s``."""
+        sleeps = SleepRecorder()
+        store = RunStore(tmp_path / "run")
+        plan = FaultPlan(faults=transient("b", 0, 1), seed=1)
+        with activate(plan) as fired:
+            result = CampaignScheduler(
+                diamond_spec(), store, sleep=sleeps
+            ).run()
+        assert len(fired) == 2
+        assert result.ok
+        starts = events_by_type(store, "job_start")
+        assert [e["attempt"] for e in starts if e["job"] == "b"] == [1, 2, 3]
+        # 0.25 * 4**0 = 0.25; 0.25 * 4**1 = 1.0 -> capped at 0.5.
+        assert sleeps.delays == [0.25, 0.5]
+        delays_logged = [e["delay_s"] for e in events_by_type(store, "job_retry")]
+        assert delays_logged == sleeps.delays
+
+    def test_job_level_retries_override(self, tmp_path):
+        spec = campaign_from_dict(
+            {
+                "name": "override",
+                "retries": 0,
+                "backoff_s": 0.0,
+                "job": [{"id": "a", "kind": "capacity", "retries": 1}],
+            }
+        )
+        store = RunStore(tmp_path / "run")
+        plan = FaultPlan(faults=transient("a", 0), seed=1)
+        with activate(plan):
+            result = CampaignScheduler(spec, store, sleep=lambda _t: None).run()
+        assert result.ok
+        assert [e["attempt"] for e in events_by_type(store, "job_start")] == [1, 2]
+
+
+class TestExhaustedRetries:
+    def test_blocks_exactly_the_transitive_dependents(self, tmp_path):
+        sleeps = SleepRecorder()
+        store = RunStore(tmp_path / "run")
+        # retries=2 allows 3 attempts; fault all three.
+        plan = FaultPlan(faults=transient("a", 0, 1, 2), seed=1)
+        with activate(plan) as fired:
+            result = CampaignScheduler(
+                diamond_spec(), store, sleep=sleeps
+            ).run()
+        assert len(fired) == 3
+        assert result.states == {
+            "a": "failed",
+            "b": "blocked",
+            "c": "blocked",
+            "d": "done",
+        }
+        assert result.exit_code == 1
+        failed = events_by_type(store, "job_failed")
+        assert [(e["job"], e["attempts"]) for e in failed] == [("a", 3)]
+        blocked = {e["job"]: e["cause"] for e in events_by_type(store, "job_blocked")}
+        assert blocked == {"b": "a", "c": "a"}
+        # Two backoffs happened (after attempts 1 and 2), none after the last.
+        assert sleeps.delays == [0.25, 0.5]
+        # Blocked jobs never started.
+        started = {e["job"] for e in events_by_type(store, "job_start")}
+        assert started == {"a", "d"}
+
+    def test_midchain_failure_blocks_only_downstream(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        plan = FaultPlan(faults=transient("b", 0, 1, 2), seed=1)
+        with activate(plan):
+            result = CampaignScheduler(
+                diamond_spec(), store, sleep=lambda _t: None
+            ).run()
+        assert result.states == {
+            "a": "done",
+            "b": "failed",
+            "c": "blocked",
+            "d": "done",
+        }
+
+    def test_failed_job_retries_on_resume_and_can_heal(self, tmp_path):
+        """The injected fault is gone on the second run: resume re-runs
+        only the failed job and the campaign converges to ok."""
+        store = RunStore(tmp_path / "run")
+        plan = FaultPlan(faults=transient("a", 0, 1, 2), seed=1)
+        with activate(plan):
+            first = CampaignScheduler(
+                diamond_spec(), store, sleep=lambda _t: None
+            ).run()
+        assert not first.ok
+        second = CampaignScheduler(
+            diamond_spec(), store, sleep=lambda _t: None
+        ).run(resume=True)
+        assert second.ok
+        assert second.states == {
+            "a": "done",
+            "b": "done",
+            "c": "done",
+            "d": "cached",
+        }
+
+
+def test_unmatched_fault_never_fires(tmp_path):
+    store = RunStore(tmp_path / "run")
+    plan = FaultPlan(
+        faults=(FaultSpec.make("scheduler.job", 50, "raise_transient"),), seed=1
+    )
+    with activate(plan) as fired:
+        result = CampaignScheduler(
+            diamond_spec(), store, sleep=lambda _t: None
+        ).run()
+    assert result.ok
+    assert fired == []

@@ -1,0 +1,167 @@
+"""Durability of the run directory: torn event tails, torn JSON files,
+and crash-at-write faults all leave a resumable store behind."""
+
+import json
+
+import pytest
+
+from repro.campaign.events import EventLog, read_events
+from repro.campaign.store import RunStore
+from repro.chaos import FaultPlan, FaultSpec, InjectedCrash, activate, builtin_plan
+
+SPEC = {"name": "t", "job": [{"id": "a", "kind": "capacity"}]}
+ORDER = ["a"]
+
+
+class TestTornEventTail:
+    def test_read_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("one", n=1)
+        log.emit("two", n=2)
+        with open(path, "a") as f:
+            f.write('{"event": "thr')  # crash mid-append: no newline
+        events = list(read_events(path))
+        assert [e["event"] for e in events] == ["one", "two"]
+        # strict mode also tolerates a torn *tail* — it is expected wear.
+        assert len(list(read_events(path, strict=True))) == 2
+
+    def test_next_writer_repairs_the_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        EventLog(path).emit("one")
+        with open(path, "a") as f:
+            f.write('{"event": "torn')
+        # A fresh writer (the resumed process) must not merge its first
+        # record into the fragment.
+        EventLog(path).emit("resumed", n=3)
+        events = list(read_events(path))
+        assert [e["event"] for e in events] == ["one", "resumed"]
+        assert events[-1]["n"] == 3
+
+    def test_repaired_fragment_is_interior_corruption_under_strict(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        EventLog(path).emit("one")
+        with open(path, "a") as f:
+            f.write('{"event": "torn')
+        EventLog(path).emit("resumed")
+        # Lenient read skips the now-interior fragment; strict reports it,
+        # because one record genuinely was lost.
+        assert [e["event"] for e in read_events(path)] == ["one", "resumed"]
+        with pytest.raises(ValueError, match="corrupt event log line 2"):
+            list(read_events(path, strict=True))
+
+    def test_interior_corruption(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("one")
+        raw = path.read_text()
+        path.write_text(raw + "garbage not json\n")
+        log.emit("two")
+        assert [e["event"] for e in read_events(path)] == ["one", "two"]
+        with pytest.raises(ValueError, match="line 2"):
+            list(read_events(path, strict=True))
+
+    def test_missing_and_empty_files(self, tmp_path):
+        assert list(read_events(tmp_path / "nope.jsonl")) == []
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert list(read_events(empty, strict=True)) == []
+        # An empty log needs no repair and emit starts it cleanly.
+        EventLog(empty).emit("first")
+        assert [e["event"] for e in read_events(empty)] == ["first"]
+
+    def test_torn_append_fault_loses_exactly_one_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        plan = FaultPlan(
+            faults=(FaultSpec.make("events.append", 2, "torn_append"),), seed=1
+        )
+        with activate(plan) as fired:
+            log.emit("e0")
+            log.emit("e1")
+            with pytest.raises(InjectedCrash):
+                log.emit("e2")  # torn: half the line, then "process death"
+        assert len(fired) == 1
+        assert not path.read_text().endswith("\n")
+        assert [e["event"] for e in read_events(path)] == ["e0", "e1"]
+        # The resumed writer repairs and continues; only e2 was lost.
+        EventLog(path).emit("e3")
+        assert [e["event"] for e in read_events(path)] == ["e0", "e1", "e3"]
+
+
+class TestTornManifest:
+    def test_init_recovers_a_torn_manifest(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.init(SPEC, ORDER)
+        good = store.manifest_path.read_text()
+        store.manifest_path.write_text('{"torn": tru')  # crash mid-write
+        assert store.exists()
+        store.init(SPEC, ORDER)  # resume: re-supplies the same spec
+        assert store.manifest_path.read_text() == good
+        assert store.read_manifest()["spec"] == SPEC
+
+    def test_init_still_rejects_a_different_campaign(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.init(SPEC, ORDER)
+        with pytest.raises(ValueError, match="different campaign"):
+            store.init({**SPEC, "name": "other"}, ORDER)
+
+    def test_torn_json_fault_leaves_recoverable_manifest(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        plan = FaultPlan(
+            faults=(FaultSpec.make("store.write_manifest", 0, "torn_json"),),
+            seed=1,
+        )
+        with activate(plan):
+            with pytest.raises(InjectedCrash):
+                store.init(SPEC, ORDER)
+            # The torn file is there, unparseable...
+            assert store.exists()
+            with pytest.raises(json.JSONDecodeError):
+                store.read_manifest()
+            # ...and the next init (the resume) heals it.
+            store.init(SPEC, ORDER)
+        assert store.read_manifest()["order"] == ORDER
+
+
+class TestJobResults:
+    def test_torn_result_is_not_a_completed_job(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.init(SPEC, ORDER)
+        store.write_result("a", {"x": 1})
+        assert set(store.completed_jobs()) == {"a"}
+        store.result_path("a").write_text('{"x": 1')  # truncated
+        assert store.read_result("a") is None
+        assert store.completed_jobs() == {}
+
+    def test_missing_result_is_not_a_completed_job(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.init(SPEC, ORDER)
+        store.write_result("a", {"x": 1})
+        store.result_path("a").unlink()
+        assert store.completed_jobs() == {}
+
+    def test_crash_fault_fires_before_the_write(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.init(SPEC, ORDER)
+        plan = FaultPlan(
+            faults=(FaultSpec.make("store.write_result", 0, "crash"),), seed=1
+        )
+        with activate(plan):
+            with pytest.raises(InjectedCrash):
+                store.write_result("a", {"x": 1})
+            assert not store.result_path("a").is_file()
+            store.write_result("a", {"x": 1})  # occurrence 1: lands
+        assert store.read_result("a") == {"x": 1}
+
+    def test_status_crash_leaves_previous_snapshot(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.init(SPEC, ORDER)
+        store.write_status({"v": 1})
+        plan = FaultPlan(
+            faults=(FaultSpec.make("store.write_status", 0, "crash"),), seed=1
+        )
+        with activate(plan):
+            with pytest.raises(InjectedCrash):
+                store.write_status({"v": 2})
+        assert store.read_status() == {"v": 1}
