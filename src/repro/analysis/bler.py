@@ -14,9 +14,14 @@ computed with exact log-domain binomial tails — Figure 5 spans down to
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import betainc, gammaln
+from scipy.special import betainc, betaincinv, gammaln
 
-__all__ = ["block_error_rate", "binom_tail", "fig5_cell_counts"]
+__all__ = [
+    "binom_confidence",
+    "block_error_rate",
+    "binom_tail",
+    "fig5_cell_counts",
+]
 
 
 def binom_tail(n: int, t: int, p: np.ndarray | float) -> np.ndarray | float:
@@ -54,6 +59,31 @@ def binom_tail(n: int, t: int, p: np.ndarray | float) -> np.ndarray | float:
         out[tiny] = np.exp(np.maximum(log_term, -745.0))
         out[tiny] = np.where(log_term < -745.0, 0.0, out[tiny])
     return float(out[0]) if scalar else out
+
+
+def binom_confidence(
+    k: int, n: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Exact (Clopper-Pearson) two-sided binomial CI for ``k`` out of ``n``.
+
+    Used to cross-validate the empirical BLER engine
+    (:mod:`repro.montecarlo.bler_mc`) against the analytic
+    :func:`block_error_rate` curves: at matched operating points the
+    analytic value must fall inside the empirical interval.  The exact
+    interval is conservative (coverage >= the nominal level), which is
+    the right direction for an acceptance gate.
+    """
+    k, n = int(k), int(n)
+    if n < 1:
+        raise ValueError(f"need at least one trial, got n={n}")
+    if not 0 <= k <= n:
+        raise ValueError(f"successes k={k} outside [0, {n}]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    alpha = 1.0 - confidence
+    lo = 0.0 if k == 0 else float(betaincinv(k, n - k + 1, alpha / 2.0))
+    hi = 1.0 if k == n else float(betaincinv(k + 1, n - k, 1.0 - alpha / 2.0))
+    return lo, hi
 
 
 def block_error_rate(

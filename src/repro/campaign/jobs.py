@@ -312,6 +312,59 @@ def _run_retention(job, ctx: JobContext) -> dict:
     return _jsonable(out)
 
 
+def _run_bler_mc(job, ctx: JobContext) -> dict:
+    from repro.analysis.bler import block_error_rate
+    from repro.coding.blockcodec import ThreeOnTwoBlockCodec
+    from repro.montecarlo.bler_mc import bler_mc
+
+    cers = [float(c) for c in job.params.get("cers", [1e-3, 3e-3, 1e-2])]
+    # --samples scales the built-in campaign: fall back n_blocks -> the
+    # campaign-wide n_samples default.
+    n_blocks = int(
+        job.params.get(
+            "n_blocks",
+            ctx.defaults.get("n_blocks", ctx.defaults.get("n_samples", 1_000_000)),
+        )
+    )
+    data_bits = int(job.params.get("data_bits", 512))
+    n_spare_pairs = int(job.params.get("n_spare_pairs", 6))
+    results = bler_mc(
+        cers,
+        n_blocks,
+        seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+        data_bits=data_bits,
+        n_spare_pairs=n_spare_pairs,
+        jobs=ctx.mc_jobs,
+        cache=ctx.cache,
+    )
+    n_cells = ThreeOnTwoBlockCodec(
+        data_bits=data_bits, n_spare_pairs=n_spare_pairs
+    ).n_mlc_cells
+    points = []
+    for r in results:
+        lo, hi = r.confidence()
+        analytic = block_error_rate(r.cer, n_cells, 1)
+        points.append(
+            {
+                "cer": r.cer,
+                "bler": r.bler,
+                "n_errors": r.n_errors,
+                "n_silent": r.n_silent,
+                "ci95": [lo, hi],
+                "analytic": analytic,
+                "analytic_in_ci": bool(lo <= analytic <= hi),
+            }
+        )
+    return _jsonable(
+        {
+            "n_blocks": n_blocks,
+            "n_mlc_cells": n_cells,
+            "points": points,
+            "n_samples": n_blocks * len(cers),
+        }
+    )
+
+
 def _run_capacity(job, ctx: JobContext) -> dict:
     from repro.analysis.capacity import TABLE3_CAPACITIES
 
@@ -338,5 +391,6 @@ register_job_kind("state_cer", _run_state_cer)
 register_job_kind("design_cer", _run_design_cer)
 register_job_kind("mapping_opt", _run_mapping_opt)
 register_job_kind("retention", _run_retention)
+register_job_kind("bler_mc", _run_bler_mc)
 register_job_kind("capacity", _run_capacity)
 register_job_kind("fail", _run_fail)

@@ -30,7 +30,8 @@ TOML form::
 
 The built-in campaigns (:data:`BUILTIN_CAMPAIGNS`) cover the paper's
 Figure 3 and Figure 8 sweeps, the mapping-optimization -> design-CER ->
-retention chain, and a seconds-scale ``smoke`` spec for CI.
+retention chain, the empirical end-to-end ``bler`` cross-validation of
+the Figure 5 curves, and a seconds-scale ``smoke`` spec for CI.
 """
 
 from __future__ import annotations
@@ -305,6 +306,19 @@ BUILTIN_CAMPAIGNS: dict[str, dict[str, Any]] = {
         "name": "retention",
         "defaults": {"n_samples": 1_000_000},
         "job": _retention_chain_jobs(),
+    },
+    "bler": {
+        "name": "bler",
+        # n_samples doubles as the block count here, so --samples scales
+        # the empirical run like every other built-in.
+        "defaults": {"n_samples": 1_000_000},
+        "job": [
+            {
+                "id": "bler-empirical",
+                "kind": "bler_mc",
+                "params": {"cers": [1e-3, 3e-3, 1e-2]},
+            }
+        ],
     },
     "smoke": {
         "name": "smoke",

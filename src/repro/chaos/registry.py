@@ -158,6 +158,16 @@ FAULT_POINTS: dict[str, FaultPointInfo] = {
             ctx_keys=("item", "first_block"),
             recoverable_actions=("raise_transient",),
         ),
+        FaultPointInfo(
+            name="datapath.batch_decode",
+            description=(
+                "at the entry of a batched Figure-9 block decode; a "
+                "transient failure aborts the whole batch before any "
+                "outcome arrays exist, so callers must retry the batch"
+            ),
+            ctx_keys=("n_blocks",),
+            recoverable_actions=("raise_transient",),
+        ),
     )
 }
 

@@ -7,6 +7,8 @@ Examples::
     python -m repro cer --design 3LCo --mc-samples 10000000 --jobs 0
     python -m repro retention --design 3LCo --ecc 1 --mc-verify 1000000
     python -m repro sweep --figure fig8 --samples 1000000 --jobs 0
+    python -m repro bler --cer 1e-3 3e-3 1e-2
+    python -m repro bler --cer 1e-3 3e-3 1e-2 --empirical 1000000 --jobs 0
     python -m repro cache info
     python -m repro cache prune --max-bytes 512M
     python -m repro campaign run --spec fig3_fig8 --jobs 0
@@ -18,7 +20,8 @@ Examples::
     python -m repro simulate --workload STREAM --accesses 30000
 
 The Monte Carlo commands (``cer --mc-samples``, ``retention
---mc-verify``, ``sweep``, ``campaign``) accept ``--jobs N`` (0 = all
+--mc-verify``, ``sweep``, ``bler --empirical``, ``campaign``) accept
+``--jobs N`` (0 = all
 cores), ``--cache-dir`` and ``--no-cache``; results are cached
 persistently by default, so repeating a sweep is free.  The cache grows
 without bound unless trimmed — ``cache prune --max-bytes N`` evicts
@@ -191,6 +194,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         row = [f"{sweep.series[n][i]:.2E}".rjust(9) for n in names]
         print("  ".join([label.rjust(9)] + row))
     print(f"({sweep.n_samples:,} cells/curve, MC floor {sweep.floor:.1E})")
+    return 0
+
+
+def _cmd_bler(args: argparse.Namespace) -> int:
+    from repro.analysis.bler import block_error_rate
+
+    if args.empirical:
+        from repro.coding.blockcodec import ThreeOnTwoBlockCodec
+        from repro.montecarlo.bler_mc import bler_mc
+
+        codec = ThreeOnTwoBlockCodec(
+            data_bits=args.data_bits, n_spare_pairs=args.spare_pairs
+        )
+        results = bler_mc(
+            args.cer,
+            args.empirical,
+            seed=args.seed,
+            data_bits=args.data_bits,
+            n_spare_pairs=args.spare_pairs,
+            jobs=args.jobs,
+            cache=_cache_from_args(args),
+        )
+        print(
+            f"{'CER':>10} {'empirical':>11} {'95% CI':>26} "
+            f"{'analytic':>11} {'in CI':>5}"
+        )
+        all_in = True
+        for r in results:
+            lo, hi = r.confidence()
+            analytic = block_error_rate(r.cer, codec.n_mlc_cells, 1)
+            in_ci = lo <= analytic <= hi
+            all_in = all_in and in_ci
+            print(
+                f"{r.cer:>10.3E} {r.bler:>11.4E} "
+                f"[{lo:.4E}, {hi:.4E}] {analytic:>11.4E} "
+                f"{'yes' if in_ci else 'NO':>5}"
+            )
+        print(
+            f"({args.empirical:,} blocks/point through the batched 3-ON-2 "
+            f"datapath, {codec.n_mlc_cells} MLC cells/block; "
+            f"{sum(r.n_silent for r in results):,} silent escapes total)"
+        )
+        return 0 if all_in else 1
+    for c in args.cer:
+        bler = block_error_rate(c, args.cells, args.ecc)
+        print(
+            f"BLER at CER {c:.3E} ({args.cells} cells, BCH-{args.ecc}): "
+            f"{bler:.4E}"
+        )
     return 0
 
 
@@ -452,6 +504,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mc_flags(w)
     w.set_defaults(func=_cmd_sweep)
 
+    b = sub.add_parser(
+        "bler",
+        help="block error rate: analytic Figure-5 curve or empirical MC",
+        description=(
+            "Block error rate vs per-cell error rate.  By default, the "
+            "exact analytic curve of Figure 5; with --empirical N, "
+            "measured by pushing N random blocks per CER point through "
+            "the batched 3-ON-2 encode/inject/decode datapath and "
+            "cross-checked against the analytic value (exit 1 if any "
+            "point's 95% CI excludes it)."
+        ),
+    )
+    b.add_argument(
+        "--cer", type=float, nargs="+", default=[1e-3, 3e-3, 1e-2],
+        help="per-cell error rate operating points",
+    )
+    b.add_argument(
+        "--cells", type=int, default=354,
+        help="block size in cells (analytic mode)",
+    )
+    b.add_argument(
+        "--ecc", type=int, default=1,
+        help="BCH correction strength t (analytic mode)",
+    )
+    b.add_argument(
+        "--empirical", type=int, default=0, metavar="N",
+        help="measure BLER empirically with N blocks per CER point",
+    )
+    b.add_argument(
+        "--data-bits", type=int, default=512,
+        help="data payload per block (empirical mode)",
+    )
+    b.add_argument(
+        "--spare-pairs", type=int, default=6,
+        help="mark-and-spare budget (empirical mode)",
+    )
+    b.add_argument("--seed", type=int, default=0, help="MC seed")
+    _add_mc_flags(b)
+    b.set_defaults(func=_cmd_bler)
+
     k = sub.add_parser(
         "cache",
         help="inspect, clear, or prune the MC result cache",
@@ -504,8 +596,8 @@ def build_parser() -> argparse.ArgumentParser:
     cr = gsub.add_parser("run", help="start (or continue) a campaign")
     cr.add_argument(
         "--spec", required=True,
-        help="built-in campaign name (fig3, fig8, fig3_fig8, retention, "
-        "smoke) or a TOML spec file",
+        help="built-in campaign name (bler, fig3, fig8, fig3_fig8, "
+        "retention, smoke) or a TOML spec file",
     )
     cr.add_argument(
         "--run-dir", default=None,

@@ -108,6 +108,47 @@ class BCH:
         self.k = k_message
         self.n = self.k + self.n_check  # shortened block length
         self.shortening = self.k_natural - self.k
+        self._position_remainders: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def position_remainders(self) -> np.ndarray:
+        """``x^deg(i) mod g`` for every codeword position ``i``, as ints.
+
+        Array index ``i`` corresponds to polynomial degree ``top - i``
+        (``top = n_natural - 1 - shortening``), so entry ``i`` is the
+        ``n_check``-bit GF(2) column a set bit at position ``i``
+        contributes to the codeword's remainder modulo the generator.
+        XOR-reducing the entries at a word's set bits gives:
+
+        - on a received word: the full remainder, which is zero iff every
+          syndrome is zero (the batch layer's zero-syndrome dispatch);
+        - on data positions only: the systematic check bits (batch
+          encode);
+        - for ``t = 1``: the remainder *is* the field element
+          ``S1 = alpha^deg`` of a single error, so its discrete log
+          locates the error directly.
+
+        The table is computed once per code and cached; treat it as
+        read-only (it is the shared backing store for the batch kernels).
+        """
+        if self._position_remainders is None:
+            top = self.n_natural - 1 - self.shortening
+            # Remainders are n_check-bit integers; past 63 bits they only
+            # fit as Python ints (object dtype).  The t = 1 kernels that
+            # *index* with the table always have n_check = m <= 32.
+            dtype: type | np.dtype = np.int64 if self.n_check < 63 else object
+            rem_by_deg = np.zeros(top + 1, dtype=dtype)
+            r = 1  # x^0 mod g
+            high_bit = 1 << self.n_check
+            for deg in range(top + 1):
+                rem_by_deg[deg] = r
+                r <<= 1
+                if r & high_bit:
+                    r ^= self.generator
+            table = rem_by_deg[::-1].copy()  # index i <-> degree top - i
+            table.setflags(write=False)
+            self._position_remainders = table
+        return self._position_remainders
 
     # ------------------------------------------------------------------
     def encode(self, data_bits: np.ndarray) -> np.ndarray:
@@ -195,9 +236,13 @@ class BCH:
         detectably uncorrectable.  (Patterns beyond the code's guarantee
         may also miscorrect silently, as in any bounded-distance decoder.)
         """
-        r = np.asarray(received).astype(np.uint8).copy()
+        r = np.asarray(received).astype(np.uint8)  # astype copies: safe to flip
         S = self.syndromes(r)
         if not np.any(S):
+            # Error-free fast path: the overwhelmingly common case in a
+            # datapath read.  No locator is ever built (tests assert zero
+            # Berlekamp-Massey iterations here), mirroring the batch
+            # layer's zero-syndrome dispatch.
             return r[: self.k].copy(), 0
         sigma = self._berlekamp_massey(S)
         n_err = len(sigma) - 1

@@ -91,7 +91,10 @@ class ThreeOnTwoBlockCodec:
         bits = np.asarray(data_bits).astype(np.uint8)
         if bits.shape != (self.data_bits,):
             raise ValueError(f"expected {self.data_bits} bits, got {bits.shape}")
-        block = block or self.new_block_state()
+        # Explicit None check: a block state defining __bool__/__len__
+        # (e.g. "no marks yet" ~ falsy) must never be silently replaced.
+        if block is None:
+            block = self.new_block_state()
         padded = np.zeros(self.ms_config.n_data_pairs * t32.BITS_PER_PAIR, dtype=np.uint8)
         padded[: bits.size] = bits
         values = t32.bits_to_values(padded)

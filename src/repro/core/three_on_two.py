@@ -26,6 +26,10 @@ __all__ = [
     "CELLS_PER_PAIR",
     "INV_VALUE",
     "INV_PAIR",
+    "INVALID_TEC_VALUE",
+    "STATE_TO_TEC_BITS",
+    "TEC_VALUE_TO_STATE",
+    "PAIR_VALUE_TO_STATES",
     "encode_values",
     "decode_values",
     "values_to_bits",
@@ -45,12 +49,27 @@ INV_VALUE = 8
 INV_PAIR = (2, 2)
 
 #: TEC view of each three-level state (Section 6.3): S1=00, S2=01, S4=11.
-_STATE_TO_TEC = np.array([[0, 0], [0, 1], [1, 1]], dtype=np.uint8)
+#: Exported for the batch kernels (:mod:`repro.coding.batch`), which
+#: gather through these tables over whole ``(n_blocks, n_cells)`` arrays.
+STATE_TO_TEC_BITS = np.array([[0, 0], [0, 1], [1, 1]], dtype=np.uint8)
+STATE_TO_TEC_BITS.setflags(write=False)
 #: Inverse map from the 2-bit TEC value (b1*2 + b0) to state index.  The
 #: value 2 (bits "10") is not produced by any state nor by a single drift
 #: step; if ECC leaves it behind (multi-error escape) we conservatively
 #: read it as S4, the state one bit-flip away on the high side.
-_TEC_TO_STATE = np.array([0, 1, 2, 2], dtype=np.int64)
+TEC_VALUE_TO_STATE = np.array([0, 1, 2, 2], dtype=np.int64)
+TEC_VALUE_TO_STATE.setflags(write=False)
+#: The one 2-bit TEC value ("10") no valid encoding or single drift step
+#: produces; seeing it after ECC marks a multi-error escape.
+INVALID_TEC_VALUE = 2
+#: Pair value (0..8) -> the two cell states storing it (Table 2 rows).
+PAIR_VALUE_TO_STATES = np.stack(
+    [np.arange(9) // 3, np.arange(9) % 3], axis=-1
+).astype(np.int64)
+PAIR_VALUE_TO_STATES.setflags(write=False)
+
+_STATE_TO_TEC = STATE_TO_TEC_BITS
+_TEC_TO_STATE = TEC_VALUE_TO_STATE
 
 
 def pairs_needed(n_bits: int) -> int:

@@ -33,11 +33,13 @@ import numpy as np
 
 from repro.cells.drift import TieredDrift
 from repro.chaos.registry import fault_point
+from repro.coding.batch import DATAPATH_VERSION
 from repro.montecarlo.executor import ENGINE_VERSION, StateRun
 
 __all__ = [
     "CacheStats",
     "ResultsCache",
+    "bler_counts_key",
     "default_cache_dir",
     "state_counts_key",
 ]
@@ -81,6 +83,42 @@ def state_counts_key(
         "times": [_cf(t) for t in np.asarray(times_s, dtype=float)],
         "n_samples": int(run.n_samples),
         "seed": {"entropy": int(run.entropy), "prefix": [int(p) for p in run.prefix]},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def bler_counts_key(
+    cer: float,
+    data_bits: int,
+    n_spare_pairs: int,
+    n_blocks: int,
+    entropy: int,
+    prefix: Sequence[int],
+) -> str:
+    """Stable content hash for one empirical BLER operating point.
+
+    The entry holds the ``[n_silent, n_errors]`` pair from pushing
+    ``n_blocks`` random blocks through the batched Figure-9 datapath at
+    per-cell error rate ``cer`` (:mod:`repro.montecarlo.bler_mc`).  The
+    payload is salted with both :data:`ENGINE_VERSION` (RNG fan-out
+    contract) and :data:`repro.coding.batch.DATAPATH_VERSION` (batched
+    codec semantics), so a change to either invalidates stale entries.
+    Chunk size and worker count are absent for the same reason as in
+    :func:`state_counts_key`: fixed-block RNG fan-out makes results
+    invariant to both.
+    """
+    payload = {
+        "engine": ENGINE_VERSION,
+        "datapath": DATAPATH_VERSION,
+        "kind": "bler-counts",
+        "cer": _cf(cer),
+        "geometry": {
+            "data_bits": int(data_bits),
+            "n_spare_pairs": int(n_spare_pairs),
+        },
+        "n_blocks": int(n_blocks),
+        "seed": {"entropy": int(entropy), "prefix": [int(p) for p in prefix]},
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -126,6 +126,69 @@ class TestDecode:
             bch1.decode(np.zeros(10, dtype=np.uint8))
 
 
+class TestCleanFastPath:
+    """Error-free words skip Berlekamp-Massey entirely (the common case)."""
+
+    def test_no_bm_on_clean_codeword(self, bch1, monkeypatch):
+        calls = []
+        orig = BCH._berlekamp_massey
+
+        def spy(self, S):
+            calls.append(1)
+            return orig(self, S)
+
+        monkeypatch.setattr(BCH, "_berlekamp_massey", spy)
+        data = np.random.default_rng(9).integers(0, 2, 708).astype(np.uint8)
+        cw = bch1.encode(data)
+        out, n = bch1.decode(cw)
+        assert np.array_equal(out, data) and n == 0
+        assert not calls  # zero error-locator iterations on the clean path
+        bch1.decode(_flip(cw, [3]))
+        assert calls  # sanity: the spy does fire once errors exist
+
+
+class TestPositionRemainders:
+    """The cached remainder table backing the batch kernels."""
+
+    def test_codeword_remainders_xor_to_zero(self, bch1):
+        rng = np.random.default_rng(10)
+        rem = bch1.position_remainders()
+        for _ in range(5):
+            cw = bch1.encode(rng.integers(0, 2, 708).astype(np.uint8))
+            acc = 0
+            for i in np.nonzero(cw)[0]:
+                acc ^= int(rem[i])
+            assert acc == 0
+
+    def test_check_positions_are_powers_of_two(self, bch1):
+        """Check bit j sits at degree n_check-1-j, below the generator."""
+        rem = bch1.position_remainders()
+        for j in range(bch1.n_check):
+            assert int(rem[bch1.k + j]) == 1 << (bch1.n_check - 1 - j)
+
+    def test_check_bits_recomposed_from_data_remainders(self, bch1):
+        rng = np.random.default_rng(11)
+        rem = bch1.position_remainders()
+        data = rng.integers(0, 2, 708).astype(np.uint8)
+        cw = bch1.encode(data)
+        acc = 0
+        for i in np.nonzero(data)[0]:
+            acc ^= int(rem[i])
+        want = [(acc >> (bch1.n_check - 1 - j)) & 1 for j in range(bch1.n_check)]
+        assert np.array_equal(cw[bch1.k :], np.array(want, dtype=np.uint8))
+
+    def test_wide_code_uses_python_ints(self, bch10):
+        """100 check bits overflow int64; the table must still be exact."""
+        rem = bch10.position_remainders()
+        assert int(rem[0]) >> 63  # genuinely wider than a machine word
+        for j in range(bch10.n_check):
+            assert int(rem[bch10.k + j]) == 1 << (bch10.n_check - 1 - j)
+
+    def test_table_is_read_only(self, bch1):
+        with pytest.raises(ValueError):
+            bch1.position_remainders()[0] = 1
+
+
 class TestShortening:
     def test_shortened_code_still_corrects(self):
         code = BCH(8, 2, 50)  # heavily shortened from k=239

@@ -1,0 +1,157 @@
+"""Empirical BLER engine: determinism, caching, analytic cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bler import binom_confidence, block_error_rate
+from repro.cli import main
+from repro.core.three_on_two import STATE_TO_TEC_BITS
+from repro.montecarlo.bler_mc import ERR_STATE, BlerResult, bler_mc
+from repro.montecarlo.results_cache import ResultsCache
+
+CERS = [3e-3, 1e-2]
+N_BLOCKS = 20_000
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return bler_mc(CERS, N_BLOCKS, seed=7)
+
+
+class TestInjectionModel:
+    def test_each_error_flips_exactly_one_tec_bit(self):
+        """The analytic comparison hinges on 1 erring cell = 1 bit error."""
+        for s in range(3):
+            assert ERR_STATE[s] != s
+            flipped = STATE_TO_TEC_BITS[s] ^ STATE_TO_TEC_BITS[ERR_STATE[s]]
+            assert int(flipped.sum()) == 1, s
+
+    def test_err_state_is_read_only(self):
+        with pytest.raises(ValueError):
+            ERR_STATE[0] = 2
+
+
+class TestDeterminism:
+    def test_chunk_and_jobs_invariance(self, baseline):
+        assert bler_mc(CERS, N_BLOCKS, seed=7, chunk=7_000, jobs=1) == baseline
+        assert bler_mc(CERS, N_BLOCKS, seed=7, chunk=5_000, jobs=2) == baseline
+
+    def test_seed_changes_counts(self, baseline):
+        other = bler_mc(CERS, N_BLOCKS, seed=8)
+        assert [r.n_errors for r in other] != [r.n_errors for r in baseline]
+
+    def test_single_cer_scalar_and_duplicates(self, baseline):
+        one = bler_mc(CERS[0], N_BLOCKS, seed=7)
+        assert isinstance(one, list) and one[0] == baseline[0]
+        dup = bler_mc([CERS[0], CERS[0]], N_BLOCKS, seed=7)
+        assert dup[0] == dup[1] == baseline[0]
+
+    def test_common_random_numbers_make_curve_monotone(self, baseline):
+        """Shared uniforms: more CER can only add errors, never remove."""
+        assert baseline[0].n_errors <= baseline[1].n_errors
+
+
+class TestCache:
+    def test_round_trip_and_warm_hit(self, tmp_path, baseline):
+        cache = ResultsCache(cache_dir=tmp_path / "mc")
+        first = bler_mc(CERS, N_BLOCKS, seed=7, cache=cache)
+        assert cache.stats.misses == len(CERS)
+        assert cache.stats.stores == len(CERS)
+        second = bler_mc(CERS, N_BLOCKS, seed=7, cache=cache)
+        assert cache.stats.hits == len(CERS)
+        assert first == second == baseline
+
+    def test_key_separates_geometry_and_seed(self, tmp_path):
+        cache = ResultsCache(cache_dir=tmp_path / "mc")
+        bler_mc([1e-2], 2_000, seed=7, cache=cache)
+        bler_mc([1e-2], 2_000, seed=8, cache=cache)
+        bler_mc([1e-2], 2_000, seed=7, n_spare_pairs=4, cache=cache)
+        assert cache.stats.stores == 3 and cache.stats.hits == 0
+
+
+class TestAnalyticAgreement:
+    def test_within_binomial_ci_at_three_points(self):
+        """The acceptance cross-validation, at CI scale (50k blocks)."""
+        results = bler_mc([3e-3, 1e-2, 3e-2], 50_000, seed=7)
+        for r in results:
+            lo, hi = r.confidence()
+            analytic = block_error_rate(r.cer, 354, 1)
+            assert lo <= analytic <= hi, (r.cer, r.bler, analytic)
+
+    def test_zero_cer_never_errs(self):
+        (r,) = bler_mc([0.0], 5_000, seed=7)
+        assert r.n_errors == 0 and r.n_silent == 0 and r.bler == 0.0
+        assert r.confidence()[0] == 0.0
+
+
+class TestBlerResult:
+    def test_detected_plus_silent(self, baseline):
+        for r in baseline:
+            assert 0 <= r.n_silent <= r.n_errors
+            assert r.n_detected == r.n_errors - r.n_silent
+            lo, hi = r.confidence()
+            assert lo <= r.bler <= hi
+
+    def test_zero_blocks_guard(self):
+        r = BlerResult(cer=0.1, n_blocks=0, n_silent=0, n_errors=0)
+        assert r.bler == 0.0
+
+
+class TestValidation:
+    def test_bad_cer_rejected(self):
+        with pytest.raises(ValueError):
+            bler_mc([1.5], 100)
+        with pytest.raises(ValueError):
+            bler_mc([-0.1], 100)
+
+    def test_bad_block_count_rejected(self):
+        with pytest.raises(ValueError):
+            bler_mc([0.01], 0)
+
+    def test_empty_cers_rejected(self):
+        with pytest.raises(ValueError):
+            bler_mc([], 100)
+
+    def test_binom_confidence_validation(self):
+        with pytest.raises(ValueError):
+            binom_confidence(1, 0)
+        with pytest.raises(ValueError):
+            binom_confidence(5, 3)
+        with pytest.raises(ValueError):
+            binom_confidence(1, 10, confidence=1.0)
+
+    def test_binom_confidence_extremes(self):
+        lo, hi = binom_confidence(0, 100)
+        assert lo == 0.0 and 0 < hi < 0.05
+        lo, hi = binom_confidence(100, 100)
+        assert 0.95 < lo < 1 and hi == 1.0
+
+
+class TestCli:
+    def test_analytic_table(self, capsys):
+        assert main(["bler", "--cer", "1e-3", "1e-2"]) == 0
+        out = capsys.readouterr().out
+        assert "BCH-1" in out and out.count("BLER at CER") == 2
+
+    def test_empirical_cross_validates(self, capsys):
+        rc = main(
+            [
+                "bler", "--cer", "3e-3", "1e-2", "--empirical", "20000",
+                "--seed", "7", "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "analytic" in out and "NO" not in out
+        assert "batched 3-ON-2 datapath" in out
+
+    def test_campaign_builtin_runs(self, tmp_path, capsys):
+        rc = main(
+            [
+                "campaign", "run", "--spec", "bler", "--samples", "5000",
+                "--run-dir", str(tmp_path / "run"), "--no-cache",
+                "--no-progress",
+            ]
+        )
+        assert rc == 0, capsys.readouterr().err
+        assert "bler_mc" in capsys.readouterr().out

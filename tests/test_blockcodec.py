@@ -100,6 +100,23 @@ class TestThreeOnTwoRoundTrip:
         assert np.array_equal(out.data_bits, bits)
         assert out.tec_corrected == 1
 
+    def test_falsy_block_state_still_honored(self, bits):
+        """encode must test ``block is None``, not truthiness: a caller's
+        block instance that happens to be falsy still owns the marks."""
+        from repro.wearout.mark_and_spare import MarkAndSpareBlock
+
+        class FalsyBlock(MarkAndSpareBlock):
+            def __bool__(self):
+                return False
+
+        c = ThreeOnTwoBlockCodec()
+        blk = FalsyBlock(c.ms_config)
+        blk.mark(5)
+        states, check = c.encode(bits, blk)
+        out = c.decode(states, check)
+        assert np.array_equal(out.data_bits, bits)
+        assert out.hec_pairs_dropped == 1  # the caller's mark was used
+
     def test_shape_validation(self, bits):
         c = ThreeOnTwoBlockCodec()
         with pytest.raises(ValueError):
