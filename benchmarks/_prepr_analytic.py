@@ -1,0 +1,213 @@
+"""Frozen pre-PR-6 semi-analytic CER kernels (benchmark baseline only).
+
+This is a verbatim snapshot of ``repro/montecarlo/analytic.py`` as it
+stood before the PR-6 vectorization, kept so
+``benchmarks/test_perf_cer_core.py`` can measure the batched kernels
+against the *actual* pre-PR scalar path (Python loop over times, one
+quadrature per (state, time) / (design, time) pair) on the same box —
+and assert the two are bit-identical.  Do not import this from library
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA, StateParams
+from repro.core.levels import LevelDesign
+
+__all__ = ["analytic_state_cer", "analytic_design_cer"]
+
+_TRUNC = WRITE_TRUNCATION_SIGMA
+
+
+def _r_tail(x: np.ndarray | float, mu_r: float, sg_r: float) -> np.ndarray:
+    """P(lr0 >= x) for the truncated-Gaussian write distribution (exact)."""
+    z_norm = ndtr(_TRUNC) - ndtr(-_TRUNC)
+    zz = (np.asarray(x, dtype=float) - mu_r) / sg_r
+    tail = (ndtr(_TRUNC) - ndtr(np.clip(zz, -_TRUNC, _TRUNC))) / z_norm
+    return np.where(zz >= _TRUNC, 0.0, np.where(zz <= -_TRUNC, 1.0, tail))
+
+
+def _z_grid(
+    z_lo: float, z_hi: float, n: int, renormalize_from: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nodes and trapezoid-weighted standard-normal masses on [z_lo, z_hi].
+
+    When ``renormalize_from`` is given, weights are normalized by the tail
+    mass beyond that point (for the alpha >= 0 truncation).
+    """
+    nodes = np.linspace(z_lo, z_hi, n)
+    pdf = np.exp(-0.5 * nodes**2) / np.sqrt(2 * np.pi)
+    w = np.zeros_like(nodes)
+    dz = np.diff(nodes)
+    w[:-1] += dz / 2
+    w[1:] += dz / 2
+    weights = pdf * w
+    if renormalize_from is not None:
+        weights = weights / (1.0 - ndtr(renormalize_from))
+    return nodes, weights
+
+
+def _deterministic_mode_cer(
+    state: StateParams,
+    tau_up: float,
+    times: np.ndarray,
+    schedule: TieredDrift,
+    z_points: int,
+    z_max: float,
+) -> np.ndarray:
+    """1-D quadrature path: escalated alpha is a function of the original z."""
+    mu_a, sg_a = state.drift.mu_alpha, state.drift.sigma_alpha
+    if sg_a == 0.0:
+        z_nodes = np.array([0.0])
+        weights = np.array([1.0])
+    else:
+        z_lo = -mu_a / sg_a  # truncation: alpha >= 0
+        z_nodes, weights = _z_grid(z_lo, z_max, z_points, renormalize_from=z_lo)
+    alphas0 = np.maximum(mu_a + z_nodes * sg_a, 0.0)
+
+    tiers = schedule.tiers_between(-np.inf, tau_up)
+    B = [-np.inf] + [t.lr_break for t in tiers] + [tau_up]
+    K = len(tiers)
+
+    # Per-z slope in each segment.  Segment k spans (B[k], B[k+1]); a cell
+    # programmed in segment k drifts with its own draw there, then escalates
+    # at each boundary it crosses.  For the deterministic modes the
+    # escalated exponent is the same function of z regardless of the
+    # starting segment, so slopes are shared.
+    slopes = [alphas0]
+    for tier in tiers:
+        slopes.append(
+            schedule.escalated_alpha(tier, alphas0, z_nodes, mu_a, z_fresh=None)
+            if schedule.mode != "independent"
+            else None  # unreachable; guarded by caller
+        )
+
+    # T[k] = log-time to climb from B[k+1] to tau through later segments.
+    T = [np.zeros_like(z_nodes) for _ in range(K + 1)]
+    for k in range(K - 1, -1, -1):
+        seg_h = B[k + 2] - B[k + 1]
+        with np.errstate(divide="ignore"):
+            dT = np.where(slopes[k + 1] > 0, seg_h / slopes[k + 1], np.inf)
+        T[k] = T[k + 1] + dT
+
+    mu_r, sg_r = state.mu_lr, state.sigma_lr
+    out = np.empty(times.shape)
+    for it, t in enumerate(times):
+        L = np.log10(t / T0_SECONDS)
+        lr0_min = np.full_like(z_nodes, tau_up)
+        settled = np.zeros(z_nodes.shape, dtype=bool)
+        for k in range(K, -1, -1):
+            feasible = L >= T[k]
+            with np.errstate(invalid="ignore"):
+                cand = B[k + 1] - slopes[k] * np.maximum(L - T[k], 0.0)
+            cand = np.where(slopes[k] > 0, cand, B[k + 1])
+            lo = B[k]
+            in_seg = cand >= lo
+            take = feasible & in_seg & ~settled
+            lr0_min = np.where(take, cand, lr0_min)
+            settled |= take
+        out[it] = float(np.sum(weights * _r_tail(lr0_min, mu_r, sg_r)))
+    return out
+
+
+def _independent_mode_cer(
+    state: StateParams,
+    tau_up: float,
+    times: np.ndarray,
+    schedule: TieredDrift,
+    z_points: int,
+    z_max: float,
+) -> np.ndarray:
+    """2-D quadrature path for a single independent escalation tier."""
+    tiers = schedule.tiers_between(-np.inf, tau_up)
+    if not tiers:
+        return _deterministic_mode_cer(
+            state, tau_up, times, TieredDrift(tiers=(), mode="mean"), z_points, z_max
+        )
+    if len(tiers) > 1:
+        raise NotImplementedError(
+            "independent escalation is implemented for a single tier "
+            "(the paper's schedule); use MC for multi-tier schedules"
+        )
+    tier = tiers[0]
+    b = tier.lr_break
+
+    mu_a, sg_a = state.drift.mu_alpha, state.drift.sigma_alpha
+    mu_r, sg_r = state.mu_lr, state.sigma_lr
+    if sg_a == 0.0:
+        z0_nodes, w0 = np.array([0.0]), np.array([1.0])
+    else:
+        z_lo = -mu_a / sg_a
+        z0_nodes, w0 = _z_grid(z_lo, z_max, z_points, renormalize_from=z_lo)
+    alpha0 = np.maximum(mu_a + z0_nodes * sg_a, 0.0)
+
+    # Fresh tier draw: untruncated standard normal, exponent clipped at 0
+    # (matching the MC implementation).
+    z2_nodes, w2 = _z_grid(-z_max, z_max, z_points)
+    alpha2 = np.maximum(tier.mu_alpha + z2_nodes * tier.sigma_alpha, 0.0)
+    with np.errstate(divide="ignore"):
+        c2 = np.where(alpha2 > 0, (tau_up - b) / alpha2, np.inf)  # climb b->tau
+
+    tail_b = float(_r_tail(b, mu_r, sg_r))
+    out = np.empty(times.shape)
+    for it, t in enumerate(times):
+        L = np.log10(t / T0_SECONDS)
+        # Cells programmed at/above the tier boundary: no escalation, error
+        # iff lr0 >= max(b, tau - alpha0 * L).
+        hi_start = _r_tail(np.maximum(b, tau_up - alpha0 * L), mu_r, sg_r)
+        p_above = float(np.sum(w0 * hi_start))
+        # Cells programmed below the boundary: cross with budget to spare.
+        budget = L - c2  # (n2,)
+        ok = budget > 0
+        if np.any(ok):
+            lo = b - alpha0[:, None] * budget[None, ok]  # (n0, n_ok)
+            frac = np.maximum(_r_tail(lo, mu_r, sg_r) - tail_b, 0.0)
+            p_below = float(w0 @ frac @ w2[ok])
+        else:
+            p_below = 0.0
+        out[it] = p_above + p_below
+    return out
+
+
+def analytic_state_cer(
+    state: StateParams,
+    tau_up: float,
+    times_s: Sequence[float],
+    schedule: TieredDrift = PAPER_ESCALATION,
+    z_points: int = 1201,
+    z_max: float = 8.5,
+) -> np.ndarray:
+    """CER of one state at each time, by quadrature + exact lr0 tail."""
+    times = np.asarray(times_s, dtype=float)
+    if np.any(times < T0_SECONDS):
+        raise ValueError("all times must be >= t0")
+    if not np.isfinite(tau_up):
+        return np.zeros(times.shape)
+    if schedule.mode == "independent":
+        return _independent_mode_cer(state, tau_up, times, schedule, z_points, z_max)
+    return _deterministic_mode_cer(state, tau_up, times, schedule, z_points, z_max)
+
+
+def analytic_design_cer(
+    design: LevelDesign,
+    times_s: Sequence[float],
+    schedule: TieredDrift = PAPER_ESCALATION,
+    z_points: int = 1201,
+) -> np.ndarray:
+    """Occupancy-weighted semi-analytic CER of a level design."""
+    times = np.asarray(times_s, dtype=float)
+    total = np.zeros(times.shape)
+    for i, (state, p_occ) in enumerate(zip(design.states, design.occupancy)):
+        tau = design.upper_threshold(i)
+        if not np.isfinite(tau) or p_occ == 0.0:
+            continue
+        total += p_occ * analytic_state_cer(
+            state, tau, times, schedule=schedule, z_points=z_points
+        )
+    return total

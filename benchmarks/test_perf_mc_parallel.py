@@ -7,6 +7,13 @@ statistical agreement), and records the comparison in
 ``results/BENCH_mc.json``.  The >= 2x speedup floor is only asserted on
 machines with at least 4 cores; single-core runners still exercise the
 pool path and the identity check.
+
+Caveat: the committed JSON was recorded on a **cpu_count=1** box, where
+the pool adds pure overhead (speedup <= 1) — it documents the identity
+guarantee and the fused executor's serial timings, not a parallel win.
+PR 6 moved the real speed to the batched analytic path
+(``results/BENCH_cer_core.json``); the process pool remains for
+multi-core machines.
 """
 
 import os

@@ -15,6 +15,21 @@ segment.  The error probability is then an exact truncated-normal tail in
 This resolves rates far below any Monte Carlo floor (1e-30 and beyond) and
 is smooth — which is what the Section 5.1 mapping optimizer needs for its
 objective.
+
+Vectorization (docs/MODELING.md, "Vectorized CER core"): the time grid is
+an array axis of every kernel, and the batched entry points
+:func:`analytic_state_cer_batch` / :func:`analytic_design_cer_batch` stack
+the ``(mu_r, sg_r, mu_a, sg_a, tau)`` parameter rows of many states —
+across many candidate designs — grouping rows that share a z-grid, so a
+whole optimizer grid scan reduces to a few broadcasted contractions.  The
+kernels evaluate the same nodes, weights, and tail formulas as the old
+per-time scalar loop, in the same reduction order, so batching is a pure
+reshaping; the scalar API routes through the batch kernels.  The 2-D
+independent-mode kernel additionally fills only the narrow band of
+quadrature cells where the write tail is strictly between 0 and 1 — the
+``np.where`` in :func:`_r_tail` makes saturation *exact*, so skipping the
+saturated cells provably cannot change any result.  Intermediate tensors
+are chunked along the row axis to bound memory.
 """
 
 from __future__ import annotations
@@ -24,17 +39,35 @@ from typing import Sequence
 import numpy as np
 from scipy.special import ndtr
 
-from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.drift import DriftTier, PAPER_ESCALATION, TieredDrift
 from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA, StateParams
 from repro.core.levels import LevelDesign
 
-__all__ = ["analytic_state_cer", "analytic_design_cer"]
+__all__ = [
+    "analytic_state_cer",
+    "analytic_design_cer",
+    "analytic_state_cer_batch",
+    "analytic_design_cer_batch",
+]
 
 _TRUNC = WRITE_TRUNCATION_SIGMA
 
+#: Element budget for one broadcasted ``(rows, times, z)`` quadrature
+#: tensor (~16 MB of float64); row batches are chunked to stay below it.
+_CHUNK_ELEMENTS = 2_000_000
 
-def _r_tail(x: np.ndarray | float, mu_r: float, sg_r: float) -> np.ndarray:
-    """P(lr0 >= x) for the truncated-Gaussian write distribution (exact)."""
+
+def _r_tail(
+    x: np.ndarray | float, mu_r: np.ndarray | float, sg_r: np.ndarray | float
+) -> np.ndarray:
+    """P(lr0 >= x) for the truncated-Gaussian write distribution (exact).
+
+    Saturation is exact: outside the +-``_TRUNC`` band the ``np.where``
+    returns the literals 0.0 / 1.0, which is what lets the banded
+    independent-mode kernel skip saturated quadrature cells without
+    changing any bit of the result.  ``mu_r``/``sg_r`` may be arrays
+    broadcastable against ``x``.
+    """
     z_norm = ndtr(_TRUNC) - ndtr(-_TRUNC)
     zz = (np.asarray(x, dtype=float) - mu_r) / sg_r
     tail = (ndtr(_TRUNC) - ndtr(np.clip(zz, -_TRUNC, _TRUNC))) / z_norm
@@ -61,126 +94,277 @@ def _z_grid(
     return nodes, weights
 
 
-def _deterministic_mode_cer(
-    state: StateParams,
-    tau_up: float,
-    times: np.ndarray,
-    schedule: TieredDrift,
-    z_points: int,
-    z_max: float,
-) -> np.ndarray:
-    """1-D quadrature path: escalated alpha is a function of the original z."""
-    mu_a, sg_a = state.drift.mu_alpha, state.drift.sigma_alpha
+def _alpha0_grid(
+    mu_a: float, sg_a: float, z_points: int, z_max: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Original-exponent quadrature: nodes, weights, clipped alpha values."""
     if sg_a == 0.0:
         z_nodes = np.array([0.0])
         weights = np.array([1.0])
     else:
         z_lo = -mu_a / sg_a  # truncation: alpha >= 0
         z_nodes, weights = _z_grid(z_lo, z_max, z_points, renormalize_from=z_lo)
-    alphas0 = np.maximum(mu_a + z_nodes * sg_a, 0.0)
+    return z_nodes, weights, np.maximum(mu_a + z_nodes * sg_a, 0.0)
 
-    tiers = schedule.tiers_between(-np.inf, tau_up)
-    B = [-np.inf] + [t.lr_break for t in tiers] + [tau_up]
+
+def _deterministic_rows_cer(
+    mu_r: np.ndarray,
+    sg_r: np.ndarray,
+    taus: np.ndarray,
+    tiers: tuple[DriftTier, ...],
+    schedule: TieredDrift,
+    mu_a: float,
+    sg_a: float,
+    L: np.ndarray,
+    z_points: int,
+    z_max: float,
+) -> np.ndarray:
+    """1-D quadrature rows: escalated alpha is a function of the original z.
+
+    All rows share the drift parameters and the exact tier subset (hence
+    one z-grid and one slope table); ``taus`` is the per-row upper
+    threshold.  Returns CER of shape ``(n_rows, n_times)``.
+    """
+    if schedule.mode == "independent" and tiers:
+        raise ValueError(
+            "deterministic-mode quadrature cannot cross tiers in "
+            "'independent' mode: the escalated exponent is a fresh draw, "
+            "not a function of z — route through the independent-mode kernel"
+        )
+    z_nodes, weights, alphas0 = _alpha0_grid(mu_a, sg_a, z_points, z_max)
+
     K = len(tiers)
+    breaks = [t.lr_break for t in tiers]
 
     # Per-z slope in each segment.  Segment k spans (B[k], B[k+1]); a cell
-    # programmed in segment k drifts with its own draw there, then escalates
-    # at each boundary it crosses.  For the deterministic modes the
-    # escalated exponent is the same function of z regardless of the
-    # starting segment, so slopes are shared.
-    slopes = [alphas0]
-    for tier in tiers:
-        slopes.append(
-            schedule.escalated_alpha(tier, alphas0, z_nodes, mu_a, z_fresh=None)
-            if schedule.mode != "independent"
-            else None  # unreachable; guarded by caller
-        )
+    # programmed in segment k drifts with its own draw there, then
+    # escalates at each boundary it crosses.  For the deterministic modes
+    # the escalated exponent is the same function of z regardless of the
+    # starting segment, so slopes are shared across rows too.
+    slopes = [alphas0] + [
+        schedule.escalated_alpha(tier, alphas0, z_nodes, mu_a, z_fresh=None)
+        for tier in tiers
+    ]
 
     # T[k] = log-time to climb from B[k+1] to tau through later segments.
-    T = [np.zeros_like(z_nodes) for _ in range(K + 1)]
+    # Only the topmost segment's height (tau - breaks[-1]) is row-dependent.
+    n_z = z_nodes.size
+    T: list[np.ndarray] = [np.zeros((1, n_z)) for _ in range(K + 1)]
     for k in range(K - 1, -1, -1):
-        seg_h = B[k + 2] - B[k + 1]
+        if k == K - 1:
+            seg_h: np.ndarray | float = taus[:, None] - breaks[K - 1]
+        else:
+            seg_h = breaks[k + 1] - breaks[k]
         with np.errstate(divide="ignore"):
             dT = np.where(slopes[k + 1] > 0, seg_h / slopes[k + 1], np.inf)
         T[k] = T[k + 1] + dT
 
-    mu_r, sg_r = state.mu_lr, state.sigma_lr
-    out = np.empty(times.shape)
-    for it, t in enumerate(times):
-        L = np.log10(t / T0_SECONDS)
-        lr0_min = np.full_like(z_nodes, tau_up)
-        settled = np.zeros(z_nodes.shape, dtype=bool)
+    R = mu_r.size
+    out = np.empty((R, L.size))
+    Lb = L[None, :, None]
+    chunk = max(1, _CHUNK_ELEMENTS // max(1, L.size * n_z))
+    for r0 in range(0, R, chunk):
+        rows = slice(r0, min(r0 + chunk, R))
+        tau_b = taus[rows, None, None]
+        shape = (tau_b.shape[0], L.size, n_z)
+        lr0_min = np.broadcast_to(tau_b, shape).copy()
+        settled = np.zeros(shape, dtype=bool)
         for k in range(K, -1, -1):
-            feasible = L >= T[k]
+            Tk = T[k][:, None, :] if T[k].shape[0] == 1 else T[k][rows, None, :]
+            upper = tau_b if k == K else breaks[k]
+            lower = -np.inf if k == 0 else breaks[k - 1]
+            feasible = Lb >= Tk
             with np.errstate(invalid="ignore"):
-                cand = B[k + 1] - slopes[k] * np.maximum(L - T[k], 0.0)
-            cand = np.where(slopes[k] > 0, cand, B[k + 1])
-            lo = B[k]
-            in_seg = cand >= lo
-            take = feasible & in_seg & ~settled
+                cand = upper - slopes[k] * np.maximum(Lb - Tk, 0.0)
+            cand = np.where(slopes[k] > 0, cand, upper)
+            take = feasible & (cand >= lower) & ~settled
             lr0_min = np.where(take, cand, lr0_min)
             settled |= take
-        out[it] = float(np.sum(weights * _r_tail(lr0_min, mu_r, sg_r)))
+        tail = _r_tail(lr0_min, mu_r[rows, None, None], sg_r[rows, None, None])
+        out[rows] = np.sum(weights * tail, axis=-1)
     return out
 
 
-def _independent_mode_cer(
-    state: StateParams,
-    tau_up: float,
-    times: np.ndarray,
-    schedule: TieredDrift,
+def _p_below_banded(
+    mu_r: float,
+    sg_r: float,
+    b: float,
+    tail_b: float,
+    alpha0: np.ndarray,
+    w0: np.ndarray,
+    budget_ok: np.ndarray,
+    w2_ok: np.ndarray,
+) -> float:
+    """Below-boundary error mass at one time, via a band-limited fill.
+
+    The dense ``(n0, n_ok)`` crossing matrix has exactly three regimes per
+    column: small ``alpha0`` puts the crossing level above the truncated
+    write support (tail exactly 0), large ``alpha0`` puts it below (tail
+    exactly 1, contribution exactly ``max(1 - tail_b, 0)``), and only the
+    band in between needs ndtr.  The band bounds are widened by a relative
+    guard, so boundary rounding can only move an exactly-saturated entry
+    *into* the band — where the full formula reproduces the same exact
+    value.  The final contraction is the same dense ``w0 @ frac @ w2``
+    as the pre-vectorization implementation.
+    """
+    u = b - mu_r
+    lo_level = u - _TRUNC * sg_r  # alpha0 * budget <= this  =>  tail == 0
+    hi_level = u + _TRUNC * sg_r  # alpha0 * budget >= this  =>  tail == 1
+    with np.errstate(divide="ignore", over="ignore"):
+        a_lo = lo_level / budget_ok
+        a_hi = hi_level / budget_ok
+    a_lo = a_lo - np.abs(a_lo) * 1e-9 - 1e-12
+    a_hi = a_hi + np.abs(a_hi) * 1e-9 + 1e-12
+    i1 = np.searchsorted(alpha0, a_lo, side="left")
+    i2 = np.maximum(np.searchsorted(alpha0, a_hi, side="right"), i1)
+
+    n0 = alpha0.size
+    lens = i2 - i1
+    total = int(lens.sum())
+    if total > 0.25 * n0 * budget_ok.size:
+        # Wide band: the gather/scatter bookkeeping costs more than it
+        # saves — evaluate the dense matrix directly (same values).
+        lo = b - alpha0[:, None] * budget_ok[None, :]
+        frac = np.maximum(_r_tail(lo, mu_r, sg_r) - tail_b, 0.0)
+        return float(w0 @ frac @ w2_ok)
+    frac = np.zeros((n0, budget_ok.size))
+    sat = np.maximum(1.0 - tail_b, 0.0)
+    if sat > 0.0:
+        frac[np.arange(n0)[:, None] >= i2[None, :]] = sat
+    if total:
+        col = np.repeat(np.arange(budget_ok.size), lens)
+        starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        ii = i1[col] + (np.arange(total) - np.repeat(starts, lens))
+        lo = b - alpha0[ii] * budget_ok[col]
+        frac[ii, col] = np.maximum(_r_tail(lo, mu_r, sg_r) - tail_b, 0.0)
+    return float(w0 @ frac @ w2_ok)
+
+
+def _independent_rows_cer(
+    mu_r: np.ndarray,
+    sg_r: np.ndarray,
+    taus: np.ndarray,
+    tier: DriftTier,
+    mu_a: float,
+    sg_a: float,
+    L: np.ndarray,
     z_points: int,
     z_max: float,
 ) -> np.ndarray:
-    """2-D quadrature path for a single independent escalation tier."""
-    tiers = schedule.tiers_between(-np.inf, tau_up)
-    if not tiers:
-        return _deterministic_mode_cer(
-            state, tau_up, times, TieredDrift(tiers=(), mode="mean"), z_points, z_max
-        )
-    if len(tiers) > 1:
-        raise NotImplementedError(
-            "independent escalation is implemented for a single tier "
-            "(the paper's schedule); use MC for multi-tier schedules"
-        )
-    tier = tiers[0]
+    """2-D quadrature rows for a single independent escalation tier."""
     b = tier.lr_break
-
-    mu_a, sg_a = state.drift.mu_alpha, state.drift.sigma_alpha
-    mu_r, sg_r = state.mu_lr, state.sigma_lr
-    if sg_a == 0.0:
-        z0_nodes, w0 = np.array([0.0]), np.array([1.0])
-    else:
-        z_lo = -mu_a / sg_a
-        z0_nodes, w0 = _z_grid(z_lo, z_max, z_points, renormalize_from=z_lo)
-    alpha0 = np.maximum(mu_a + z0_nodes * sg_a, 0.0)
+    _, w0, alpha0 = _alpha0_grid(mu_a, sg_a, z_points, z_max)
 
     # Fresh tier draw: untruncated standard normal, exponent clipped at 0
     # (matching the MC implementation).
     z2_nodes, w2 = _z_grid(-z_max, z_max, z_points)
     alpha2 = np.maximum(tier.mu_alpha + z2_nodes * tier.sigma_alpha, 0.0)
-    with np.errstate(divide="ignore"):
-        c2 = np.where(alpha2 > 0, (tau_up - b) / alpha2, np.inf)  # climb b->tau
 
-    tail_b = float(_r_tail(b, mu_r, sg_r))
-    out = np.empty(times.shape)
-    for it, t in enumerate(times):
-        L = np.log10(t / T0_SECONDS)
-        # Cells programmed at/above the tier boundary: no escalation, error
-        # iff lr0 >= max(b, tau - alpha0 * L).
-        hi_start = _r_tail(np.maximum(b, tau_up - alpha0 * L), mu_r, sg_r)
-        p_above = float(np.sum(w0 * hi_start))
-        # Cells programmed below the boundary: cross with budget to spare.
-        budget = L - c2  # (n2,)
-        ok = budget > 0
-        if np.any(ok):
-            lo = b - alpha0[:, None] * budget[None, ok]  # (n0, n_ok)
-            frac = np.maximum(_r_tail(lo, mu_r, sg_r) - tail_b, 0.0)
-            p_below = float(w0 @ frac @ w2[ok])
-        else:
-            p_below = 0.0
-        out[it] = p_above + p_below
+    R = taus.size
+    out = np.empty((R, L.size))
+    # Cells programmed at/above the tier boundary: no escalation, error
+    # iff lr0 >= max(b, tau - alpha0 * L).
+    chunk = max(1, _CHUNK_ELEMENTS // max(1, L.size * alpha0.size))
+    for r0 in range(0, R, chunk):
+        rows = slice(r0, min(r0 + chunk, R))
+        lvl = np.maximum(
+            b, taus[rows, None, None] - alpha0[None, None, :] * L[None, :, None]
+        )
+        hi_start = _r_tail(lvl, mu_r[rows, None, None], sg_r[rows, None, None])
+        out[rows] = np.sum(w0 * hi_start, axis=-1)
+
+    # Cells programmed below the boundary: cross with budget to spare.
+    for r in range(R):
+        tail_b = float(_r_tail(b, float(mu_r[r]), float(sg_r[r])))
+        if tail_b >= 1.0:
+            # Boundary at/below the write support: a crossed cell errs
+            # with probability max(tail - 1, 0) = 0 exactly — skip.
+            continue
+        with np.errstate(divide="ignore"):
+            c2 = np.where(alpha2 > 0, (taus[r] - b) / alpha2, np.inf)  # climb b->tau
+        for it in range(L.size):
+            budget = L[it] - c2  # (n2,)
+            ok = budget > 0
+            if np.any(ok):
+                out[r, it] += _p_below_banded(
+                    float(mu_r[r]), float(sg_r[r]), b, tail_b,
+                    alpha0, w0, budget[ok], w2[ok],
+                )
     return out
+
+
+def analytic_state_cer_batch(
+    states: Sequence[StateParams],
+    taus_up: Sequence[float],
+    times_s: Sequence[float],
+    schedule: TieredDrift = PAPER_ESCALATION,
+    z_points: int = 1201,
+    z_max: float = 8.5,
+) -> np.ndarray:
+    """CER rows for many ``(state, tau)`` pairs over one time grid.
+
+    Row ``r`` equals ``analytic_state_cer(states[r], taus_up[r], times_s,
+    ...)``: duplicate rows are evaluated once, and rows sharing a z-grid
+    (same drift parameters and tier subset) are evaluated as one
+    broadcasted contraction.  Returns shape ``(len(states), len(times))``.
+    """
+    states = list(states)
+    taus_arr = np.asarray([float(t) for t in taus_up], dtype=float)
+    if len(states) != taus_arr.size:
+        raise ValueError("states and taus_up must have equal length")
+    times = np.asarray(times_s, dtype=float)
+    if np.any(times < T0_SECONDS):
+        raise ValueError("all times must be >= t0")
+    L = np.log10(times / T0_SECONDS)
+
+    # A row's CER depends only on these five numbers (plus the schedule).
+    unique: dict[tuple[float, float, float, float, float], int] = {}
+    row_of = np.empty(len(states), dtype=np.intp)
+    params: list[tuple[float, float, float, float, float]] = []
+    for r, (state, tau) in enumerate(zip(states, taus_arr)):
+        key = (
+            state.mu_lr,
+            state.sigma_lr,
+            state.drift.mu_alpha,
+            state.drift.sigma_alpha,
+            float(tau),
+        )
+        if key not in unique:
+            unique[key] = len(params)
+            params.append(key)
+        row_of[r] = unique[key]
+
+    det_groups: dict[tuple, list[int]] = {}
+    ind_groups: dict[tuple, list[int]] = {}
+    for uidx, (_, _, mu_a, sg_a, tau) in enumerate(params):
+        if not np.isfinite(tau):
+            continue  # top state: stays exactly zero
+        tiers = tuple(schedule.tiers_between(-np.inf, tau))
+        if schedule.mode == "independent" and tiers:
+            if len(tiers) > 1:
+                raise NotImplementedError(
+                    "independent escalation is implemented for a single tier "
+                    "(the paper's schedule); use MC for multi-tier schedules"
+                )
+            ind_groups.setdefault((mu_a, sg_a, tiers[0]), []).append(uidx)
+        else:
+            det_groups.setdefault((mu_a, sg_a, tiers), []).append(uidx)
+
+    uniq_cer = np.zeros((len(params), times.size))
+    arr = np.asarray(params, dtype=float).reshape(len(params), 5)
+    for (mu_a, sg_a, tiers), idxs in det_groups.items():
+        sel = np.asarray(idxs, dtype=np.intp)
+        uniq_cer[sel] = _deterministic_rows_cer(
+            arr[sel, 0], arr[sel, 1], arr[sel, 4],
+            tiers, schedule, mu_a, sg_a, L, z_points, z_max,
+        )
+    for (mu_a, sg_a, tier), idxs in ind_groups.items():
+        sel = np.asarray(idxs, dtype=np.intp)
+        uniq_cer[sel] = _independent_rows_cer(
+            arr[sel, 0], arr[sel, 1], arr[sel, 4],
+            tier, mu_a, sg_a, L, z_points, z_max,
+        )
+    return uniq_cer[row_of]
 
 
 def analytic_state_cer(
@@ -192,14 +376,52 @@ def analytic_state_cer(
     z_max: float = 8.5,
 ) -> np.ndarray:
     """CER of one state at each time, by quadrature + exact lr0 tail."""
+    return analytic_state_cer_batch(
+        [state], [tau_up], times_s,
+        schedule=schedule, z_points=z_points, z_max=z_max,
+    )[0]
+
+
+def analytic_design_cer_batch(
+    designs: Sequence[LevelDesign],
+    times_s: Sequence[float],
+    schedule: TieredDrift = PAPER_ESCALATION,
+    z_points: int = 1201,
+    z_max: float = 8.5,
+) -> np.ndarray:
+    """Occupancy-weighted CER curves of many designs in one batched call.
+
+    Stacks every active ``(state, tau)`` row of every design into one
+    :func:`analytic_state_cer_batch` evaluation — candidate designs from
+    an optimizer grid share most of their rows, so the whole scan costs a
+    few contractions.  Returns shape ``(len(designs), len(times))``.
+    """
+    designs = list(designs)
     times = np.asarray(times_s, dtype=float)
-    if np.any(times < T0_SECONDS):
-        raise ValueError("all times must be >= t0")
-    if not np.isfinite(tau_up):
-        return np.zeros(times.shape)
-    if schedule.mode == "independent":
-        return _independent_mode_cer(state, tau_up, times, schedule, z_points, z_max)
-    return _deterministic_mode_cer(state, tau_up, times, schedule, z_points, z_max)
+    row_states: list[StateParams] = []
+    row_taus: list[float] = []
+    row_w: list[float] = []
+    row_owner: list[int] = []
+    for j, design in enumerate(designs):
+        for i, (state, p_occ) in enumerate(zip(design.states, design.occupancy)):
+            tau = design.upper_threshold(i)
+            if not np.isfinite(tau) or p_occ == 0.0:
+                continue
+            row_states.append(state)
+            row_taus.append(float(tau))
+            row_w.append(float(p_occ))
+            row_owner.append(j)
+    out = np.zeros((len(designs), times.size))
+    if not row_states:
+        return out
+    cer = analytic_state_cer_batch(
+        row_states, row_taus, times,
+        schedule=schedule, z_points=z_points, z_max=z_max,
+    )
+    # Accumulate in per-design state order, matching the scalar loop.
+    for j, w, row in zip(row_owner, row_w, cer):
+        out[j] += w * row
+    return out
 
 
 def analytic_design_cer(
@@ -209,13 +431,6 @@ def analytic_design_cer(
     z_points: int = 1201,
 ) -> np.ndarray:
     """Occupancy-weighted semi-analytic CER of a level design."""
-    times = np.asarray(times_s, dtype=float)
-    total = np.zeros(times.shape)
-    for i, (state, p_occ) in enumerate(zip(design.states, design.occupancy)):
-        tau = design.upper_threshold(i)
-        if not np.isfinite(tau) or p_occ == 0.0:
-            continue
-        total += p_occ * analytic_state_cer(
-            state, tau, times, schedule=schedule, z_points=z_points
-        )
-    return total
+    return analytic_design_cer_batch(
+        [design], times_s, schedule=schedule, z_points=z_points
+    )[0]

@@ -16,7 +16,11 @@ import numpy as np
 from repro.cells.drift import PAPER_ESCALATION, TieredDrift
 from repro.core.designs import all_designs, four_level_naive
 from repro.core.levels import LevelDesign
-from repro.montecarlo.analytic import analytic_design_cer
+from repro.montecarlo.analytic import (
+    analytic_design_cer,
+    analytic_design_cer_batch,
+    analytic_state_cer_batch,
+)
 from repro.montecarlo.cer import design_cer, state_cer
 from repro.montecarlo.results_cache import ResultsCache
 
@@ -67,6 +71,7 @@ def fig3_state_sweep(
     schedule: TieredDrift = PAPER_ESCALATION,
     jobs: int | None = 1,
     cache: ResultsCache | None = None,
+    engine: str = "mc",
 ) -> SweepResult:
     """Figure 3: per-state drift error rates of the naive four-level cell.
 
@@ -74,9 +79,25 @@ def fig3_state_sweep(
     "practically zero"); the plotted curves are S2 and S3.  ``jobs`` and
     ``cache`` are forwarded to the Monte Carlo executor (see
     :func:`repro.montecarlo.cer.state_cer`).
+
+    ``engine="analytic"`` replaces the Monte Carlo with one batched
+    semi-analytic quadrature over every (state, time) pair
+    (:func:`~repro.montecarlo.analytic.analytic_state_cer_batch`) —
+    orders of magnitude faster, deterministic, and it resolves error
+    rates far below the MC floor of ``1/n_samples``; ``n_samples``,
+    ``seed``, ``jobs``, and ``cache`` are then ignored.
     """
+    if engine not in ("mc", "analytic"):
+        raise ValueError(f"engine must be 'mc' or 'analytic', got {engine!r}")
     design = four_level_naive()
+    times = np.asarray(sorted(times_s), dtype=float)
     series: dict[str, np.ndarray] = {}
+    if engine == "analytic":
+        taus = [design.upper_threshold(i) for i in range(len(design.states))]
+        cer = analytic_state_cer_batch(design.states, taus, times, schedule=schedule)
+        for state, row in zip(design.states, cer):
+            series[state.name] = row
+        return SweepResult(times_s=times, series=series, n_samples=n_samples)
     for i, state in enumerate(design.states):
         tau = design.upper_threshold(i)
         if not np.isfinite(tau):
@@ -87,11 +108,7 @@ def fig3_state_sweep(
             jobs=jobs, cache=cache,
         )
         series[state.name] = res.cer
-    return SweepResult(
-        times_s=np.asarray(sorted(times_s), dtype=float),
-        series=series,
-        n_samples=n_samples,
-    )
+    return SweepResult(times_s=times, series=series, n_samples=n_samples)
 
 
 def fig8_design_sweep(
@@ -103,6 +120,7 @@ def fig8_design_sweep(
     analytic_floor: bool = True,
     jobs: int | None = 1,
     cache: ResultsCache | None = None,
+    engine: str = "mc",
 ) -> SweepResult:
     """Figure 8: design-level CER of 4LCn/4LCs/4LCo/3LCn/3LCo.
 
@@ -113,10 +131,26 @@ def fig8_design_sweep(
     the semi-analytic CER fills in points the MC cannot resolve (below
     ``1/n_samples``), which is how the 3LC curves' deep tails are
     reported.
+
+    ``engine="analytic"`` skips the Monte Carlo entirely and evaluates
+    every design in one batched quadrature
+    (:func:`~repro.montecarlo.analytic.analytic_design_cer_batch`);
+    ``n_samples``, ``seed``, ``analytic_floor``, ``jobs``, and ``cache``
+    are then ignored (the analytic curve has no sampling floor).
     """
+    if engine not in ("mc", "analytic"):
+        raise ValueError(f"engine must be 'mc' or 'analytic', got {engine!r}")
     designs = dict(designs) if designs is not None else all_designs()
     times = np.asarray(sorted(times_s), dtype=float)
     series: dict[str, np.ndarray] = {}
+    if engine == "analytic":
+        names = list(designs)
+        cer = analytic_design_cer_batch(
+            [designs[n] for n in names], times, schedule=schedule
+        )
+        for name, row in zip(names, cer):
+            series[name] = row
+        return SweepResult(times_s=times, series=series, n_samples=n_samples)
     for j, (name, design) in enumerate(designs.items()):
         mc = design_cer(
             design, times, n_samples, seed=seed + 17 * j, schedule=schedule,

@@ -110,3 +110,32 @@ class TestOptimizer:
         r = optimize_mapping(2, grid_points_per_dim=4, polish_z_points=301)
         assert r.design.n_levels == 2
         assert r.design.thresholds[0] == pytest.approx(6.0 - MARGIN)
+
+    def test_batched_grid_scan_same_winners(self):
+        """Pinned pre-batch-rewrite winners (PR 6 acceptance criterion).
+
+        The candidate-axis batch must return the same winning design and
+        the same ``cer_at_eval`` (here: bit-equal, stronger than the
+        required <= 1e-12 relative) as the scalar per-point grid scan,
+        and evaluation accounting must be unchanged.
+        """
+        r3 = optimize_mapping(
+            3,
+            eval_time_s=[2.0**15, 2.0**25, 2.0**30],
+            grid_points_per_dim=16,
+            polish_z_points=401,
+        )
+        assert [s.mu_lr for s in r3.design.states] == [3.0, 3.950729231092664, 6.0]
+        assert r3.cer_at_eval == 3.2820741421079914e-10
+        assert r3.n_evaluations == 58
+        assert r3.start_cer == 0.10805650143553233
+
+        r4 = optimize_mapping(4, grid_points_per_dim=16, polish_z_points=401)
+        assert [s.mu_lr for s in r4.design.states] == [
+            3.0,
+            3.9333333333333336,
+            4.866666666666667,
+            6.0,
+        ]
+        assert r4.cer_at_eval == 0.007964354221427624
+        assert r4.n_evaluations == 113
