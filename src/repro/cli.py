@@ -18,6 +18,7 @@ Examples::
     python -m repro availability --interval-min 17
     python -m repro capacity
     python -m repro simulate --workload STREAM --accesses 30000
+    python -m repro serve --port 8341 --batch-max 64 --batch-deadline-ms 2
 
 The Monte Carlo commands (``cer --mc-samples``, ``retention
 --mc-verify``, ``sweep``, ``bler --empirical``, ``campaign``) accept
@@ -449,6 +450,51 @@ def _cmd_capacity(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ServiceApp, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        batch_max=args.batch_max,
+        batch_deadline_ms=args.batch_deadline_ms,
+        queue_depth=args.queue_depth,
+        mc_jobs=args.jobs,
+        job_workers=args.job_workers,
+        work_dir=args.work_dir,
+    )
+    if args.asgi:
+        from repro.service.asgi import serve_asgi
+
+        try:
+            serve_asgi(ServiceApp(config), args.host, args.port)
+        except RuntimeError as exc:
+            raise SystemExit(str(exc))
+        return 0
+
+    import asyncio
+    import signal
+
+    async def _serve() -> int:
+        app = ServiceApp(config)
+        host, port = await app.start()
+        print(f"repro service listening on http://{host}:{port}", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        # Clean-shutdown contract: stop intake, drain in-flight batches
+        # and jobs, then exit 0 — a drained server never loses a request.
+        print("repro service draining", file=sys.stderr)
+        await app.stop()
+        print("repro service stopped", file=sys.stderr)
+        return 0
+
+    return asyncio.run(_serve())
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.runner import run_fig16
 
@@ -665,6 +711,55 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--workload", default="STREAM")
     s.add_argument("--accesses", type=int, default=30_000)
     s.set_defaults(func=_cmd_simulate)
+
+    v = sub.add_parser(
+        "serve",
+        help="run the device-as-a-service HTTP front end",
+        description=(
+            "Serve simulated PCM devices over HTTP: create devices, "
+            "write/read blocks against persistent virtual-time state, "
+            "advance device clocks, and submit/poll BLER/campaign jobs. "
+            "Block I/O is dynamically batched into the batch kernels "
+            "(docs/SERVICE.md).  SIGINT/SIGTERM drain and exit 0."
+        ),
+    )
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument(
+        "--port", type=int, default=8341, help="listen port (0 = ephemeral)"
+    )
+    v.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for devices created without an explicit seed",
+    )
+    v.add_argument(
+        "--batch-max", type=int, default=64,
+        help="flush a batch as soon as it holds this many block ops",
+    )
+    v.add_argument(
+        "--batch-deadline-ms", type=float, default=2.0,
+        help="flush a partial batch when its oldest op is this old",
+    )
+    v.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="pending-op limit; excess requests get 503 E_QUEUE_FULL",
+    )
+    v.add_argument(
+        "--jobs", type=_jobs_count, default=1,
+        help="MC worker processes inside one bler/campaign job (0 = all cores)",
+    )
+    v.add_argument(
+        "--job-workers", type=int, default=2, help="concurrently running jobs"
+    )
+    v.add_argument(
+        "--work-dir", default=None,
+        help="campaign job run directories (default: a temp dir)",
+    )
+    v.add_argument(
+        "--asgi", action="store_true",
+        help="serve under uvicorn instead of the stdlib server "
+        "(requires: pip install 'repro[service]')",
+    )
+    v.set_defaults(func=_cmd_serve)
     return p
 
 

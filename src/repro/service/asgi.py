@@ -1,0 +1,119 @@
+"""ASGI adapter: the same app under a production server stack.
+
+The adapter itself is pure stdlib — it maps ASGI ``scope``/``receive``/
+``send`` onto the :class:`~repro.service.app.ServiceApp` handlers, so
+any ASGI server can host the service.  Only :func:`serve_asgi` (actually
+*running* uvicorn) needs the optional dependency group::
+
+    pip install 'repro[service]'
+
+Everything else in the service — the default stdlib server, the CLI,
+tests, benchmarks — works without it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.service.app import ServiceApp
+from repro.service.codes import ServiceError
+from repro.service.http import MAX_BODY_BYTES
+
+__all__ = ["create_asgi_app", "serve_asgi"]
+
+
+def create_asgi_app(app: ServiceApp):
+    """Wrap a :class:`ServiceApp` as an ASGI 3 application (stdlib only)."""
+    router = app.server.router
+    telemetry = app.telemetry
+
+    async def asgi(scope: dict, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await _lifespan(app, receive, send)
+            return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+
+        start = telemetry.timer()
+        endpoint = f"{scope['method']} {scope['path']}"
+        try:
+            body = await _read_body(receive)
+            endpoint, handler, params = router.resolve(scope["method"], scope["path"])
+            status, payload = await handler(params, body)
+        except ServiceError as exc:
+            telemetry.observe(endpoint, telemetry.elapsed(start), error=True)
+            await _send_json(send, exc.http_status, exc.payload())
+            return
+        except Exception as exc:
+            telemetry.observe(endpoint, telemetry.elapsed(start), error=True)
+            err = ServiceError("E_INTERNAL", f"{type(exc).__name__}: {exc}")
+            await _send_json(send, err.http_status, err.payload())
+            return
+        telemetry.observe(endpoint, telemetry.elapsed(start))
+        await _send_json(send, status, payload)
+
+    return asgi
+
+
+async def _lifespan(app: ServiceApp, receive, send) -> None:
+    while True:
+        message = await receive()
+        if message["type"] == "lifespan.startup":
+            await send({"type": "lifespan.startup.complete"})
+        elif message["type"] == "lifespan.shutdown":
+            await app.batcher.close()
+            app.jobs.close()
+            await send({"type": "lifespan.shutdown.complete"})
+            return
+
+
+async def _read_body(receive) -> Any:
+    chunks: list[bytes] = []
+    total = 0
+    while True:
+        message = await receive()
+        chunk = message.get("body", b"")
+        total += len(chunk)
+        if total > MAX_BODY_BYTES:
+            raise ServiceError(
+                "E_PAYLOAD_TOO_LARGE",
+                f"body exceeds the {MAX_BODY_BYTES} byte limit",
+            )
+        chunks.append(chunk)
+        if not message.get("more_body", False):
+            break
+    raw = b"".join(chunks)
+    if not raw:
+        return None
+    try:
+        return json.loads(raw)
+    except ValueError:
+        raise ServiceError("E_BAD_REQUEST", "request body is not valid JSON")
+
+
+async def _send_json(send, status: int, payload: dict) -> None:
+    body = json.dumps(payload, sort_keys=True).encode()
+    await send(
+        {
+            "type": "http.response.start",
+            "status": status,
+            "headers": [
+                (b"content-type", b"application/json"),
+                (b"content-length", str(len(body)).encode()),
+            ],
+        }
+    )
+    await send({"type": "http.response.body", "body": body})
+
+
+def serve_asgi(app: ServiceApp, host: str, port: int) -> None:
+    """Serve under uvicorn — requires the ``service`` extras group."""
+    try:
+        import uvicorn
+    except ImportError:
+        raise RuntimeError(
+            "the --asgi server needs the optional service stack; "
+            "install it with: pip install 'repro[service]'"
+        ) from None
+    uvicorn.run(create_asgi_app(app), host=host, port=port, log_level="warning")

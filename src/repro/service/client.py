@@ -1,0 +1,121 @@
+"""A small blocking client over ``http.client`` — stdlib only.
+
+Used by the test suite, the load harness, and anyone scripting against
+a local server.  Errors arrive as :class:`ServiceResponseError` carrying
+the structured event code, so callers branch on ``exc.code`` exactly as
+the in-process layers branch on :class:`~repro.service.codes.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+
+__all__ = ["ServiceClient", "ServiceResponseError"]
+
+
+class ServiceResponseError(Exception):
+    """A non-2xx response; carries the catalog ``code`` and detail."""
+
+    def __init__(self, status: int, payload: dict):
+        code = payload.get("code", "E_INTERNAL")
+        super().__init__(f"{status} {code}: {payload.get('message', '')}")
+        self.status = status
+        self.code = code
+        self.payload = payload
+
+
+class ServiceClient:
+    """One keep-alive connection to a running service."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http":
+            raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
+        self._conn = http.client.HTTPConnection(
+            parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=timeout
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport -----------------------------------------------------
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError):
+            # A dropped keep-alive connection: reconnect once and retry.
+            self._conn.close()
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        data = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            raise ServiceResponseError(response.status, data)
+        return data
+
+    # -- convenience wrappers ------------------------------------------
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def codes(self) -> dict:
+        return self.request("GET", "/v1/codes")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def create_device(self, **kwargs) -> dict:
+        return self.request("POST", "/v1/devices", kwargs)
+
+    def list_devices(self) -> dict:
+        return self.request("GET", "/v1/devices")
+
+    def describe_device(self, device_id: str) -> dict:
+        return self.request("GET", f"/v1/devices/{device_id}")
+
+    def delete_device(self, device_id: str) -> dict:
+        return self.request("DELETE", f"/v1/devices/{device_id}")
+
+    def advance_clock(self, device_id: str, *, advance: float | None = None,
+                      advance_to: float | None = None) -> dict:
+        body: dict = {}
+        if advance is not None:
+            body["advance"] = advance
+        if advance_to is not None:
+            body["advance_to"] = advance_to
+        return self.request("POST", f"/v1/devices/{device_id}/clock", body)
+
+    def digest(self, device_id: str) -> dict:
+        return self.request("GET", f"/v1/devices/{device_id}/digest")
+
+    def write_block(self, device_id: str, block: int, data_hex: str,
+                    t: float | None = None) -> dict:
+        body: dict = {"data": data_hex}
+        if t is not None:
+            body["t"] = t
+        return self.request(
+            "POST", f"/v1/devices/{device_id}/blocks/{block}/write", body
+        )
+
+    def read_block(self, device_id: str, block: int, t: float | None = None) -> dict:
+        body = {} if t is None else {"t": t}
+        return self.request(
+            "POST", f"/v1/devices/{device_id}/blocks/{block}/read", body
+        )
+
+    def submit_job(self, kind: str, **params) -> dict:
+        return self.request("POST", "/v1/jobs", {"kind": kind, "params": params})
+
+    def get_job(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}")

@@ -1,0 +1,458 @@
+"""Virtual-time PCM device engine behind the service endpoints.
+
+Each :class:`VirtualDevice` is a persistent simulated MLC-PCM device:
+``n_blocks`` 3-ON-2 blocks of drifting cells (the paper's 354-cell
+Figure-9 geometry by default), a per-device :class:`VirtualClock` that
+only advances by explicit request, accumulated mark-and-spare wear, and
+cumulative request statistics.  The arrays are laid out ``(n_blocks,
+n_cells)`` so a batch of read requests senses and decodes as a handful
+of vectorized passes through :class:`~repro.coding.batch.BatchThreeOnTwoCodec`.
+
+**Determinism contract.**  Device state after any request history is a
+pure function of ``(device seed, the ordered per-block request
+sequence, the virtual timestamps)`` — *not* of wall-clock time, request
+interleaving across blocks, or how the dynamic batcher happened to
+group requests.  Three mechanisms enforce this:
+
+- every write draws its program noise from a private generator
+  addressed by ``(seed, SERVICE_SPAWN_KEY, block, epoch)`` via
+  :func:`repro.montecarlo.rng.block_rng`, where ``epoch`` counts writes
+  to that block — so the draw stream is independent of what other
+  requests ran in between;
+- endurance budgets and failure modes are sampled once at device
+  creation from their own spawn keys;
+- virtual timestamps are bound at request *submission*, before the
+  batcher reorders anything.
+
+The physics mirrors :class:`repro.cells.cell_array.CellArray` (write
+distributions, drift-tier escalation, stuck-cell pinning) and the
+write-and-verify / mark-and-spare loop mirrors
+:meth:`repro.core.device.PCMDevice.write`; the difference is purely the
+addressing of randomness and the batch-friendly array layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from typing import Iterator
+
+import numpy as np
+
+from repro.cells.drift import PAPER_ESCALATION, TieredDrift
+from repro.cells.faults import FaultMode, WearoutModel
+from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA
+from repro.coding.batch import BatchThreeOnTwoCodec
+from repro.coding.blockcodec import ThreeOnTwoBlockCodec
+from repro.core.designs import three_level_optimal
+from repro.montecarlo.rng import block_rng, truncated_normal
+from repro.service.clock import VirtualClock
+from repro.service.codes import ServiceError
+from repro.wearout.mark_and_spare import MarkAndSpareBlock, SpareExhausted
+
+__all__ = [
+    "SERVICE_SPAWN_KEY",
+    "DeviceRegistry",
+    "VirtualDevice",
+    "VirtualDeviceStats",
+    "shared_codec",
+]
+
+#: Root of the service's SeedSequence spawn-key domain.  Distinct from
+#: the MC executor's block fan-out and the chaos stream, so service
+#: traffic can never perturb (or be perturbed by) simulation RNG.
+SERVICE_SPAWN_KEY = 0x5EC0
+
+#: Sub-domains under :data:`SERVICE_SPAWN_KEY`.
+_KEY_ENDURANCE = 0
+_KEY_MODES = 1
+_KEY_WRITE = 2
+
+_HEALTHY = FaultMode.HEALTHY.value
+_STUCK_RESET = FaultMode.STUCK_RESET.value
+_STUCK_SET = FaultMode.STUCK_SET.value
+
+# One BatchThreeOnTwoCodec per block geometry, shared across devices:
+# the packed parity masks are a few hundred KB and identical for every
+# device with the same (data_bits, n_spare_pairs).
+_CODEC_CACHE: dict[tuple[int, int], BatchThreeOnTwoCodec] = {}
+_CODEC_LOCK = threading.Lock()
+
+
+def shared_codec(data_bits: int, n_spare_pairs: int) -> BatchThreeOnTwoCodec:
+    """The process-wide batch codec for one block geometry."""
+    key = (int(data_bits), int(n_spare_pairs))
+    with _CODEC_LOCK:
+        codec = _CODEC_CACHE.get(key)
+        if codec is None:
+            codec = BatchThreeOnTwoCodec(
+                ThreeOnTwoBlockCodec(data_bits=key[0], n_spare_pairs=key[1])
+            )
+            _CODEC_CACHE[key] = codec
+        return codec
+
+
+@dataclasses.dataclass
+class VirtualDeviceStats:
+    """Cumulative request counters of one device."""
+
+    writes: int = 0
+    reads: int = 0
+    write_retries: int = 0
+    wearout_marks: int = 0
+    tec_corrections: int = 0
+    hec_pairs_dropped: int = 0
+    uncorrectable_reads: int = 0
+    spare_exhausted_writes: int = 0
+
+    def snapshot(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class VirtualDevice:
+    """One simulated PCM device with virtual-time drift and wear."""
+
+    def __init__(
+        self,
+        device_id: str,
+        seed: int,
+        n_blocks: int,
+        *,
+        data_bits: int = 512,
+        n_spare_pairs: int = 6,
+        wearout: WearoutModel | None = None,
+        schedule: TieredDrift = PAPER_ESCALATION,
+    ):
+        if n_blocks < 1:
+            raise ServiceError("E_BAD_REQUEST", "need at least one block")
+        if len(schedule.tiers) > 1:
+            raise ValueError("VirtualDevice supports at most one escalation tier")
+        self.device_id = device_id
+        self.seed = int(seed)
+        self.n_blocks = int(n_blocks)
+        self.data_bits = int(data_bits)
+        self.n_spare_pairs = int(n_spare_pairs)
+        self.codec = shared_codec(data_bits, n_spare_pairs)
+        self.design = three_level_optimal()
+        self.schedule = schedule
+        self.wearout = wearout or WearoutModel()
+        self.clock = VirtualClock()
+        self.stats = VirtualDeviceStats()
+
+        scalar = self.codec.codec
+        self.n_cells = scalar.n_mlc_cells
+        self.n_slc_cells = scalar.n_slc_cells
+        n, c = self.n_blocks, self.n_cells
+
+        # Per-cell physics state, (n_blocks, n_cells).
+        self._lr0 = np.full((n, c), self.design.states[0].mu_lr)
+        self._alpha = np.zeros((n, c))
+        self._alpha_esc = np.zeros((n, c))
+        self._writes = np.zeros((n, c), dtype=np.int64)
+        self._fault = np.full((n, c), _HEALTHY, dtype=np.int8)
+        rng_end = block_rng(self.seed, (SERVICE_SPAWN_KEY, _KEY_ENDURANCE))
+        self._endurance = self.wearout.sample_endurance(rng_end, n * c).reshape(n, c)
+        rng_modes = block_rng(self.seed, (SERVICE_SPAWN_KEY, _KEY_MODES))
+        self._pending_mode = self.wearout.sample_modes(rng_modes, n * c).reshape(n, c)
+
+        # Per-block controller state.
+        self._t_prog = np.zeros(n)
+        self._slc = np.zeros((n, self.n_slc_cells), dtype=np.uint8)
+        self._written = np.zeros(n, dtype=bool)
+        self._epoch = np.zeros(n, dtype=np.int64)
+        self._ms = [scalar.new_block_state() for _ in range(n)]
+
+        # Cached per-state program/drift parameter vectors.
+        self._mu_lr = np.array([s.mu_lr for s in self.design.states])
+        self._sg_lr = np.array([s.sigma_lr for s in self.design.states])
+        self._mu_a = np.array([s.drift.mu_alpha for s in self.design.states])
+        self._sg_a = np.array([s.drift.sigma_alpha for s in self.design.states])
+
+    # -- validation ----------------------------------------------------
+    def check_block(self, block: int) -> int:
+        block = int(block)
+        if not 0 <= block < self.n_blocks:
+            raise ServiceError(
+                "E_BLOCK_RANGE",
+                f"block {block} outside device range [0, {self.n_blocks})",
+                {"device": self.device_id, "n_blocks": self.n_blocks},
+            )
+        return block
+
+    def bind_time(self, t: float | None) -> float:
+        """Resolve a request's virtual timestamp at submission time.
+
+        ``None`` means "now" on the device clock; explicit timestamps
+        must not be behind the clock (drift cannot rewind).
+        """
+        now = self.clock.now()
+        if t is None:
+            return now
+        t = float(t)
+        if not np.isfinite(t) or t < 0.0:
+            raise ServiceError("E_BAD_REQUEST", f"virtual time must be finite >= 0, got {t}")
+        if t < now:
+            raise ServiceError(
+                "E_TIME_REGRESSION",
+                f"t={t} is behind the device clock ({now})",
+                {"device": self.device_id, "virtual_time": now},
+            )
+        return t
+
+    # -- write path ----------------------------------------------------
+    def _program_row(
+        self, block: int, states: np.ndarray, t: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Program one block's cells at virtual time ``t``; verify mask.
+
+        Draws are made for *every* cell (then applied to the healthy
+        subset) so the stream a write consumes never depends on how many
+        cells happen to be worn — the per-write RNG contract.
+        """
+        c = self.n_cells
+        writes = self._writes[block]
+        writes += 1
+        newly_dead = (writes >= self._endurance[block]) & (self._fault[block] == _HEALTHY)
+        if np.any(newly_dead):
+            self._fault[block][newly_dead] = self._pending_mode[block][newly_dead]
+
+        z_r = truncated_normal(
+            rng, 0.0, 1.0, -WRITE_TRUNCATION_SIGMA, WRITE_TRUNCATION_SIGMA, c
+        )
+        z = rng.standard_normal(c)
+        fresh = rng.standard_normal(c)
+
+        st = states.astype(np.int64)
+        healthy = self._fault[block] == _HEALTHY
+        lr0 = self._mu_lr[st] + self._sg_lr[st] * z_r
+        alpha = np.maximum(self._mu_a[st] + self._sg_a[st] * z, 0.0)
+        self._lr0[block][healthy] = lr0[healthy]
+        self._alpha[block][healthy] = alpha[healthy]
+        if self.schedule.tiers:
+            tier = self.schedule.tiers[0]
+            esc = self.schedule.escalated_alpha(tier, alpha, z, 0.0, z_fresh=fresh)
+            self._alpha_esc[block][healthy] = esc[healthy]
+        self._t_prog[block] = t
+
+        verify = healthy.copy()
+        stuck_reset = self._fault[block] == _STUCK_RESET
+        verify |= stuck_reset & (st == self.design.n_levels - 1)
+        return verify
+
+    def _revive_pair(self, block: int, pair: int, rng: np.random.Generator) -> None:
+        """Reverse-current revival of a marked pair's stuck-set cells.
+
+        Two uniforms are always drawn (stream invariance); revived cells
+        become permanently stuck-reset, i.e. they read as S4 — exactly
+        what an INV mark needs.
+        """
+        cells = slice(2 * pair, 2 * pair + 2)
+        u = rng.random(2)
+        pair_faults = self._fault[block, cells]
+        revived = (pair_faults == _STUCK_SET) & (u < self.wearout.p_revive)
+        pair_faults[revived] = _STUCK_RESET
+
+    def write_block(self, block: int, bits: np.ndarray, t: float) -> dict:
+        """Encode + program one block with write-and-verify at time ``t``.
+
+        Mirrors :meth:`repro.core.device.PCMDevice.write`: each verify
+        failure marks the containing pair INV and relays the data around
+        it, up to the spare budget.  Raises
+        :class:`~repro.wearout.mark_and_spare.SpareExhausted` past it
+        (the block is left unreadable until rewritten after remapping).
+        """
+        block = self.check_block(block)
+        epoch = int(self._epoch[block])
+        self._epoch[block] = epoch + 1
+        rng = block_rng(self.seed, (SERVICE_SPAWN_KEY, _KEY_WRITE, block, epoch))
+        ms = self._ms[block]
+        self.stats.writes += 1
+        retries = 0
+        marks = 0
+        try:
+            for _ in range(self.n_spare_pairs + 1):
+                states, checks = self.codec.encode(bits[None, :], [ms])
+                ok = self._program_row(block, states[0], t, rng)
+                self._slc[block] = checks[0]
+                bad = np.nonzero(~ok)[0]
+                if bad.size == 0:
+                    self._written[block] = True
+                    self.stats.write_retries += retries
+                    self.stats.wearout_marks += marks
+                    return {
+                        "code": "OK",
+                        "block": block,
+                        "t": t,
+                        "epoch": epoch,
+                        "retries": retries,
+                        "marked_pairs": ms.n_marked,
+                    }
+                retries += 1
+                pair = int(bad[0]) // 2
+                if not bool(ms._marked[pair]):
+                    ms.mark(pair)  # raises SpareExhausted when out of budget
+                    marks += 1
+                self._revive_pair(block, pair, rng)
+            raise SpareExhausted(f"block {block}: wearout beyond spare budget")
+        except SpareExhausted:
+            self._written[block] = False
+            self.stats.write_retries += retries
+            self.stats.wearout_marks += marks
+            self.stats.spare_exhausted_writes += 1
+            raise
+
+    # -- read path -----------------------------------------------------
+    def drifted_lr(self, blocks: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """Drifted log10 resistance of whole block rows at virtual times.
+
+        Vectorized mirror of
+        :meth:`repro.cells.cell_array.CellArray.log_resistance` over
+        ``(len(blocks), n_cells)`` with per-row timestamps.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        ts = np.asarray(ts, dtype=float)
+        lr0 = self._lr0[blocks]
+        alpha = self._alpha[blocks]
+        dt = np.maximum(ts[:, None] - self._t_prog[blocks][:, None], 0.0) + T0_SECONDS
+        L = np.log10(dt / T0_SECONDS)
+        lr = lr0 + alpha * L
+        if self.schedule.tiers:
+            tier = self.schedule.tiers[0]
+            b = tier.lr_break
+            crossed = (lr0 < b) & (lr > b)
+            if np.any(crossed):
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    L_cross = np.where(crossed & (alpha > 0), (b - lr0) / alpha, np.inf)
+                esc = b + self._alpha_esc[blocks] * np.maximum(L - L_cross, 0.0)
+                lr = np.where(crossed & np.isfinite(L_cross), esc, lr)
+        fault = self._fault[blocks]
+        lr = np.where(fault == _STUCK_RESET, self.design.states[-1].mu_lr, lr)
+        lr = np.where(fault == _STUCK_SET, self.design.states[0].mu_lr, lr)
+        return lr
+
+    def sense_rows(self, blocks: np.ndarray, ts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sensed cell states + SLC check bits for a batch of reads."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        states = self.design.sense(self.drifted_lr(blocks, ts)).astype(np.uint8)
+        return states, self._slc[blocks]
+
+    def require_written(self, block: int) -> None:
+        if not bool(self._written[block]):
+            raise ServiceError(
+                "E_BLOCK_NOT_WRITTEN",
+                f"block {block} was never written (or its last write failed)",
+                {"device": self.device_id, "block": block},
+            )
+
+    # -- introspection -------------------------------------------------
+    def describe(self) -> dict:
+        marks = np.array([ms.n_marked for ms in self._ms], dtype=np.int64)
+        return {
+            "id": self.device_id,
+            "seed": self.seed,
+            "n_blocks": self.n_blocks,
+            "data_bits": self.data_bits,
+            "n_spare_pairs": self.n_spare_pairs,
+            "cells_per_block": self.n_cells,
+            "slc_cells_per_block": self.n_slc_cells,
+            "virtual_time": self.clock.now(),
+            "blocks_written": int(self._written.sum()),
+            "wear": {
+                "marked_pairs_total": int(marks.sum()),
+                "marked_pairs_max": int(marks.max()),
+                "blocks_at_budget": int((marks >= self.n_spare_pairs).sum()),
+                "stuck_cells": int((self._fault != _HEALTHY).sum()),
+            },
+            "stats": self.stats.snapshot(),
+        }
+
+    def state_digest(self) -> str:
+        """SHA-256 over the full simulated state, for differential checks.
+
+        Two devices that served bit-identical request histories (in any
+        batching arrangement) must produce equal digests; the
+        bench/CI cross-check is built on this.
+        """
+        h = hashlib.sha256()
+        for arr in (
+            self._lr0,
+            self._alpha,
+            self._alpha_esc,
+            self._writes,
+            self._fault,
+            self._t_prog,
+            self._slc,
+            self._written,
+            self._epoch,
+        ):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        for ms in self._ms:
+            h.update(np.ascontiguousarray(ms._marked).tobytes())
+        h.update(np.float64(self.clock.now()).tobytes())
+        return h.hexdigest()
+
+
+class DeviceRegistry:
+    """Id-addressed collection of live devices.
+
+    Creation and deletion are guarded by a lock (they run on the event
+    loop thread while batches execute on the engine thread); per-device
+    simulation state is only ever touched from the engine thread — the
+    app routes every state-touching operation through the batcher's
+    serialized executor.
+    """
+
+    def __init__(self) -> None:
+        self._devices: dict[str, VirtualDevice] = {}
+        self._next = 1
+        self._lock = threading.Lock()
+
+    def create(
+        self,
+        seed: int,
+        n_blocks: int,
+        *,
+        data_bits: int = 512,
+        n_spare_pairs: int = 6,
+        wearout: WearoutModel | None = None,
+    ) -> VirtualDevice:
+        with self._lock:
+            device_id = f"dev-{self._next:04d}"
+            self._next += 1
+            device = VirtualDevice(
+                device_id,
+                seed,
+                n_blocks,
+                data_bits=data_bits,
+                n_spare_pairs=n_spare_pairs,
+                wearout=wearout,
+            )
+            self._devices[device_id] = device
+            return device
+
+    def get(self, device_id: str) -> VirtualDevice:
+        with self._lock:
+            device = self._devices.get(device_id)
+        if device is None:
+            raise ServiceError(
+                "E_DEVICE_NOT_FOUND", f"no device {device_id!r}", {"device": device_id}
+            )
+        return device
+
+    def delete(self, device_id: str) -> None:
+        with self._lock:
+            if device_id not in self._devices:
+                raise ServiceError(
+                    "E_DEVICE_NOT_FOUND", f"no device {device_id!r}", {"device": device_id}
+                )
+            del self._devices[device_id]
+
+    def __iter__(self) -> Iterator[VirtualDevice]:
+        with self._lock:
+            devices = list(self._devices.values())
+        return iter(devices)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._devices)

@@ -1,0 +1,150 @@
+"""Synthetic-client load harness for the service benchmark.
+
+Spawns N threads, each with its own keep-alive connection and a
+*disjoint* block range on a shared device (disjoint so every client's
+reads have deterministic expected data, letting the harness verify
+payload integrity while it measures).  Records wall-clock latency per
+request — measurement, not simulation, so ``time.perf_counter`` is the
+right clock — and reduces to the percentile/throughput payload the
+benchmark writes into ``results/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.montecarlo.rng import make_rng
+from repro.service.client import ServiceClient, ServiceResponseError
+from repro.service.wire import bits_to_hex
+
+__all__ = ["run_load"]
+
+
+def _percentile_ms(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return 1e3 * ordered[idx]
+
+
+class _ClientWorker(threading.Thread):
+    def __init__(self, base_url: str, device_id: str, blocks: range,
+                 n_rounds: int, data_bits: int, seed: int, start_gate: threading.Event):
+        super().__init__(name=f"loadgen-{blocks.start}", daemon=True)
+        self.base_url = base_url
+        self.device_id = device_id
+        self.blocks = blocks
+        self.n_rounds = n_rounds
+        self.data_bits = data_bits
+        self.seed = seed
+        self.start_gate = start_gate
+        self.write_latencies: list[float] = []
+        self.read_latencies: list[float] = []
+        self.errors = 0
+        self.mismatches = 0
+
+    def run(self) -> None:
+        rng = make_rng(self.seed)
+        payloads = {
+            block: bits_to_hex(rng.integers(0, 2, size=self.data_bits, dtype="uint8"))
+            for block in self.blocks
+        }
+        self.start_gate.wait()
+        with ServiceClient(self.base_url) as client:
+            for _ in range(self.n_rounds):
+                for block, data_hex in payloads.items():
+                    start = time.perf_counter()
+                    try:
+                        client.write_block(self.device_id, block, data_hex)
+                    except ServiceResponseError:
+                        self.errors += 1
+                        continue
+                    finally:
+                        self.write_latencies.append(time.perf_counter() - start)
+                for block, data_hex in payloads.items():
+                    start = time.perf_counter()
+                    try:
+                        response = client.read_block(self.device_id, block)
+                    except ServiceResponseError:
+                        self.errors += 1
+                        continue
+                    finally:
+                        self.read_latencies.append(time.perf_counter() - start)
+                    if response.get("data") != data_hex:
+                        self.mismatches += 1
+
+
+def run_load(
+    base_url: str,
+    *,
+    n_clients: int = 4,
+    blocks_per_client: int = 16,
+    n_rounds: int = 4,
+    data_bits: int = 512,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Run one load burst against a live server; returns the bench payload."""
+    with ServiceClient(base_url) as setup:
+        created = setup.create_device(
+            n_blocks=n_clients * blocks_per_client,
+            data_bits=data_bits,
+            seed=seed,
+        )
+        device_id = created["device"]["id"]
+
+        start_gate = threading.Event()
+        workers = [
+            _ClientWorker(
+                base_url,
+                device_id,
+                range(i * blocks_per_client, (i + 1) * blocks_per_client),
+                n_rounds,
+                data_bits,
+                seed + 1 + i,
+                start_gate,
+            )
+            for i in range(n_clients)
+        ]
+        for w in workers:
+            w.start()
+        t0 = time.perf_counter()
+        start_gate.set()
+        for w in workers:
+            w.join()
+        duration_s = time.perf_counter() - t0
+
+        metrics = setup.metrics()
+        setup.delete_device(device_id)
+
+    writes = [lat for w in workers for lat in w.write_latencies]
+    reads = [lat for w in workers for lat in w.read_latencies]
+    n_requests = len(writes) + len(reads)
+    return {
+        "config": {
+            "n_clients": n_clients,
+            "blocks_per_client": blocks_per_client,
+            "n_rounds": n_rounds,
+            "data_bits": data_bits,
+            "seed": seed,
+        },
+        "duration_s": duration_s,
+        "requests_total": n_requests,
+        "requests_per_s": n_requests / duration_s if duration_s else 0.0,
+        "blocks_per_s": n_requests / duration_s if duration_s else 0.0,
+        "errors": sum(w.errors for w in workers),
+        "payload_mismatches": sum(w.mismatches for w in workers),
+        "endpoints": {
+            "write": {
+                "count": len(writes),
+                "p50_ms": _percentile_ms(writes, 0.50) if writes else 0.0,
+                "p99_ms": _percentile_ms(writes, 0.99) if writes else 0.0,
+            },
+            "read": {
+                "count": len(reads),
+                "p50_ms": _percentile_ms(reads, 0.50) if reads else 0.0,
+                "p99_ms": _percentile_ms(reads, 0.99) if reads else 0.0,
+            },
+        },
+        "batching": metrics.get("batching", {}),
+    }

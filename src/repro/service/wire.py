@@ -1,0 +1,43 @@
+"""Wire encoding helpers shared by the server, client, and load harness.
+
+Block payloads travel as hex strings (a 512-bit block is 128 hex chars):
+compact enough for JSON, trivially diffable in logs, and bit-exact — the
+MSB-first bit order below is part of the service contract and is pinned
+by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.service.codes import ServiceError
+
+__all__ = ["bits_to_hex", "hex_to_bits"]
+
+
+def bits_to_hex(bits: np.ndarray) -> str:
+    """Pack a 0/1 bit vector (MSB first) into a lowercase hex string."""
+    b = np.asarray(bits, dtype=np.uint8).ravel()
+    if b.size % 8:
+        raise ValueError(f"bit count must be a multiple of 8, got {b.size}")
+    return bytes(np.packbits(b)).hex()
+
+
+def hex_to_bits(text: str, n_bits: int) -> np.ndarray:
+    """Decode a hex payload into exactly ``n_bits`` bits (MSB first).
+
+    Raises :class:`ServiceError` (``E_BAD_REQUEST``) on malformed hex or
+    a length mismatch — this is the server-side validation path.
+    """
+    if not isinstance(text, str):
+        raise ServiceError("E_BAD_REQUEST", "data payload must be a hex string")
+    try:
+        raw = bytes.fromhex(text)
+    except ValueError:
+        raise ServiceError("E_BAD_REQUEST", f"invalid hex payload: {text[:32]!r}...")
+    if 8 * len(raw) != n_bits:
+        raise ServiceError(
+            "E_BAD_REQUEST",
+            f"payload holds {8 * len(raw)} bits, device block is {n_bits}",
+        )
+    return np.unpackbits(np.frombuffer(raw, dtype=np.uint8))

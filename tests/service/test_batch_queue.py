@@ -1,0 +1,354 @@
+"""Batching queue and batch-execution semantics.
+
+The load-bearing suite of the service: flush policy under a hand-cranked
+clock (no sleeps), FIFO and backpressure behaviour, and — the contract
+everything else rests on — *bit identity* between batched and sequential
+execution, including the adversarial arrangements (several writes to the
+same block in one batch, reads submitted before and after those writes).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service.batching import (
+    BatchQueue,
+    DynamicBatcher,
+    IoOp,
+    QueueFull,
+    execute_batch,
+)
+from repro.service.clock import ManualClock
+from repro.service.codes import ServiceError
+from repro.service.device import VirtualDevice
+from repro.service.wire import bits_to_hex
+
+
+def _payload(seed: int, n_bits: int = 512) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 2, size=n_bits, dtype=np.uint8)
+
+
+def _write(device: VirtualDevice, block: int, seed: int, t: float = 0.0) -> IoOp:
+    return IoOp("write", device, block, t, bits=_payload(seed))
+
+
+def _read(device: VirtualDevice, block: int, t: float = 0.0) -> IoOp:
+    return IoOp("read", device, block, t)
+
+
+# ---------------------------------------------------------------------------
+# BatchQueue policy (sans-io, ManualClock)
+# ---------------------------------------------------------------------------
+
+class TestBatchQueue:
+    def test_flush_by_size(self):
+        clock = ManualClock()
+        q = BatchQueue(max_batch=3, deadline_s=10.0, clock=clock)
+        dev = VirtualDevice("d", 0, 4)
+        for i in range(2):
+            q.submit(_read(dev, i))
+        assert not q.ready()  # 2 < max_batch and deadline far away
+        q.submit(_read(dev, 2))
+        assert q.ready()  # size threshold reached, clock never moved
+        batch = q.take(reason="size")
+        assert [op.block for op in batch] == [0, 1, 2]
+        assert q.stats.flushes_size == 1
+        assert q.stats.batch_size_hist[3] == 1
+
+    def test_flush_by_deadline(self):
+        clock = ManualClock()
+        q = BatchQueue(max_batch=64, deadline_s=0.5, clock=clock)
+        dev = VirtualDevice("d", 0, 4)
+        q.submit(_read(dev, 0))
+        assert not q.ready()
+        clock.advance(0.49)
+        assert not q.ready()
+        clock.advance(0.02)  # oldest op is now past its deadline
+        assert q.ready()
+        batch = q.take(reason="deadline")
+        assert len(batch) == 1
+        assert q.stats.flushes_deadline == 1
+
+    def test_deadline_tracks_oldest_op(self):
+        clock = ManualClock()
+        q = BatchQueue(max_batch=64, deadline_s=1.0, clock=clock)
+        dev = VirtualDevice("d", 0, 4)
+        q.submit(_read(dev, 0))
+        clock.advance(0.8)
+        q.submit(_read(dev, 1))  # newer op must not push the deadline out
+        assert q.next_deadline() == pytest.approx(1.0)
+        clock.advance(0.3)
+        assert q.ready()
+
+    def test_fifo_order_across_takes(self):
+        q = BatchQueue(max_batch=2, deadline_s=0.0, clock=ManualClock())
+        dev = VirtualDevice("d", 0, 8)
+        for i in range(5):
+            q.submit(_read(dev, i))
+        order = [op.block for op in q.take()] + [op.block for op in q.take()]
+        order += [op.block for op in q.take()]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_backpressure(self):
+        q = BatchQueue(max_batch=2, deadline_s=1.0, max_depth=3, clock=ManualClock())
+        dev = VirtualDevice("d", 0, 8)
+        for i in range(3):
+            q.submit(_read(dev, i))
+        with pytest.raises(QueueFull):
+            q.submit(_read(dev, 3))
+        assert q.stats.rejected == 1
+        assert q.stats.submitted == 3
+        q.take()  # frees room
+        q.submit(_read(dev, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchQueue(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchQueue(deadline_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchQueue(max_batch=8, max_depth=4)
+
+
+# ---------------------------------------------------------------------------
+# Bit identity: batched == sequential
+# ---------------------------------------------------------------------------
+
+def _run_sequential(device: VirtualDevice, ops: list[IoOp]) -> list[dict]:
+    """Reference semantics: each op in its own batch, in queue order."""
+    results = []
+    for op in ops:
+        results.extend(execute_batch([op]))
+    return results
+
+
+def _strip_errors(results: list[dict]) -> list[dict]:
+    """Make error entries comparable (ServiceError has no __eq__)."""
+    out = []
+    for r in results:
+        err = r.get("error")
+        if err is not None:
+            out.append({"error": (err.code, str(err), err.detail)})
+        else:
+            out.append(r)
+    return out
+
+
+class TestBitIdentity:
+    def _twins(self, seed=123, n_blocks=16, **kwargs):
+        # Same id on purpose: ids label error payloads, and the payloads
+        # must compare equal between the two execution paths.
+        return (
+            VirtualDevice("dev", seed, n_blocks, **kwargs),
+            VirtualDevice("dev", seed, n_blocks, **kwargs),
+        )
+
+    def _check(self, build_ops):
+        """Run the same op sequence batched and sequential; compare all."""
+        dev_seq, dev_bat = self._twins()
+        seq = _run_sequential(dev_seq, build_ops(dev_seq))
+        bat = execute_batch(build_ops(dev_bat))
+        assert _strip_errors(seq) == _strip_errors(bat)
+        assert dev_seq.state_digest() == dev_bat.state_digest()
+        return bat
+
+    def test_writes_then_reads(self):
+        def ops(dev):
+            writes = [_write(dev, b, seed=b) for b in range(8)]
+            reads = [_read(dev, b) for b in range(8)]
+            return writes + reads
+
+        results = self._check(ops)
+        for b, r in enumerate(results[8:]):
+            assert r["data"] == bits_to_hex(_payload(b))
+
+    def test_duplicate_block_writes_keep_queue_order(self):
+        # Two writes to one block in a single batch: the later one must
+        # win, with the same epochs (hence the same RNG draws) as
+        # sequential execution.
+        def ops(dev):
+            return [
+                _write(dev, 3, seed=1),
+                _write(dev, 3, seed=2),
+                _read(dev, 3),
+            ]
+
+        results = self._check(ops)
+        assert results[0]["epoch"] == 0
+        assert results[1]["epoch"] == 1
+        assert results[2]["data"] == bits_to_hex(_payload(2))
+
+    def test_read_before_write_sees_old_data(self):
+        # A read queued BEFORE a write to the same block must observe the
+        # pre-write data even when both land in one batch (the case that
+        # forces segment partitioning in execute_batch).
+        def ops(dev):
+            setup = [_write(dev, 5, seed=10)]
+            return setup + [
+                _read(dev, 5),  # must see seed=10 data
+                _write(dev, 5, seed=11),
+                _read(dev, 5),  # must see seed=11 data
+            ]
+
+        results = self._check(ops)
+        assert results[1]["data"] == bits_to_hex(_payload(10))
+        assert results[3]["data"] == bits_to_hex(_payload(11))
+
+    def test_mixed_devices_and_times(self):
+        dev_a_seq, dev_a_bat = self._twins(seed=1)
+        dev_b_seq, dev_b_bat = self._twins(seed=2, n_blocks=4)
+
+        def ops(da, db):
+            return [
+                _write(da, 0, seed=5, t=0.0),
+                _write(db, 0, seed=6, t=0.0),
+                _read(da, 0, t=100.0),
+                _read(db, 0, t=1000.0),
+                _write(da, 0, seed=7, t=2000.0),
+                _read(da, 0, t=2000.0),
+            ]
+
+        seq = _run_sequential(None, ops(dev_a_seq, dev_b_seq))
+        bat = execute_batch(ops(dev_a_bat, dev_b_bat))
+        assert _strip_errors(seq) == _strip_errors(bat)
+        assert dev_a_seq.state_digest() == dev_a_bat.state_digest()
+        assert dev_b_seq.state_digest() == dev_b_bat.state_digest()
+
+    def test_unwritten_read_errors_match(self):
+        def ops(dev):
+            return [_read(dev, 0), _write(dev, 0, seed=3), _read(dev, 0)]
+
+        results = self._check(ops)
+        assert results[0]["error"].code == "E_BLOCK_NOT_WRITTEN"
+        assert results[2]["data"] == bits_to_hex(_payload(3))
+
+    def test_wearout_state_identical(self):
+        # Accelerated wearout: marks and revives draw from the per-write
+        # RNG, so wear state after a batched history must equal the
+        # sequential one exactly.
+        from repro.cells.faults import WearoutModel
+
+        wearout = WearoutModel(
+            mean_endurance=4.0, endurance_sigma=0.2, p_stuck_reset=1.0, p_revive=0.0
+        )
+        dev_seq = VirtualDevice("dev", 7, 4, wearout=wearout)
+        dev_bat = VirtualDevice("dev", 7, 4, wearout=wearout)
+
+        def ops(dev):
+            out = []
+            for round_i in range(6):
+                out.extend(_write(dev, b, seed=round_i * 4 + b) for b in range(4))
+            return out
+
+        seq = _run_sequential(dev_seq, ops(dev_seq))
+        bat = execute_batch(ops(dev_bat))
+        assert _strip_errors(seq) == _strip_errors(bat)
+        assert dev_seq.state_digest() == dev_bat.state_digest()
+        assert dev_seq.describe()["wear"] == dev_bat.describe()["wear"]
+
+
+# ---------------------------------------------------------------------------
+# DynamicBatcher (asyncio)
+# ---------------------------------------------------------------------------
+
+class TestDynamicBatcher:
+    def test_size_flush_coalesces(self):
+        async def scenario():
+            dev = VirtualDevice("d", 0, 8)
+            batcher = DynamicBatcher(BatchQueue(max_batch=4, deadline_s=60.0))
+            try:
+                writes = [batcher.submit(_write(dev, b, seed=b)) for b in range(4)]
+                results = await asyncio.wait_for(asyncio.gather(*writes), timeout=10)
+                assert [r["code"] for r in results] == ["OK"] * 4
+                # One size-triggered flush of exactly 4 — the 60s deadline
+                # proves it wasn't time that flushed it.
+                assert batcher.queue.stats.flushes_size == 1
+                assert batcher.queue.stats.batch_size_hist[4] == 1
+            finally:
+                await batcher.close()
+
+        asyncio.run(scenario())
+
+    def test_deadline_flush(self):
+        async def scenario():
+            dev = VirtualDevice("d", 0, 8)
+            batcher = DynamicBatcher(BatchQueue(max_batch=64, deadline_s=0.01))
+            try:
+                op = _write(dev, 0, seed=1)
+                result = await asyncio.wait_for(batcher.submit(op), timeout=10)
+                assert result["code"] == "OK"
+                assert batcher.queue.stats.flushes_deadline >= 1
+            finally:
+                await batcher.close()
+
+        asyncio.run(scenario())
+
+    def test_hold_backpressure_and_release(self):
+        async def scenario():
+            dev = VirtualDevice("d", 0, 8)
+            batcher = DynamicBatcher(
+                BatchQueue(max_batch=2, deadline_s=0.0, max_depth=2)
+            )
+            batcher.hold()
+            try:
+                pending = [
+                    asyncio.ensure_future(batcher.submit(_write(dev, b, seed=b)))
+                    for b in range(2)
+                ]
+                await asyncio.sleep(0)  # let submissions enqueue
+                with pytest.raises(ServiceError) as excinfo:
+                    await batcher.submit(_write(dev, 2, seed=2))
+                assert excinfo.value.code == "E_QUEUE_FULL"
+                assert all(not f.done() for f in pending)  # held, not lost
+                batcher.release()
+                results = await asyncio.wait_for(asyncio.gather(*pending), timeout=10)
+                assert [r["code"] for r in results] == ["OK", "OK"]
+            finally:
+                await batcher.close()
+
+        asyncio.run(scenario())
+
+    def test_uncorrectable_surfaces_as_service_error(self):
+        async def scenario():
+            dev = VirtualDevice("d", 0, 8)
+            batcher = DynamicBatcher(BatchQueue(max_batch=1, deadline_s=0.0))
+            try:
+                with pytest.raises(ServiceError) as excinfo:
+                    await asyncio.wait_for(batcher.submit(_read(dev, 0)), timeout=10)
+                assert excinfo.value.code == "E_BLOCK_NOT_WRITTEN"
+            finally:
+                await batcher.close()
+
+        asyncio.run(scenario())
+
+    def test_close_drains_pending_ops(self):
+        async def scenario():
+            dev = VirtualDevice("d", 0, 8)
+            batcher = DynamicBatcher(BatchQueue(max_batch=64, deadline_s=120.0))
+            pending = [
+                asyncio.ensure_future(batcher.submit(_write(dev, b, seed=b)))
+                for b in range(3)
+            ]
+            await asyncio.sleep(0)
+            await batcher.close()  # deadline far away: close must flush
+            results = await asyncio.gather(*pending)
+            assert [r["code"] for r in results] == ["OK"] * 3
+            assert batcher.queue.stats.flushes_drain >= 1
+            with pytest.raises(ServiceError) as excinfo:
+                await batcher.submit(_write(dev, 3, seed=3))
+            assert excinfo.value.code == "E_SHUTTING_DOWN"
+
+        asyncio.run(scenario())
+
+    def test_run_serialized(self):
+        async def scenario():
+            dev = VirtualDevice("d", 0, 8)
+            batcher = DynamicBatcher(BatchQueue(max_batch=1, deadline_s=0.0))
+            try:
+                described = await batcher.run_serialized(dev.describe)
+                assert described["n_blocks"] == 8
+            finally:
+                await batcher.close()
+
+        asyncio.run(scenario())
