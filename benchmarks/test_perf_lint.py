@@ -1,0 +1,77 @@
+"""Linter engine benchmark: whole-program pass cost and parse-once proof.
+
+The two-pass analyzer's perf contract is structural, not a constant:
+pass 1 parses every file exactly once and pass 2 (all six project rule
+packs plus the eight per-file rules) reuses those ASTs, so the number
+of ``ast.parse`` calls equals the file count no matter how many rules
+run.  This benchmark proves that by counting ``ast.parse`` invocations
+during a real repo-wide run, times both the whole-program pass and the
+serial per-file engine for comparison, and lands the numbers in
+``results/BENCH_lint.json``.
+"""
+
+import ast
+import time
+
+from _report import emit_json
+from repro.lint import load_config, run_paths, run_whole_program
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+PATHS = [ROOT / "src", ROOT / "tests", ROOT / "benchmarks"]
+
+#: Generous ceiling so only a pathological slowdown (e.g. re-parsing
+#: per rule) fails on a noisy shared runner.
+WALL_CEILING_S = 120.0
+
+
+def test_whole_program_parses_each_file_once():
+    config = load_config(ROOT)
+
+    real_parse = ast.parse
+    calls = {"n": 0}
+
+    def counting_parse(*args, **kwargs):
+        calls["n"] += 1
+        return real_parse(*args, **kwargs)
+
+    ast.parse = counting_parse
+    try:
+        t0 = time.perf_counter()
+        result = run_whole_program(PATHS, config)
+        whole_s = time.perf_counter() - t0
+        parse_calls = calls["n"]
+    finally:
+        ast.parse = real_parse
+
+    assert result.exit_code == 0, "repo must stay clean under --all"
+    assert result.files_checked > 100
+    # The structural contract: one parse per file, however many rules.
+    assert parse_calls == result.files_checked, (
+        f"expected parse-once, got {parse_calls} parses "
+        f"for {result.files_checked} files"
+    )
+    assert whole_s < WALL_CEILING_S
+
+    # Per-file engine, serial, for scale (it also parses once per file,
+    # but runs only the 8 per-file rules and builds no model).
+    t0 = time.perf_counter()
+    per_file = run_paths(PATHS, config, jobs=1)
+    per_file_s = time.perf_counter() - t0
+
+    emit_json(
+        "BENCH_lint",
+        {
+            "files_checked": result.files_checked,
+            "ast_parse_calls": parse_calls,
+            "parse_per_file": round(parse_calls / result.files_checked, 3),
+            "whole_program_wall_s": round(whole_s, 3),
+            "per_file_serial_wall_s": round(per_file_s, 3),
+            "whole_program_overhead_x": round(
+                whole_s / max(per_file_s, 1e-9), 2
+            ),
+            "suppressed": result.suppressed,
+            "violations": len(result.violations),
+        },
+    )

@@ -1,0 +1,103 @@
+"""Baseline / ratchet support for the whole-program pass.
+
+A baseline is a committed JSON file mapping ``"<path>::<code>"`` to a
+count of accepted pre-existing findings.  Keys deliberately omit line
+numbers: unrelated edits that shift a finding up or down must not
+invalidate the baseline, while a *new* finding of the same code in the
+same file (count exceeded) still fails the build.  The ratchet is the
+trivial consequence: regenerating the baseline must never grow its
+total, so debt can only be paid down.
+
+File format (``schema`` guards future layout changes)::
+
+    {"schema": 1, "total": 2,
+     "counts": {"src/repro/service/app.py::RPL012": 2}}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.lint.rules.base import Violation
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "apply_baseline",
+    "baseline_key",
+    "build_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA = 1
+
+
+def baseline_key(violation: Violation) -> str:
+    """Stable identity of a finding: path and code, never line numbers."""
+    return f"{violation.path}::{violation.code}"
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, int]:
+    """Counts from a baseline file; ``{}`` if the file does not exist."""
+    p = pathlib.Path(path)
+    if not p.is_file():
+        return {}
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {data.get('schema')!r} in {p}; "
+            f"expected {BASELINE_SCHEMA} — regenerate with --update-baseline"
+        )
+    counts = data.get("counts", {})
+    if not isinstance(counts, dict):
+        raise ValueError(f"baseline {p}: 'counts' must be an object")
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def apply_baseline(
+    violations: list[Violation], counts: dict[str, int]
+) -> tuple[list[Violation], int]:
+    """Split findings into ``(kept, n_baselined)``.
+
+    Findings are consumed against the counts in sorted order, so for a
+    key with budget *n* the first *n* findings (lowest line first) are
+    absorbed and any excess — a regression — is kept and fails the run.
+    """
+    if not counts:
+        return list(violations), 0
+    budget = dict(counts)
+    kept: list[Violation] = []
+    absorbed = 0
+    for violation in sorted(violations, key=Violation.sort_key):
+        key = baseline_key(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            absorbed += 1
+        else:
+            kept.append(violation)
+    return kept, absorbed
+
+
+def build_baseline(violations: list[Violation]) -> dict:
+    """Baseline payload accepting exactly the given findings."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        key = baseline_key(violation)
+        counts[key] = counts.get(key, 0) + 1
+    return {
+        "schema": BASELINE_SCHEMA,
+        "total": sum(counts.values()),
+        "counts": dict(sorted(counts.items())),
+    }
+
+
+def write_baseline(
+    path: str | pathlib.Path, violations: list[Violation]
+) -> dict:
+    """Write (and return) the baseline payload for ``violations``."""
+    payload = build_baseline(violations)
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload

@@ -6,6 +6,11 @@ Example (all keys optional)::
     exclude = ["tests/fixtures/**"]          # glob, fnmatch-style
     select = ["RPL001", "RPL004"]            # default: every rule
     disable = ["RPL005"]
+    paths = ["src", "tests"]                 # default roots for --all
+    baseline = "lint_baseline.json"          # ratchet file (whole-program)
+
+    [tool.repro-lint.layers]                 # RPL015 contracts
+    "repro.montecarlo" = { deny = ["repro.service"] }
 
     [tool.repro-lint.severity]
     RPL005 = "warning"                       # or "error"
@@ -38,7 +43,17 @@ __all__ = ["ConfigError", "LintConfig", "load_config", "path_matches"]
 _SECTION = "repro-lint"
 
 #: Keys accepted at the top level of ``[tool.repro-lint]``.
-_TOP_KEYS = {"exclude", "select", "disable", "severity", "per-path", "rules"}
+_TOP_KEYS = {
+    "exclude",
+    "select",
+    "disable",
+    "severity",
+    "per-path",
+    "rules",
+    "paths",
+    "baseline",
+    "layers",
+}
 
 
 class ConfigError(ValueError):
@@ -73,6 +88,14 @@ class LintConfig:
     severity: dict[str, str] = dataclasses.field(default_factory=dict)
     per_path: dict[str, dict[str, list[str]]] = dataclasses.field(default_factory=dict)
     rule_options: dict[str, dict[str, Any]] = dataclasses.field(default_factory=dict)
+    #: Default roots for ``--all`` / pathless whole-program runs.
+    paths: list[str] = dataclasses.field(default_factory=list)
+    #: Ratchet baseline file, relative to ``root`` (None: no baseline).
+    baseline: str | None = None
+    #: RPL015 contracts: module-prefix -> {"deny": [module prefixes]}.
+    layers: dict[str, dict[str, list[str]]] = dataclasses.field(
+        default_factory=dict
+    )
 
     def enabled_codes(self, all_codes: list[str], rel_posix: str) -> set[str]:
         """Codes active for one file after select/disable and per-path."""
@@ -143,6 +166,26 @@ def _parse(section: Mapping[str, Any], root: pathlib.Path) -> LintConfig:
             f"rules.{code} must be a table of options",
         )
         cfg.rule_options[code.upper()] = dict(options)
+    if "paths" in section:
+        cfg.paths = _str_list(section["paths"], "paths")
+    if "baseline" in section:
+        _require(
+            isinstance(section["baseline"], str),
+            f"'baseline' must be a string path, got {section['baseline']!r}",
+        )
+        cfg.baseline = section["baseline"]
+    layers = section.get("layers", {})
+    _require(isinstance(layers, Mapping), "'layers' must be a table")
+    for module, contract in layers.items():
+        _require(
+            isinstance(contract, Mapping) and set(contract) <= {"deny"},
+            f"layers.{module!r} accepts only a 'deny' list",
+        )
+        cfg.layers[module] = {
+            "deny": _str_list(
+                contract.get("deny", []), f"layers.{module}.deny"
+            )
+        }
     return cfg
 
 

@@ -17,12 +17,21 @@ import pathlib
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
+from repro.lint.baseline import apply_baseline, load_baseline
 from repro.lint.config import LintConfig
-from repro.lint.rules import Rule, all_rules
+from repro.lint.model import ModuleInfo, ProjectModel, build_model
+from repro.lint.rules import ProjectRule, Rule, all_project_rules, all_rules
 from repro.lint.rules.base import Severity, Violation
 from repro.lint.suppress import Suppressions
 
-__all__ = ["FileContext", "LintResult", "discover_files", "lint_file", "run_paths"]
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "discover_files",
+    "lint_file",
+    "run_paths",
+    "run_whole_program",
+]
 
 #: Code reported for files the parser rejects (not a rule; always on).
 PARSE_ERROR_CODE = "RPL000"
@@ -49,6 +58,8 @@ class LintResult:
     violations: list[Violation]
     files_checked: int
     suppressed: int
+    #: Pre-existing findings absorbed by the ratchet baseline.
+    baselined: int = 0
 
     @property
     def errors(self) -> int:
@@ -87,6 +98,10 @@ def discover_files(
             candidates = []
         for c in candidates:
             r = c.resolve()
+            # Bytecode cache dirs can shadow sources with stale .py files
+            # (editor backups, pytest caches); never lint them.
+            if "__pycache__" in c.parts:
+                continue
             if r in seen or config.is_excluded(_rel_posix(c, root)):
                 continue
             seen.add(r)
@@ -187,4 +202,112 @@ def run_paths(
     violations.sort(key=Violation.sort_key)
     return LintResult(
         violations=violations, files_checked=len(files), suppressed=suppressed
+    )
+
+
+def _lint_module(
+    mod: ModuleInfo, config: LintConfig, rules: Sequence[Rule]
+) -> tuple[list[Violation], int]:
+    """Per-file rules over a pass-1 module: no re-read, no re-parse."""
+    if mod.tree is None:
+        exc = mod.parse_error
+        if isinstance(exc, SyntaxError):
+            v = Violation(
+                path=mod.rel_posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                rule="syntax-error",
+                severity=Severity.ERROR,
+                message=f"cannot parse: {exc.msg}",
+            )
+        else:
+            v = Violation(
+                path=mod.rel_posix,
+                line=1,
+                col=0,
+                code=PARSE_ERROR_CODE,
+                rule="unreadable-file",
+                severity=Severity.ERROR,
+                message=f"cannot read file: {exc}",
+            )
+        return [v], 0
+    ctx = FileContext(
+        path=mod.path, rel_posix=mod.rel_posix, source=mod.source, config=config
+    )
+    enabled = config.enabled_codes([r.code for r in rules], mod.rel_posix)
+    violations: list[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        if rule.code not in enabled:
+            continue
+        for violation in rule.check(mod.tree, ctx):
+            if mod.suppressions.is_suppressed(violation.code, violation.line):
+                suppressed += 1
+            else:
+                violations.append(violation)
+    return violations, suppressed
+
+
+def run_whole_program(
+    paths: Sequence[str | os.PathLike],
+    config: LintConfig | None = None,
+    *,
+    baseline: str | os.PathLike | None = None,
+    file_rules: Sequence[Rule] | None = None,
+    project_rules: Sequence[ProjectRule] | None = None,
+    model: ProjectModel | None = None,
+) -> LintResult:
+    """The two-pass analysis: project model, then every rule pack.
+
+    Pass 1 parses each discovered file exactly once into the
+    :class:`ProjectModel`; pass 2 runs the per-file rules against the
+    cached ASTs and the whole-program rules against the model, so the
+    total parse count equals the file count regardless of how many
+    rules are enabled.  Inline suppressions and per-path config apply
+    to project findings exactly as they do to per-file ones, and a
+    ``baseline`` file absorbs accepted findings (counted in
+    ``LintResult.baselined``) without hiding regressions.
+
+    Pass callers may hand in a prebuilt ``model`` (the CLI's ``--fix``
+    reuses one run's model for the report).
+    """
+    config = config if config is not None else LintConfig()
+    file_rules = list(file_rules) if file_rules is not None else all_rules()
+    project_rules = (
+        list(project_rules) if project_rules is not None else all_project_rules()
+    )
+    if model is None:
+        files = discover_files(paths, config)
+        model = build_model(list(files), config)
+    modules = sorted(model.modules.values(), key=lambda m: m.rel_posix)
+    violations: list[Violation] = []
+    suppressed = 0
+    for mod in modules:
+        mod_violations, mod_suppressed = _lint_module(mod, config, file_rules)
+        violations.extend(mod_violations)
+        suppressed += mod_suppressed
+    project_codes = [r.code for r in project_rules]
+    for rule in project_rules:
+        for violation in rule.check_project(model):
+            enabled = config.enabled_codes(project_codes, violation.path)
+            if violation.code not in enabled:
+                continue
+            mod = model.modules.get(violation.path)
+            if mod is not None and mod.suppressions.is_suppressed(
+                violation.code, violation.line
+            ):
+                suppressed += 1
+            else:
+                violations.append(violation)
+    violations.sort(key=Violation.sort_key)
+    baselined = 0
+    if baseline is not None:
+        counts = load_baseline(baseline)
+        violations, baselined = apply_baseline(violations, counts)
+    return LintResult(
+        violations=violations,
+        files_checked=len(model.modules),
+        suppressed=suppressed,
+        baselined=baselined,
     )

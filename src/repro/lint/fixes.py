@@ -1,0 +1,227 @@
+"""``--fix``: the small set of rewrites safe enough to automate.
+
+Only two fixes ship, chosen because both are provably behavior-
+preserving under this repo's contracts:
+
+- **make_rng rewrite** — a *seeded* ``numpy.random.default_rng(seed)``
+  in engine code (RPL001 clause 3) becomes
+  ``make_rng(seed)`` with ``from repro.montecarlo.rng import make_rng``
+  inserted once; ``make_rng`` wraps the same construction behind the
+  sanctioned fan-out, so the stream is unchanged while provenance
+  becomes traceable.  Unseeded calls are *not* rewritten — there is no
+  seed to preserve, so a human must decide where the seed comes from.
+- **unused-import removal** — an imported name referenced nowhere else
+  in the module (including inside string constants, which covers
+  ``__all__`` re-export lists and string annotations) is dropped.
+  ``__init__.py`` files are skipped wholesale: their imports *are* the
+  public API.
+
+Everything else stays manual on purpose: a fixer that edits control
+flow is a second implementation of the rule, and the two disagree
+exactly when it matters.
+
+Edits are computed as character spans from AST node positions and
+applied back-to-front, so earlier spans never shift.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+
+from repro.lint.config import LintConfig, path_matches
+from repro.lint.rules.imports import ImportMap
+from repro.lint.rules.rpl001_rng import BannedRandomRule, _is_unseeded
+
+__all__ = ["FixResult", "fix_file", "fix_paths", "fix_source"]
+
+_MAKE_RNG_IMPORT = "from repro.montecarlo.rng import make_rng"
+_WORD = re.compile(r"\w+")
+
+
+@dataclasses.dataclass
+class FixResult:
+    """Outcome of fixing one file."""
+
+    path: str
+    rel_posix: str
+    changed: bool
+    applied: list[str]
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span(offsets: list[int], node: ast.AST) -> tuple[int, int]:
+    start = offsets[node.lineno - 1] + node.col_offset
+    end = offsets[node.end_lineno - 1] + node.end_col_offset
+    return start, end
+
+
+def _apply(source: str, edits: list[tuple[int, int, str]]) -> str:
+    for start, end, replacement in sorted(edits, reverse=True):
+        source = source[:start] + replacement + source[end:]
+    return source
+
+
+def _rewrite_make_rng(
+    source: str, tree: ast.Module, rel_posix: str, config: LintConfig
+) -> tuple[str, list[str]]:
+    """Seeded ``default_rng(seed)`` -> ``make_rng(seed)`` in engine code."""
+    rule = BannedRandomRule()
+    opts = dict(rule.default_options)
+    opts.update(config.rule_options.get(rule.code, {}))
+    if path_matches(rel_posix, list(opts["allow"])):
+        return source, []
+    if not path_matches(rel_posix, list(opts["restricted"])):
+        return source, []
+    imports = ImportMap(tree)
+    offsets = _line_offsets(source)
+    edits: list[tuple[int, int, str]] = []
+    applied: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if imports.canonical(node.func) != "numpy.random.default_rng":
+            continue
+        if _is_unseeded(node):
+            continue  # nothing deterministic to preserve; human call
+        start, end = _span(offsets, node.func)
+        edits.append((start, end, "make_rng"))
+        applied.append(
+            f"{rel_posix}:{node.lineno}: "
+            "rewrote numpy.random.default_rng(...) -> make_rng(...)"
+        )
+    if not edits:
+        return source, []
+    fixed = _apply(source, edits)
+    if imports.canonical(ast.Name(id="make_rng")) != (
+        "repro.montecarlo.rng.make_rng"
+    ):
+        fixed = _insert_import(fixed)
+        applied.append(f"{rel_posix}: added '{_MAKE_RNG_IMPORT}'")
+    return fixed, applied
+
+
+def _insert_import(source: str) -> str:
+    """Insert the make_rng import after the last top-level import."""
+    tree = ast.parse(source)
+    after_line = 0
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            after_line = stmt.end_lineno
+        elif after_line == 0 and isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Constant) and isinstance(
+                stmt.value.value, str
+            ):
+                after_line = stmt.end_lineno  # after the docstring
+    lines = source.splitlines(keepends=True)
+    lines.insert(after_line, _MAKE_RNG_IMPORT + "\n")
+    return "".join(lines)
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    """Identifiers referenced anywhere, plus words inside string constants.
+
+    String words conservatively keep imports referenced only from
+    ``__all__`` lists, string annotations, or doctests.
+    """
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            used.update(_WORD.findall(node.value))
+    return used
+
+
+def _render_import(stmt: ast.Import | ast.ImportFrom, kept: list[ast.alias]) -> str:
+    names = ", ".join(
+        a.name + (f" as {a.asname}" if a.asname else "") for a in kept
+    )
+    if isinstance(stmt, ast.Import):
+        return f"import {names}"
+    return f"from {'.' * stmt.level}{stmt.module or ''} import {names}"
+
+
+def _remove_unused_imports(
+    source: str, rel_posix: str
+) -> tuple[str, list[str]]:
+    tree = ast.parse(source)
+    used = _used_names(tree)
+    offsets = _line_offsets(source)
+    edits: list[tuple[int, int, str]] = []
+    applied: list[str] = []
+    for stmt in tree.body:
+        if not isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(stmt, ast.ImportFrom) and stmt.module == "__future__":
+            continue
+        if any(a.name == "*" for a in stmt.names):
+            continue
+        kept, dropped = [], []
+        for alias in stmt.names:
+            binding = alias.asname or alias.name.split(".")[0]
+            (kept if binding in used else dropped).append(alias)
+        if not dropped:
+            continue
+        # Whole statement lines, including any trailing comment/newline.
+        start = offsets[stmt.lineno - 1]
+        end = offsets[stmt.end_lineno]
+        replacement = _render_import(stmt, kept) + "\n" if kept else ""
+        edits.append((start, end, replacement))
+        for alias in dropped:
+            binding = alias.asname or alias.name.split(".")[0]
+            applied.append(
+                f"{rel_posix}:{stmt.lineno}: removed unused import "
+                f"'{binding}'"
+            )
+    return _apply(source, edits), applied
+
+
+def fix_source(
+    source: str, rel_posix: str, config: LintConfig
+) -> tuple[str, list[str]]:
+    """Apply every automated fix to one module's source."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, []
+    applied: list[str] = []
+    source, done = _rewrite_make_rng(source, tree, rel_posix, config)
+    applied.extend(done)
+    if not rel_posix.endswith("__init__.py"):
+        # Re-parse: the rewrite may have orphaned a numpy import.
+        source, done = _remove_unused_imports(source, rel_posix)
+        applied.extend(done)
+    return source, applied
+
+
+def fix_file(path: str | pathlib.Path, config: LintConfig) -> FixResult:
+    p = pathlib.Path(path)
+    try:
+        rel = p.resolve().relative_to(pathlib.Path(config.root).resolve())
+        rel_posix = rel.as_posix()
+    except ValueError:
+        rel_posix = p.resolve().as_posix()
+    source = p.read_text(encoding="utf-8")
+    fixed, applied = fix_source(source, rel_posix, config)
+    changed = fixed != source
+    if changed:
+        p.write_text(fixed, encoding="utf-8")
+    return FixResult(
+        path=str(p), rel_posix=rel_posix, changed=changed, applied=applied
+    )
+
+
+def fix_paths(
+    paths: list[str | pathlib.Path], config: LintConfig
+) -> list[FixResult]:
+    """Fix every file (already discovered/filtered by the caller)."""
+    return [fix_file(p, config) for p in paths]

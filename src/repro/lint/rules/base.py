@@ -8,9 +8,11 @@ import enum
 from typing import TYPE_CHECKING, Any, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.config import LintConfig
     from repro.lint.engine import FileContext
+    from repro.lint.model import ModuleInfo, ProjectModel
 
-__all__ = ["Rule", "Severity", "Violation", "qualified_name"]
+__all__ = ["ProjectRule", "Rule", "Severity", "Violation", "qualified_name"]
 
 
 class Severity(enum.Enum):
@@ -92,6 +94,51 @@ class Rule:
             code=self.code,
             rule=self.name,
             severity=ctx.config.severity_for(self.code, self.severity),
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the pass-2 packs, RPL010+).
+
+    A project rule sees the :class:`~repro.lint.model.ProjectModel`
+    built by pass 1 — every module's AST, import edges, and function
+    summaries at once — instead of one file.  It therefore runs only in
+    whole-program mode (``--all``); :meth:`check` is a no-op so the
+    per-file engine can share one registry without special-casing.
+
+    Implementations stay pure functions of ``(model,)`` — the model owns
+    the config — and report through :meth:`project_violation` so path
+    rendering, severity overrides, and suppression filtering behave
+    exactly like per-file rules.
+    """
+
+    def check(self, tree: ast.Module, ctx: "FileContext") -> list[Violation]:
+        return []  # whole-program only; nothing to say about one file
+
+    def check_project(self, model: "ProjectModel") -> list[Violation]:
+        raise NotImplementedError
+
+    def project_options(self, config: "LintConfig") -> Mapping[str, Any]:
+        merged = dict(self.default_options)
+        merged.update(config.rule_options.get(self.code, {}))
+        return merged
+
+    def project_violation(
+        self,
+        model: "ProjectModel",
+        module: "ModuleInfo",
+        lineno: int,
+        col: int,
+        message: str,
+    ) -> Violation:
+        return Violation(
+            path=module.rel_posix,
+            line=lineno,
+            col=col,
+            code=self.code,
+            rule=self.name,
+            severity=model.config.severity_for(self.code, self.severity),
             message=message,
         )
 

@@ -16,13 +16,38 @@ import ast
 
 from repro.lint.rules.base import qualified_name
 
-__all__ = ["ImportMap"]
+__all__ = ["ImportMap", "resolve_relative"]
+
+
+def resolve_relative(module: str | None, level: int, target: str | None) -> str | None:
+    """Absolute module named by a ``from ..x import y`` statement.
+
+    ``module`` is the dotted name of the importing module (``None`` when
+    unknown, in which case relative imports stay unresolved).  ``level``
+    counts leading dots; one dot anchors at the importer's package.
+    """
+    if level == 0:
+        return target
+    if module is None:
+        return None
+    parts = module.split(".")
+    if len(parts) < level:
+        return None
+    base = parts[: len(parts) - level]
+    if target:
+        base.append(target)
+    return ".".join(base) if base else None
 
 
 class ImportMap:
-    """Local-name → canonical-module map for one parsed file."""
+    """Local-name → canonical-module map for one parsed file.
 
-    def __init__(self, tree: ast.Module):
+    ``module`` — the file's own dotted module name — lets relative
+    imports resolve to absolute names; without it they are skipped
+    (the pre-whole-program behavior, still right for loose files).
+    """
+
+    def __init__(self, tree: ast.Module, module: str | None = None):
         self._alias: dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -34,11 +59,16 @@ class ImportMap:
                         top = alias.name.split(".", 1)[0]
                         self._alias[top] = top
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
-                    continue  # relative imports stay project-local
+                source = resolve_relative(module, node.level, node.module)
+                if source is None:
+                    continue
                 for alias in node.names:
                     local = alias.asname or alias.name
-                    self._alias[local] = f"{node.module}.{alias.name}"
+                    self._alias[local] = f"{source}.{alias.name}"
+
+    def alias_of(self, local: str) -> str | None:
+        """Canonical target a local name was import-bound to, if any."""
+        return self._alias.get(local)
 
     def canonical(self, node: ast.AST) -> str | None:
         """Fully-qualified dotted name of an attribute chain, or None."""

@@ -1,0 +1,226 @@
+"""RPL013 — RNG provenance at Monte Carlo / datapath entry points.
+
+RPL001 bans *constructing* ad-hoc generators in engine code; this rule
+closes the remaining gap interprocedurally: a ``Generator`` that
+*reaches* an MC/datapath entry point (any project function with an
+``rng``-named parameter in the protected modules) must trace back to
+the :mod:`repro.montecarlo.rng` SeedSequence fan-out.  Otherwise the
+call's results are not a pure function of the campaign seed — the
+chunk/jobs-invariance contract silently breaks at exactly one call
+site, which no per-file rule can see.
+
+At each call site the bound argument is traced through local and
+module-level assignments:
+
+- **traceable** — a ``make_rng`` / ``spawn_rngs`` / ``block_rng`` call,
+  a ``.spawn(...)`` / subscript / passthrough of a traceable value, or
+  the enclosing function's own ``rng`` parameter (provenance is then
+  the *caller's* obligation, checked at its own call sites — that is
+  the interprocedural upgrade);
+- **banned** — a value constructed by ``numpy.random.default_rng`` /
+  ``Generator`` / ``RandomState`` or ``random.Random`` anywhere along
+  the trace;
+- anything statically unresolvable (attribute loads, containers) is
+  left alone: false positives stay suppressible, never fabricated.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+
+from repro.lint.config import path_matches
+from repro.lint.model import FunctionInfo, ModuleInfo, ProjectModel
+from repro.lint.rules.base import ProjectRule, Severity, Violation
+
+__all__ = ["RngProvenanceRule"]
+
+_SKIP_PARAMS = ("self", "cls")
+
+
+class RngProvenanceRule(ProjectRule):
+    code = "RPL013"
+    name = "untraceable-rng-at-entry-point"
+    severity = Severity.ERROR
+    rationale = (
+        "every Generator reaching an MC/datapath entry point must descend "
+        "from the repro.montecarlo.rng SeedSequence fan-out, or results "
+        "stop being a pure function of the campaign seed"
+    )
+    default_options = {
+        # Call sites in these files are checked.
+        "paths": ["src/*"],
+        # Modules whose rng-parameterized functions are protected.
+        "entry_paths": [
+            "repro.montecarlo.*",
+            "repro.coding.*",
+            "repro.cells.*",
+            "repro.core.*",
+        ],
+        # Parameter names that carry generators.
+        "param_names": ["rng", "rngs"],
+        # The sanctioned fan-out factories.
+        "factories": [
+            "repro.montecarlo.rng.make_rng",
+            "repro.montecarlo.rng.spawn_rngs",
+            "repro.montecarlo.rng.block_rng",
+        ],
+        # Constructions that sever the spawn tree.
+        "banned": [
+            "numpy.random.default_rng",
+            "numpy.random.Generator",
+            "numpy.random.RandomState",
+            "random.Random",
+        ],
+    }
+
+    def check_project(self, model: ProjectModel) -> list[Violation]:
+        opts = self.project_options(model.config)
+        out: list[Violation] = []
+        for module in model.modules.values():
+            if module.tree is None or module.import_map is None:
+                continue
+            if not path_matches(module.rel_posix, list(opts["paths"])):
+                continue
+            module_env = self._assignments(module.tree)
+            for fn in module.functions.values():
+                out.extend(
+                    self._check_function(fn, module, module_env, opts, model)
+                )
+        return out
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _assignments(scope: ast.AST) -> dict[str, ast.expr]:
+        """Simple single-target name assignments in one scope body."""
+        env: dict[str, ast.expr] = {}
+        body = scope.body if hasattr(scope, "body") else []
+        for stmt in body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                env[stmt.targets[0].id] = stmt.value
+            elif isinstance(stmt, (ast.For, ast.While, ast.If, ast.With, ast.Try)):
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Assign)
+                        and len(sub.targets) == 1
+                        and isinstance(sub.targets[0], ast.Name)
+                    ):
+                        env[sub.targets[0].id] = sub.value
+        return env
+
+    def _entry_param(
+        self, target: FunctionInfo, opts
+    ) -> tuple[str, int] | None:
+        """The protected parameter (name, positional index) of a callee."""
+        if not any(
+            fnmatch.fnmatch(target.module, p) for p in opts["entry_paths"]
+        ):
+            return None
+        params = [p for p in target.params if p not in _SKIP_PARAMS]
+        for want in opts["param_names"]:
+            if want in params:
+                return want, params.index(want)
+        return None
+
+    def _trace(
+        self,
+        expr: ast.expr,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        local_env: dict[str, ast.expr],
+        module_env: dict[str, ast.expr],
+        opts,
+        depth: int = 0,
+    ) -> str | None:
+        """Returns the banned construction's name, or None if acceptable."""
+        if depth > 8:
+            return None
+        imports = module.import_map
+        if isinstance(expr, ast.Call):
+            name = imports.canonical(expr.func)
+            if name in set(opts["banned"]):
+                return name
+            if name in set(opts["factories"]):
+                return None
+            # x.spawn(...) and friends: provenance of the receiver.
+            if isinstance(expr.func, ast.Attribute):
+                return self._trace(
+                    expr.func.value, fn, module, local_env, module_env,
+                    opts, depth + 1,
+                )
+            return None
+        if isinstance(expr, ast.Subscript):
+            return self._trace(
+                expr.value, fn, module, local_env, module_env, opts, depth + 1
+            )
+        if isinstance(expr, ast.Name):
+            if expr.id in local_env:
+                return self._trace(
+                    local_env[expr.id], fn, module, local_env, module_env,
+                    opts, depth + 1,
+                )
+            if expr.id in fn.params:
+                return None  # delegated: the caller's call site is checked
+            if expr.id in module_env:
+                return self._trace(
+                    module_env[expr.id], fn, module, {}, module_env,
+                    opts, depth + 1,
+                )
+        return None  # not statically resolvable: stay silent
+
+    def _check_function(
+        self,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        module_env: dict[str, ast.expr],
+        opts,
+        model: ProjectModel,
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        local_env = self._assignments(fn.node)
+        imports = module.import_map
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(node.func)
+            if name is None:
+                continue
+            if module.module and name.split(".")[0] in module.functions:
+                name = f"{module.module}.{name}"
+            target = model.resolve(name)
+            if target is None:
+                continue
+            entry = self._entry_param(target, opts)
+            if entry is None:
+                continue
+            param, index = entry
+            arg: ast.expr | None = None
+            for kw in node.keywords:
+                if kw.arg == param:
+                    arg = kw.value
+            if arg is None and index < len(node.args):
+                arg = node.args[index]
+            if arg is None:
+                continue
+            banned = self._trace(
+                arg, fn, module, local_env, module_env, opts
+            )
+            if banned is not None:
+                out.append(
+                    self.project_violation(
+                        model,
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"generator passed to {target.name}() traces to "
+                        f"{banned}(), outside the SeedSequence fan-out; "
+                        "derive it via repro.montecarlo.rng "
+                        "(make_rng/spawn_rngs/block_rng) so results stay a "
+                        "pure function of the campaign seed",
+                    )
+                )
+        return out

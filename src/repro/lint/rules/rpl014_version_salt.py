@@ -1,0 +1,147 @@
+"""RPL014 — cache-key completeness across engine version constants.
+
+RPL002 checks that a key builder mentions ``ENGINE_VERSION``; it cannot
+know that the results being cached *also* depend on the batched
+datapath, whose semantics are versioned by
+``repro.coding.batch.DATAPATH_VERSION``.  This rule closes that gap
+with the project model: for every ``hashlib``-hashing key builder, it
+finds the modules that actually *call* it (those are the engines whose
+outputs the key addresses), collects every public ``*_VERSION``
+constant defined in or imported by those caller modules, and requires
+the builder to fold each one into the key.
+
+Concretely: ``bler_counts_key`` is called from ``bler_mc``, which
+imports both the executor (``ENGINE_VERSION``) and the batch datapath
+(``DATAPATH_VERSION``) — so the key must reference both, and a future
+codec module with its own ``CODEC_VERSION`` is covered the day
+``bler_mc`` starts importing it, with no rule change.
+
+A builder nobody in the project calls falls back to the RPL002
+contract (its own module's version surface), so dead-looking helpers
+still get checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+
+from repro.lint.config import path_matches
+from repro.lint.model import FunctionInfo, ModuleInfo, ProjectModel
+from repro.lint.rules.base import ProjectRule, Severity, Violation, qualified_name
+
+__all__ = ["CacheKeyCompletenessRule"]
+
+
+class CacheKeyCompletenessRule(ProjectRule):
+    code = "RPL014"
+    name = "cache-key-missing-version-constant"
+    severity = Severity.ERROR
+    rationale = (
+        "a cache key that omits a version constant of an engine feeding "
+        "it silently serves results computed by stale code after that "
+        "engine changes"
+    )
+    default_options = {
+        # Builder name patterns (same family as RPL002).
+        "name_patterns": ["*_key", "key", "*cache_key*"],
+        # Caller modules considered engine code.
+        "paths": ["src/*"],
+    }
+
+    def check_project(self, model: ProjectModel) -> list[Violation]:
+        opts = self.project_options(model.config)
+        builders = self._find_builders(model, opts)
+        if not builders:
+            return []
+        callers = self._callers_of(model, builders, opts)
+        out: list[Violation] = []
+        for qualname, (fn, module) in sorted(builders.items()):
+            required: dict[str, str] = {}  # constant -> inducing module
+            caller_modules = callers.get(qualname) or {module.module}
+            for caller in sorted(caller_modules):
+                for const, origin in self._version_surface(model, caller).items():
+                    required.setdefault(const, origin)
+            referenced = self._referenced_names(fn)
+            missing = sorted(set(required) - referenced)
+            if missing:
+                detail = ", ".join(
+                    f"{name} ({required[name]})" for name in missing
+                )
+                out.append(
+                    self.project_violation(
+                        model,
+                        module,
+                        fn.lineno,
+                        fn.col,
+                        f"cache-key builder {fn.name}() omits version "
+                        f"constant(s) {detail} in scope of its callers; "
+                        "stale entries will survive changes to those "
+                        "engines — fold every version into the key payload",
+                    )
+                )
+        return out
+
+    # -- discovery -----------------------------------------------------
+    def _find_builders(
+        self, model: ProjectModel, opts
+    ) -> dict[str, tuple[FunctionInfo, ModuleInfo]]:
+        patterns = list(opts["name_patterns"])
+        out: dict[str, tuple[FunctionInfo, ModuleInfo]] = {}
+        for module in model.modules.values():
+            if module.tree is None:
+                continue
+            for fn in module.functions.values():
+                if not any(fnmatch.fnmatch(fn.name, p) for p in patterns):
+                    continue
+                if any(c.name.startswith("hashlib.") for c in fn.calls):
+                    out[fn.qualname] = (fn, module)
+        return out
+
+    def _callers_of(
+        self, model: ProjectModel, builders: dict, opts
+    ) -> dict[str, set[str]]:
+        """builder qualname -> modules (dotted) with a resolved call to it."""
+        paths = list(opts["paths"])
+        callers: dict[str, set[str]] = {}
+        for module in model.modules.values():
+            if module.tree is None:
+                continue
+            if not path_matches(module.rel_posix, paths):
+                continue
+            for fn in module.functions.values():
+                if fn.qualname in builders:
+                    continue  # a builder calling hashlib is not a caller
+                for call in fn.calls:
+                    target = model.resolve(call.name)
+                    if target is not None and target.qualname in builders:
+                        callers.setdefault(target.qualname, set()).add(
+                            module.module
+                        )
+        return callers
+
+    def _version_surface(
+        self, model: ProjectModel, dotted: str
+    ) -> dict[str, str]:
+        """``*_VERSION`` constants visible from one caller module."""
+        module = model.by_module.get(dotted)
+        if module is None:
+            return {}
+        surface = {c: dotted for c in module.version_constants}
+        for target in sorted(model.import_graph().get(dotted, ())):
+            imported = model.by_module.get(target)
+            if imported is None:
+                continue
+            for const in imported.version_constants:
+                surface.setdefault(const, target)
+        return surface
+
+    @staticmethod
+    def _referenced_names(fn: FunctionInfo) -> set[str]:
+        """Final name components referenced anywhere in the builder body."""
+        out: set[str] = set()
+        for node in ast.walk(fn.node):
+            dotted = qualified_name(node)
+            if dotted is not None:
+                out.add(dotted.split(".")[-1])
+        return out

@@ -1,0 +1,82 @@
+"""RPL015 — architecture layering contracts.
+
+The repo's layering is a load-bearing invariant, not a style choice:
+``montecarlo`` must stay importable without the service stack (it runs
+inside ``ProcessPoolExecutor`` workers), and the service must not grow
+a dependency on campaign persistence that would couple request latency
+to disk layout.  Those contracts live as a declarative table in
+``pyproject.toml``::
+
+    [tool.repro-lint.layers]
+    "repro.montecarlo" = { deny = ["repro.service", "repro.campaign"] }
+    "repro.service"    = { deny = ["repro.campaign.events"] }
+
+Every resolved import edge in the project model is checked against the
+table: if the importing module falls under a layer key (dotted-segment
+prefix match) and the import target falls under one of that layer's
+``deny`` prefixes, the import line is flagged.  Deleting an edge from
+the table silently legalizes the dependency — which is why the test
+suite pins the table's exact contents.
+"""
+
+from __future__ import annotations
+
+from repro.lint.model import ProjectModel
+from repro.lint.rules.base import ProjectRule, Severity, Violation
+
+__all__ = ["LayeringContractRule", "dotted_prefix"]
+
+
+def dotted_prefix(module: str, prefix: str) -> bool:
+    """True if ``module`` equals ``prefix`` or sits under it."""
+    return module == prefix or module.startswith(prefix + ".")
+
+
+class LayeringContractRule(ProjectRule):
+    code = "RPL015"
+    name = "layering-contract-violation"
+    severity = Severity.ERROR
+    rationale = (
+        "cross-layer imports couple the compute kernels to the service "
+        "stack (breaking worker-process isolation) or the service to "
+        "campaign persistence; the allowed graph is declared in "
+        "[tool.repro-lint.layers]"
+    )
+    default_options: dict = {}
+
+    def check_project(self, model: ProjectModel) -> list[Violation]:
+        layers = model.config.layers
+        if not layers:
+            return []
+        out: list[Violation] = []
+        for module in model.modules.values():
+            if module.tree is None or not module.module:
+                continue
+            denied: list[tuple[str, str]] = []  # (layer key, deny prefix)
+            for layer, contract in layers.items():
+                if not dotted_prefix(module.module, layer):
+                    continue
+                for deny in contract.get("deny", ()):
+                    denied.append((layer, deny))
+            if not denied:
+                continue
+            for edge in module.imports:
+                if edge.target is None:
+                    continue
+                for layer, deny in denied:
+                    if dotted_prefix(edge.target, deny):
+                        out.append(
+                            self.project_violation(
+                                model,
+                                module,
+                                edge.lineno,
+                                edge.col,
+                                f"layer '{layer}' must not import "
+                                f"'{deny}' (imports {edge.target}); "
+                                "declared in [tool.repro-lint.layers] — "
+                                "invert the dependency or move the shared "
+                                "code below both layers",
+                            )
+                        )
+                        break
+        return out

@@ -1,0 +1,21 @@
+"""Good: blocking work routed through the executor seam (or sync code)."""
+
+import asyncio
+
+from repro.montecarlo import cer
+
+
+def run_kernel(state, n):
+    return cer.state_cer(state, n)
+
+
+async def handle_request(loop, pool, state, n):
+    return await loop.run_in_executor(pool, run_kernel, state, n)
+
+
+async def handle_via_thread(state, n):
+    return await asyncio.to_thread(run_kernel, state, n)
+
+
+async def pause():
+    await asyncio.sleep(0.05)

@@ -1,0 +1,8 @@
+"""Waived: deliberate one-shot blocking call before the loop serves."""
+
+import time
+
+
+async def warmup():
+    # repro-lint: disable=RPL010 -- one-shot warmup before serving starts
+    time.sleep(0.01)

@@ -1,0 +1,24 @@
+"""Good: compute under the lock, await outside it (or use asyncio.Lock)."""
+
+import asyncio
+import threading
+
+_lock = threading.Lock()
+
+
+async def update(registry, key, value):
+    with _lock:
+        registry[key] = value
+    await asyncio.sleep(0)
+
+
+async def guarded(aio_lock):
+    async with aio_lock:
+        await asyncio.sleep(0)
+
+
+def make_reporter(lock):
+    with lock:
+        async def report():
+            await asyncio.sleep(0)
+        return report

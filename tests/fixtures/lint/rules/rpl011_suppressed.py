@@ -1,0 +1,13 @@
+"""Waived: await under a lock that no other task can contend for."""
+
+import asyncio
+import threading
+
+_lock = threading.Lock()
+
+
+async def update(registry, key, value):
+    with _lock:
+        registry[key] = value
+        # repro-lint: disable=RPL011 -- single-task test double, lock never contended
+        await asyncio.sleep(0)

@@ -1,0 +1,11 @@
+"""Bad: task handles dropped on the floor."""
+
+import asyncio
+
+
+async def kick(worker):
+    asyncio.create_task(worker())
+
+
+async def kick_loop(loop, worker):
+    loop.create_task(worker())

@@ -1,0 +1,25 @@
+"""Good: task handles retained and their results observed."""
+
+import asyncio
+
+
+class Flusher:
+    def __init__(self):
+        self._task = None
+
+    async def start(self, worker):
+        self._task = asyncio.create_task(worker())
+        self._task.add_done_callback(_log_result)
+
+
+async def run_now(worker):
+    await asyncio.create_task(worker())
+
+
+async def gather_all(workers):
+    return await asyncio.gather(*[asyncio.create_task(w()) for w in workers])
+
+
+def _log_result(task):
+    if not task.cancelled():
+        task.exception()

@@ -1,0 +1,8 @@
+"""Waived: intentionally detached best-effort notifier."""
+
+import asyncio
+
+
+async def notify(callback):
+    # repro-lint: disable=RPL012 -- best-effort notifier; loss is acceptable by design
+    asyncio.create_task(callback())

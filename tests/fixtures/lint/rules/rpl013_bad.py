@@ -1,0 +1,16 @@
+"""Bad: ad-hoc generators reaching an rng-parameterized entry point."""
+
+import numpy as np
+
+
+def sample_states(spec, rng):
+    return [spec, rng]
+
+
+def run_direct(spec):
+    return sample_states(spec, np.random.default_rng(1234))
+
+
+def run_via_local(spec):
+    rng = np.random.default_rng(42)
+    return sample_states(spec, rng)

@@ -1,0 +1,21 @@
+"""Good: every generator descends from the sanctioned fan-out."""
+
+from repro.montecarlo.rng import make_rng, spawn_rngs
+
+
+def sample_states(spec, rng):
+    return [spec, rng]
+
+
+def run(spec, seed):
+    rng = make_rng(seed)
+    return sample_states(spec, rng)
+
+
+def run_child(spec, seed):
+    rngs = spawn_rngs(seed, 4)
+    return sample_states(spec, rngs[0])
+
+
+def run_spawned(spec, rng):
+    return sample_states(spec, rng.spawn(1))

@@ -1,0 +1,17 @@
+"""Bad: cache key omits a version constant its caller depends on."""
+
+import hashlib
+import json
+
+ENGINE_VERSION = 3
+DATAPATH_VERSION = 2
+
+
+def counts_key(spec, seed):
+    payload = {"spec": spec, "seed": seed, "engine": ENGINE_VERSION}
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+def run_cached(cache, spec, seed):
+    key = counts_key(spec, seed)
+    return cache.get(key)

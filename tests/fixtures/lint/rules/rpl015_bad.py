@@ -1,0 +1,6 @@
+"""Bad: imports crossing a declared layer boundary."""
+
+import forbidden.persistence
+from forbidden import events
+
+__all__ = ["events", "forbidden"]

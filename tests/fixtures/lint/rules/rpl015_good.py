@@ -1,0 +1,6 @@
+"""Good: only imports inside the layer's allowed surface."""
+
+import json
+from allowed import helpers
+
+__all__ = ["helpers", "json"]

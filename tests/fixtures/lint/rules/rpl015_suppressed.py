@@ -1,0 +1,6 @@
+"""Waived: a legacy cross-layer shim scheduled for removal."""
+
+# repro-lint: disable=RPL015 -- legacy shim, tracked for removal
+import forbidden.persistence
+
+__all__ = ["forbidden"]

@@ -44,6 +44,7 @@ class TestJsonSchema:
         assert doc["tool"] == "repro.lint"
         assert isinstance(doc["files_checked"], int)
         assert isinstance(doc["suppressed"], int)
+        assert doc["baselined"] == 0
         assert doc["exit_code"] == 1
         summary = doc["summary"]
         assert summary["total"] == len(doc["violations"]) == 8

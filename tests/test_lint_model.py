@@ -1,0 +1,172 @@
+"""Pass-1 project model tests on a synthetic package tree.
+
+The tree exercises the resolution corners the whole-program rules rely
+on: relative imports (``from . import x`` and ``from .mod import name``),
+import aliasing, a two-module import cycle, package re-exports, and a
+loose top-level file outside any package.
+"""
+
+import pathlib
+import textwrap
+
+from repro.lint import LintConfig, build_model
+from repro.lint.engine import discover_files
+from repro.lint.model import build_module_info, module_name_for
+from repro.lint.rules.imports import ImportMap, resolve_relative
+
+
+def make_tree(tmp_path: pathlib.Path) -> list[pathlib.Path]:
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("from pkg.alpha import run\n")
+    (pkg / "alpha.py").write_text(
+        textwrap.dedent(
+            """\
+            from . import beta
+            from .beta import helper as h
+
+            ENGINE_VERSION = 1
+            _PRIVATE_VERSION = 0
+
+
+            def run(spec, rng):
+                return h(spec) + beta.helper(spec)
+
+
+            async def poll(spec):
+                await wait(spec)
+                return run(spec, None)
+
+
+            async def wait(spec):
+                return spec
+            """
+        )
+    )
+    (pkg / "beta.py").write_text(
+        textwrap.dedent(
+            """\
+            import pkg.alpha
+
+
+            def helper(spec):
+                return spec
+            """
+        )
+    )
+    (tmp_path / "loose.py").write_text("def standalone():\n    return 1\n")
+    return sorted(tmp_path.rglob("*.py"))
+
+
+def model_for(tmp_path):
+    files = make_tree(tmp_path)
+    return build_model(files, LintConfig(root=str(tmp_path)))
+
+
+class TestModuleNaming:
+    def test_package_module(self, tmp_path):
+        make_tree(tmp_path)
+        assert module_name_for(tmp_path / "pkg" / "alpha.py") == "pkg.alpha"
+
+    def test_package_init(self, tmp_path):
+        make_tree(tmp_path)
+        assert module_name_for(tmp_path / "pkg" / "__init__.py") == "pkg"
+
+    def test_loose_file_is_its_stem(self, tmp_path):
+        make_tree(tmp_path)
+        assert module_name_for(tmp_path / "loose.py") == "loose"
+
+
+class TestRelativeResolution:
+    def test_absolute_passthrough(self):
+        assert resolve_relative("a.b", 0, "numpy") == "numpy"
+
+    def test_single_level(self):
+        assert resolve_relative("pkg.alpha", 1, "beta") == "pkg.beta"
+        assert resolve_relative("pkg.alpha", 1, None) == "pkg"
+
+    def test_two_levels(self):
+        assert resolve_relative("pkg.sub.mod", 2, "other") == "pkg.other"
+
+    def test_too_deep_is_none(self):
+        assert resolve_relative("pkg", 3, "x") is None
+        assert resolve_relative(None, 1, "x") is None
+
+
+class TestAliasing:
+    def test_from_import_as_resolves(self, tmp_path):
+        model = model_for(tmp_path)
+        run = model.functions["pkg.alpha.run"]
+        targets = {c.name for c in run.calls}
+        # Both h(...) (aliased) and beta.helper(...) (via `from . import`)
+        # canonicalize to the same absolute target.
+        assert targets == {"pkg.beta.helper"}
+
+    def test_import_map_relative(self, tmp_path):
+        make_tree(tmp_path)
+        info = build_module_info(
+            tmp_path / "pkg" / "alpha.py", LintConfig(root=str(tmp_path))
+        )
+        assert isinstance(info.import_map, ImportMap)
+        assert info.import_map.alias_of("h") == "pkg.beta.helper"
+        assert info.import_map.alias_of("beta") == "pkg.beta"
+
+
+class TestGraph:
+    def test_import_graph_edges(self, tmp_path):
+        graph = model_for(tmp_path).import_graph()
+        # ``from . import beta`` imports the parent package too — real
+        # Python semantics: pkg/__init__ executes before beta binds.
+        assert graph["pkg.alpha"] == {"pkg", "pkg.beta"}
+        assert graph["pkg.beta"] == {"pkg.alpha"}
+        assert graph["pkg"] == {"pkg.alpha"}
+        assert graph["loose"] == set()
+
+    def test_cycle_detection(self, tmp_path):
+        # init -> alpha -> init (via ``from .``) and alpha <-> beta fuse
+        # into one strongly-connected component.
+        assert model_for(tmp_path).import_cycles() == [
+            ["pkg", "pkg.alpha", "pkg.beta"]
+        ]
+
+    def test_reexport_resolution(self, tmp_path):
+        model = model_for(tmp_path)
+        # pkg/__init__.py re-exports run; callers of pkg.run reach it.
+        target = model.resolve("pkg.run")
+        assert target is not None and target.qualname == "pkg.alpha.run"
+
+    def test_unknown_name_is_none(self, tmp_path):
+        model = model_for(tmp_path)
+        assert model.resolve("pkg.beta.missing") is None
+        assert model.resolve("os.path.join") is None
+
+
+class TestFunctionSummaries:
+    def test_coroutine_flag_and_awaited_calls(self, tmp_path):
+        model = model_for(tmp_path)
+        poll = model.functions["pkg.alpha.poll"]
+        assert poll.is_coroutine
+        awaited = {c.name for c in poll.calls if c.awaited}
+        assert awaited == {"pkg.alpha.wait"}
+        assert not model.functions["pkg.alpha.run"].is_coroutine
+
+    def test_version_constants_public_only(self, tmp_path):
+        model = model_for(tmp_path)
+        alpha = model.by_module["pkg.alpha"]
+        assert alpha.version_constants == {"ENGINE_VERSION"}
+
+
+class TestRobustness:
+    def test_parse_error_recorded_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        info = build_module_info(bad, LintConfig(root=str(tmp_path)))
+        assert info.tree is None and info.parse_error is not None
+
+    def test_pycache_never_discovered(self, tmp_path):
+        make_tree(tmp_path)
+        cache = tmp_path / "pkg" / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text("x = 1\n")
+        files = discover_files([tmp_path], LintConfig(root=str(tmp_path)))
+        assert all("__pycache__" not in f.parts for f in files)

@@ -4,13 +4,17 @@ Each rule RPLnnn has three fixtures under ``tests/fixtures/lint/rules``:
 ``rplnnn_bad.py`` (must flag), ``rplnnn_good.py`` (near-misses, must not
 flag), ``rplnnn_suppressed.py`` (same hazard with a justified inline
 waiver — zero violations, nonzero suppressed count).
+
+Whole-program rules (RPL010-015) follow the same layout; their fixtures
+are self-contained single-file projects run through
+:func:`repro.lint.run_whole_program` with that one rule enabled.
 """
 
 import pathlib
 
 import pytest
 
-from repro.lint import LintConfig, lint_file
+from repro.lint import LintConfig, all_project_rules, lint_file, run_whole_program
 
 FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "lint" / "rules"
 
@@ -26,6 +30,16 @@ EXPECTED_BAD = {
     "RPL008": 2,
 }
 
+#: project rule code -> violations its bad fixture must produce.
+EXPECTED_PROJECT_BAD = {
+    "RPL010": 3,
+    "RPL011": 2,
+    "RPL012": 2,
+    "RPL013": 2,
+    "RPL014": 1,
+    "RPL015": 2,
+}
+
 
 def fixture_config() -> LintConfig:
     """Widen the path-scoped rules so fixture files are always in scope."""
@@ -37,6 +51,80 @@ def fixture_config() -> LintConfig:
             "RPL004": {"files": ["*"]},
         },
     )
+
+
+def project_fixture_config() -> LintConfig:
+    """Widen path scopes so single-file fixture projects are in scope."""
+    return LintConfig(
+        root=str(FIXTURES),
+        rule_options={
+            "RPL010": {"paths": ["*"]},
+            "RPL011": {"paths": ["*"]},
+            "RPL012": {"paths": ["*"]},
+            "RPL013": {"paths": ["*"], "entry_paths": ["*"]},
+            "RPL014": {"paths": ["*"]},
+        },
+        layers={
+            "rpl015_bad": {"deny": ["forbidden"]},
+            "rpl015_good": {"deny": ["forbidden"]},
+            "rpl015_suppressed": {"deny": ["forbidden"]},
+        },
+    )
+
+
+def lint_project_fixture(path: pathlib.Path, code: str):
+    """(violations, suppressed) for one project rule on one fixture."""
+    rules = [r for r in all_project_rules() if r.code == code]
+    assert rules, f"unknown project rule {code}"
+    result = run_whole_program(
+        [path], project_fixture_config(), file_rules=[], project_rules=rules
+    )
+    return result.violations, result.suppressed
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_PROJECT_BAD))
+class TestProjectRuleFixtures:
+    def test_bad_fixture_flags(self, code):
+        path = FIXTURES / f"{code.lower()}_bad.py"
+        violations, _ = lint_project_fixture(path, code)
+        assert [v.code for v in violations] == [code] * EXPECTED_PROJECT_BAD[code]
+
+    def test_good_fixture_clean(self, code):
+        path = FIXTURES / f"{code.lower()}_good.py"
+        violations, suppressed = lint_project_fixture(path, code)
+        assert violations == [] and suppressed == 0
+
+    def test_suppressed_fixture(self, code):
+        path = FIXTURES / f"{code.lower()}_suppressed.py"
+        violations, suppressed = lint_project_fixture(path, code)
+        assert violations == []
+        assert suppressed >= 1
+
+
+class TestProjectRuleDetails:
+    def test_rpl010_names_the_transitive_chain(self):
+        violations, _ = lint_project_fixture(FIXTURES / "rpl010_bad.py", "RPL010")
+        chained = [v for v in violations if "via" in v.message]
+        assert chained, "transitive finding must name its call chain"
+        assert "_helper -> _run_kernel" in chained[0].message
+
+    def test_rpl013_message_points_at_fanout(self):
+        violations, _ = lint_project_fixture(FIXTURES / "rpl013_bad.py", "RPL013")
+        assert all("repro.montecarlo.rng" in v.message for v in violations)
+
+    def test_rpl014_names_missing_constant(self):
+        violations, _ = lint_project_fixture(FIXTURES / "rpl014_bad.py", "RPL014")
+        assert "DATAPATH_VERSION" in violations[0].message
+
+    def test_rpl015_clean_without_layer_table(self):
+        config = project_fixture_config()
+        config.layers = {}
+        rules = [r for r in all_project_rules() if r.code == "RPL015"]
+        result = run_whole_program(
+            [FIXTURES / "rpl015_bad.py"], config,
+            file_rules=[], project_rules=rules,
+        )
+        assert result.violations == []
 
 
 @pytest.mark.parametrize("code", sorted(EXPECTED_BAD))
