@@ -1,0 +1,76 @@
+"""Fleet population engine throughput (engineering benchmark).
+
+Runs the acceptance-scale fleet — 1e5 heterogeneous devices over
+multiple epochs by default — through :func:`repro.fleet.mc.fleet_mc`
+and records devices/sec plus an epoch-scaling probe (a 10x-smaller
+fleet at the same epoch count; per-device-epoch cost should be flat) in
+``results/BENCH_fleet.json``.
+
+Env knobs, so CI smoke and local runs can right-size it:
+
+- ``REPRO_FLEET_DEVICES``   fleet size (default 100_000)
+- ``REPRO_FLEET_EPOCHS``    epochs (default 3)
+- ``REPRO_FLEET_JOBS``      worker processes; 0 = one per core (default)
+- ``REPRO_FLEET_DPS_FLOOR`` optional devices/sec floor to assert
+"""
+
+import os
+import time
+
+from _report import emit_json
+from repro.fleet import FleetConfig, fleet_mc
+
+DEVICES = int(os.environ.get("REPRO_FLEET_DEVICES", "100000"))
+EPOCHS = int(os.environ.get("REPRO_FLEET_EPOCHS", "3"))
+JOBS = int(os.environ.get("REPRO_FLEET_JOBS", "0")) or (os.cpu_count() or 1)
+DPS_FLOOR = float(os.environ.get("REPRO_FLEET_DPS_FLOOR", "0"))
+
+
+def _run(n_devices: int) -> tuple[float, int]:
+    config = FleetConfig(n_devices=n_devices, n_epochs=EPOCHS)
+    t0 = time.perf_counter()
+    summary = fleet_mc(config, seed=0, jobs=JOBS)
+    dt = time.perf_counter() - t0
+    # Default preset = paper-faithful endurance: traffic flowed, nobody died.
+    assert summary.total("writes") > 0
+    assert summary.n_dead == 0
+    return dt, summary.total("writes")
+
+
+def test_fleet_population_throughput():
+    t_probe, _ = _run(max(DEVICES // 10, 1))
+    t_full, n_writes = _run(DEVICES)
+
+    devices_per_s = DEVICES / t_full
+    de_per_s = DEVICES * EPOCHS / t_full
+    # Linear scaling: the big fleet's per-device cost over the probe's
+    # (1.0 = perfectly flat; cache/pool warmup makes the probe slower).
+    probe_cost = t_probe / max(DEVICES // 10, 1)
+    full_cost = t_full / DEVICES
+    scaling = full_cost / probe_cost if probe_cost > 0 else float("inf")
+
+    emit_json(
+        "BENCH_fleet",
+        {
+            "benchmark": f"fleet_mc {DEVICES} devices x {EPOCHS} epochs",
+            "n_devices": DEVICES,
+            "n_epochs": EPOCHS,
+            "jobs": JOBS,
+            "cpu_count": os.cpu_count() or 1,
+            "total_s": round(t_full, 2),
+            "devices_per_s": round(devices_per_s, 1),
+            "device_epochs_per_s": round(de_per_s, 1),
+            "probe_devices": max(DEVICES // 10, 1),
+            "probe_s": round(t_probe, 2),
+            "epoch_scaling_ratio": round(scaling, 3),
+            "demand_writes": n_writes,
+        },
+    )
+
+    # Per-device cost must not blow up with fleet size (quadratic engine
+    # bugs — e.g. re-deriving all params per epoch — land here).
+    assert scaling < 2.0, f"per-device cost grew {scaling:.2f}x at scale"
+    if DPS_FLOOR:
+        assert devices_per_s >= DPS_FLOOR, (
+            f"{devices_per_s:.0f} devices/s under floor {DPS_FLOOR:.0f}"
+        )

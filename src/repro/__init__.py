@@ -212,3 +212,13 @@ __all__ += [
     "campaign_from_dict",
     "campaign_from_toml",
 ]
+
+from repro.fleet import FleetConfig, FleetEngine, FleetSummary, fleet_mc, stress_config
+
+__all__ += [
+    "FleetConfig",
+    "FleetEngine",
+    "FleetSummary",
+    "fleet_mc",
+    "stress_config",
+]

@@ -1,0 +1,86 @@
+"""Fleet-level reducers: lifetime percentiles and spare-exhaustion hazard.
+
+Pure functions over the per-epoch ``deaths`` counter of a fleet run
+(:mod:`repro.fleet.mc`): everything here is derivable from the count
+matrix alone, so the reducers also run over cached summaries without
+touching any device state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["hazard_curve", "lifetime_percentiles", "survival_curve"]
+
+
+def _deaths(deaths_per_epoch: Sequence[int], n_devices: int) -> np.ndarray:
+    d = np.asarray(deaths_per_epoch, dtype=np.int64)
+    if d.ndim != 1:
+        raise ValueError(f"expected a 1-D deaths vector, got shape {d.shape}")
+    if np.any(d < 0):
+        raise ValueError("deaths must be non-negative")
+    if int(d.sum()) > int(n_devices):
+        raise ValueError(
+            f"{int(d.sum())} total deaths exceed the fleet of {n_devices}"
+        )
+    return d
+
+
+def lifetime_percentiles(
+    deaths_per_epoch: Sequence[int],
+    n_devices: int,
+    percentiles: Sequence[float] = (50.0, 90.0, 99.0),
+) -> dict[str, int | None]:
+    """Epoch index by which each percentile of the fleet has died.
+
+    ``pQ`` is the smallest epoch ``e`` (0-based) such that at least
+    ``Q%`` of the ``n_devices`` devices have exhausted their spares by
+    the end of epoch ``e`` — the fleet's Q-th lifetime percentile in
+    epochs.  ``None`` means the run ended before that fraction died
+    (right-censored), which is the *normal* outcome for a healthy fleet.
+    """
+    n_devices = int(n_devices)
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    d = _deaths(deaths_per_epoch, n_devices)
+    cum = np.cumsum(d)
+    out: dict[str, int | None] = {}
+    for q in percentiles:
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        need = q / 100.0 * n_devices
+        hit = np.nonzero(cum >= need)[0]
+        label = f"p{q:g}"
+        out[label] = int(hit[0]) if hit.size else None
+    return out
+
+
+def hazard_curve(
+    deaths_per_epoch: Sequence[int], n_devices: int
+) -> list[float]:
+    """Discrete spare-exhaustion hazard: ``h[e] = deaths[e] / alive[e]``.
+
+    ``alive[e]`` is the population entering epoch ``e``.  Once everyone
+    is dead the hazard is reported as 0 (no population at risk).
+    """
+    n_devices = int(n_devices)
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    d = _deaths(deaths_per_epoch, n_devices)
+    alive = n_devices - np.concatenate([[0], np.cumsum(d)[:-1]])
+    return [
+        float(d[e] / alive[e]) if alive[e] > 0 else 0.0 for e in range(d.size)
+    ]
+
+
+def survival_curve(
+    deaths_per_epoch: Sequence[int], n_devices: int
+) -> list[float]:
+    """Fraction of the fleet still alive *after* each epoch."""
+    n_devices = int(n_devices)
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    d = _deaths(deaths_per_epoch, n_devices)
+    return [float(x) for x in (n_devices - np.cumsum(d)) / n_devices]

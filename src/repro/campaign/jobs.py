@@ -365,6 +365,34 @@ def _run_bler_mc(job, ctx: JobContext) -> dict:
     )
 
 
+def _run_fleet(job, ctx: JobContext) -> dict:
+    from repro.fleet.config import config_from_params
+    from repro.fleet.mc import fleet_mc
+
+    # --samples scales the built-in campaign: the device count falls back
+    # n_devices -> the campaign-wide n_samples default.
+    n_devices = int(
+        job.params.get(
+            "n_devices",
+            ctx.defaults.get("n_devices", ctx.defaults.get("n_samples", 10_000)),
+        )
+    )
+    n_epochs = int(job.params.get("n_epochs", ctx.defaults.get("n_epochs", 4)))
+    config = config_from_params(job.params, n_devices, n_epochs)
+    summary = fleet_mc(
+        config,
+        seed=ctx.seed + int(job.params.get("seed_offset", 0)),
+        jobs=ctx.mc_jobs,
+        cache=ctx.cache,
+    )
+    return _jsonable(
+        {
+            **summary.to_dict(),
+            "n_samples": n_devices * n_epochs,  # device-epochs simulated
+        }
+    )
+
+
 def _run_capacity(job, ctx: JobContext) -> dict:
     from repro.analysis.capacity import TABLE3_CAPACITIES
 
@@ -392,5 +420,6 @@ register_job_kind("design_cer", _run_design_cer)
 register_job_kind("mapping_opt", _run_mapping_opt)
 register_job_kind("retention", _run_retention)
 register_job_kind("bler_mc", _run_bler_mc)
+register_job_kind("fleet", _run_fleet)
 register_job_kind("capacity", _run_capacity)
 register_job_kind("fail", _run_fail)

@@ -31,7 +31,8 @@ TOML form::
 The built-in campaigns (:data:`BUILTIN_CAMPAIGNS`) cover the paper's
 Figure 3 and Figure 8 sweeps, the mapping-optimization -> design-CER ->
 retention chain, the empirical end-to-end ``bler`` cross-validation of
-the Figure 5 curves, and a seconds-scale ``smoke`` spec for CI.
+the Figure 5 curves, a wear-accelerated ``fleet`` population run
+(docs/FLEET.md), and a seconds-scale ``smoke`` spec for CI.
 """
 
 from __future__ import annotations
@@ -317,6 +318,20 @@ BUILTIN_CAMPAIGNS: dict[str, dict[str, Any]] = {
                 "id": "bler-empirical",
                 "kind": "bler_mc",
                 "params": {"cers": [1e-3, 3e-3, 1e-2]},
+            }
+        ],
+    },
+    "fleet": {
+        "name": "fleet",
+        # n_samples doubles as the device count, so --samples scales the
+        # population like every other built-in.  The stress preset
+        # compresses wear so spare-exhaustion shows within a few epochs.
+        "defaults": {"n_samples": 10_000},
+        "job": [
+            {
+                "id": "fleet-population",
+                "kind": "fleet",
+                "params": {"n_epochs": 3, "preset": "stress"},
             }
         ],
     },

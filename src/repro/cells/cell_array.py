@@ -17,6 +17,8 @@ Times are absolute seconds; each cell remembers when it was programmed.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.cells.drift import PAPER_ESCALATION, TieredDrift
@@ -72,6 +74,32 @@ class CellArray:
 
     def stuck_mask(self) -> np.ndarray:
         return self._fault != FaultMode.HEALTHY.value
+
+    def total_writes(self) -> int:
+        """Total cell programs charged so far (wear, across all cells)."""
+        return int(self._writes.sum())
+
+    def state_digest(self) -> str:
+        """SHA-256 over the full per-cell state, for differential checks.
+
+        Two arrays that executed bit-identical program/force sequences
+        (regardless of how callers batched the surrounding codec work)
+        must produce equal digests.
+        """
+        h = hashlib.sha256()
+        for arr in (
+            self._lr0,
+            self._alpha,
+            self._alpha_esc,
+            self._t_prog,
+            self._target,
+            self._writes,
+            self._endurance,
+            self._fault,
+            self._pending_mode,
+        ):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     def program(

@@ -159,6 +159,17 @@ FAULT_POINTS: dict[str, FaultPointInfo] = {
             recoverable_actions=("raise_transient",),
         ),
         FaultPointInfo(
+            name="fleet.epoch",
+            description=(
+                "before a fleet shard task advances one epoch; faults here "
+                "abort the shard mid-population, so resume must replay it "
+                "from scratch (per-shard cache entries are all-or-nothing)"
+            ),
+            ctx_keys=("epoch", "first_device"),
+            recoverable_actions=("raise_transient",),
+            actions=("crash",),
+        ),
+        FaultPointInfo(
             name="datapath.batch_decode",
             description=(
                 "at the entry of a batched Figure-9 block decode; a "

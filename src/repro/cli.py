@@ -247,6 +247,51 @@ def _cmd_bler(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import config_from_params, fleet_mc
+
+    config = config_from_params({"preset": args.preset}, args.devices, args.epochs)
+    summary = fleet_mc(
+        config, seed=args.seed, jobs=args.jobs, cache=_cache_from_args(args)
+    )
+    d = summary.to_dict()
+    t = d["totals"]
+    life = d["lifetime_epochs"]
+    print(
+        f"fleet: {d['n_devices']:,} devices x {d['n_epochs']} epochs "
+        f"({args.preset} preset, seed {args.seed})"
+    )
+    print(
+        f"  demand writes {t['writes']:,}  refreshes {t['refreshes']:,}  "
+        f"maintenance reads {t['reads']:,}"
+    )
+    print(
+        f"  wearout marks {t['wearout_marks']:,}  retries {t['write_retries']:,}  "
+        f"deaths {d['n_dead']:,} ({d['n_dead'] / d['n_devices']:.1%})"
+    )
+    print(
+        f"  uncorrectable {t['uncorrectable']:,}  silent {t['silent']:,} "
+        f"(rate {d['silent_error_rate']:.2E}/read)"
+    )
+    life_s = "  ".join(
+        f"{k}={'>' + str(d['n_epochs'] - 1) if v is None else v}"
+        for k, v in life.items()
+    )
+    print(f"  lifetime epochs: {life_s}")
+    print("  hazard/epoch:    " + "  ".join(f"{h:.3f}" for h in d["hazard"]))
+    print(
+        f"  energy: writes {d['write_energy_nj'] / 1e3:.1f} uJ, "
+        f"maintenance {d['refresh_energy_nj'] / 1e3:.1f} uJ"
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(d, f, indent=2, sort_keys=True)
+        print(f"summary written to {args.out}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.montecarlo.results_cache import ResultsCache
 
@@ -590,6 +635,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mc_flags(b)
     b.set_defaults(func=_cmd_bler)
 
+    fl = sub.add_parser(
+        "fleet",
+        help="population simulation: lifetimes, hazard, energy (docs/FLEET.md)",
+        description=(
+            "Simulate a heterogeneous population of PCM devices through "
+            "epochs of demand writes and scrub-refresh maintenance; "
+            "reports lifetime percentiles, the spare-exhaustion hazard "
+            "curve, silent-error rates, and the energy split."
+        ),
+    )
+    fl.add_argument(
+        "--devices", type=int, default=1000, help="population size (default 1000)"
+    )
+    fl.add_argument(
+        "--epochs", type=int, default=4, help="epochs to simulate (default 4)"
+    )
+    fl.add_argument(
+        "--preset", choices=("default", "stress"), default="stress",
+        help="wear model: 'stress' compresses endurance so spare "
+        "exhaustion shows within a few epochs (default)",
+    )
+    fl.add_argument("--seed", type=int, default=0, help="fleet seed (default 0)")
+    fl.add_argument(
+        "--out", default=None, metavar="FILE", help="also write the summary as JSON"
+    )
+    _add_mc_flags(fl)
+    fl.set_defaults(func=_cmd_fleet)
+
     k = sub.add_parser(
         "cache",
         help="inspect, clear, or prune the MC result cache",
@@ -643,7 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
     cr.add_argument(
         "--spec", required=True,
         help="built-in campaign name (bler, fig3, fig8, fig3_fig8, "
-        "retention, smoke) or a TOML spec file",
+        "fleet, retention, smoke) or a TOML spec file",
     )
     cr.add_argument(
         "--run-dir", default=None,

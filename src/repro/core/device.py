@@ -19,6 +19,7 @@ model (what data comes back); timing/energy belong to :mod:`repro.sim`.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Literal
 
 import numpy as np
@@ -60,10 +61,11 @@ class PCMDevice:
         n_blocks: int,
         cell_kind: Literal["3LC", "4LC"] = "3LC",
         design: LevelDesign | None = None,
-        seed: int = 0,
+        seed: int | np.random.Generator = 0,
         wearout: WearoutModel | None = None,
         schedule: TieredDrift = PAPER_ESCALATION,
         data_bits: int = 512,
+        codec: ThreeOnTwoBlockCodec | None = None,
     ) -> None:
         if n_blocks < 1:
             raise ValueError("need at least one block")
@@ -74,12 +76,19 @@ class PCMDevice:
 
         if cell_kind == "3LC":
             self.design = design or three_level_optimal()
-            self.codec3 = ThreeOnTwoBlockCodec(data_bits=data_bits)
+            if codec is not None and codec.data_bits != data_bits:
+                raise ValueError(
+                    f"shared codec is for {codec.data_bits} data bits, "
+                    f"device wants {data_bits}"
+                )
+            self.codec3 = codec or ThreeOnTwoBlockCodec(data_bits=data_bits)
             self.codec4 = None
             cells_per_block = self.codec3.n_mlc_cells
             self._block_state = [self.codec3.new_block_state() for _ in range(n_blocks)]
             self._slc = np.zeros((n_blocks, self.codec3.n_slc_cells), dtype=np.uint8)
         elif cell_kind == "4LC":
+            if codec is not None:
+                raise ValueError("shared 3-ON-2 codec only applies to 3LC devices")
             self.design = design or four_level_optimal()
             self.codec3 = None
             self.codec4 = FourLevelBlockCodec(data_bits=data_bits)
@@ -120,36 +129,13 @@ class PCMDevice:
         bits = np.asarray(data_bits).astype(np.uint8)
         if bits.shape != (self.data_bits,):
             raise ValueError(f"expected {self.data_bits} bits, got {bits.shape}")
-        idx = self._cell_range(block)
-        self.stats.writes += 1
 
         if self.cell_kind == "3LC":
-            state = self._block_state[block]
-            # Write-and-verify loop: each failed pair is marked INV and the
-            # layout reshuffled around it; two spare cells per failure.
-            for _ in range(state.config.n_spare_pairs + 1):
-                states, check = self.codec3.encode(bits, state)
-                ok = self.array.program(idx, states, t_now)
-                self._slc[block] = check
-                bad = np.nonzero(~ok)[0]
-                if bad.size == 0:
-                    self._written[block] = True
-                    return
-                self.stats.write_retries += 1
-                pair = int(bad[0]) // 2
-                already = pair in set(state.marked_pairs.tolist())
-                if not already:
-                    state.mark(pair)  # raises SpareExhausted when out
-                    self.stats.wearout_marks += 1
-                # Force both cells of the marked pair toward S4 (INV).
-                pc = idx[2 * pair : 2 * pair + 2]
-                self.array.force_highest(pc, t_now)
-                if not already and bad.size == 1:
-                    continue
-                # Multiple simultaneous failures: loop handles them one
-                # mark per iteration.
-            raise SpareExhausted(f"block {block}: wearout beyond spare budget")
+            self.write_encoded(block, bits, t_now)
+            return
 
+        idx = self._cell_range(block)
+        self.stats.writes += 1
         # 4LC path: ECP entries absorb failed cells.
         ecp = self._block_state[block]
         states, _tags = self.codec4.encode(bits)
@@ -169,6 +155,108 @@ class PCMDevice:
         for pointer, _ in list(getattr(ecp, "_entries", [])):
             ecp.update(pointer, int(states[pointer]))
         self._written[block] = True
+
+    def write_encoded(
+        self,
+        block: int,
+        data_bits: np.ndarray,
+        t_now: float,
+        states: np.ndarray | None = None,
+        check: np.ndarray | None = None,
+    ) -> None:
+        """The 3LC program path, optionally seeded with a pre-encoded attempt.
+
+        ``states``/``check`` — when given together — must equal
+        ``codec3.encode(data_bits, block_state)`` under the block's
+        *current* marked layout; batch callers (:mod:`repro.fleet`)
+        encode many blocks in one :class:`BatchThreeOnTwoCodec` pass and
+        hand each row here.  The write-and-verify retry loop re-encodes
+        scalarly whenever wearout reshuffles the layout, so supplying a
+        pre-encoded first attempt is bit-identical to :meth:`write`.
+        """
+        if self.cell_kind != "3LC" or self.codec3 is None:
+            raise ValueError("write_encoded is the 3LC program path")
+        bits = np.asarray(data_bits).astype(np.uint8)
+        if bits.shape != (self.data_bits,):
+            raise ValueError(f"expected {self.data_bits} bits, got {bits.shape}")
+        if (states is None) != (check is None):
+            raise ValueError("states and check must be supplied together")
+        idx = self._cell_range(block)
+        self.stats.writes += 1
+        state = self._block_state[block]
+        # Write-and-verify loop: each failed pair is marked INV and the
+        # layout reshuffled around it; two spare cells per failure.
+        for attempt in range(state.config.n_spare_pairs + 1):
+            if attempt or states is None or check is None:
+                states, check = self.codec3.encode(bits, state)
+            ok = self.array.program(idx, states, t_now)
+            self._slc[block] = check
+            bad = np.nonzero(~ok)[0]
+            if bad.size == 0:
+                self._written[block] = True
+                return
+            self.stats.write_retries += 1
+            pair = int(bad[0]) // 2
+            already = pair in set(state.marked_pairs.tolist())
+            if not already:
+                state.mark(pair)  # raises SpareExhausted when out
+                self.stats.wearout_marks += 1
+            # Force both cells of the marked pair toward S4 (INV).
+            pc = idx[2 * pair : 2 * pair + 2]
+            self.array.force_highest(pc, t_now)
+            if not already and bad.size == 1:
+                continue
+            # Multiple simultaneous failures: loop handles them one
+            # mark per iteration.
+        raise SpareExhausted(f"block {block}: wearout beyond spare budget")
+
+    # ------------------------------------------------------------------
+    def written_mask(self) -> np.ndarray:
+        """Which blocks hold data (have completed at least one write)."""
+        return self._written.copy()
+
+    def sense_states(self, block: int, t_now: float) -> np.ndarray:
+        """Raw sensed cell states of a block, without decoding or stats.
+
+        The seam batch readers use: sense every block scalarly (cheap,
+        and bit-identical to :meth:`read` by construction), then decode
+        the stack in one :class:`BatchThreeOnTwoCodec` pass.
+        """
+        if not self._written[block]:
+            raise ValueError(f"block {block} was never written")
+        idx = self._cell_range(block)
+        return self.array.sense(t_now, idx)
+
+    def check_bits(self, block: int) -> np.ndarray:
+        """The block's SLC-stored check bits (3LC only)."""
+        if self._slc is None:
+            raise ValueError("4LC blocks keep no SLC check bits")
+        return self._slc[block].copy()
+
+    def state_digest(self) -> str:
+        """SHA-256 over the device's full simulated state.
+
+        Covers the cell array (resistances, drift exponents, wear,
+        faults), the SLC check bits, the written mask, and the
+        controller-side wearout layout — everything that determines
+        future reads.  Differential suites compare digests to prove two
+        execution strategies left bit-identical devices.
+        """
+        h = hashlib.sha256()
+        h.update(self.array.state_digest().encode("ascii"))
+        if self._slc is not None:
+            h.update(np.ascontiguousarray(self._slc).tobytes())
+        h.update(np.ascontiguousarray(self._written).tobytes())
+        for st in self._block_state:
+            marked = getattr(st, "_marked", None)
+            if marked is not None:  # 3LC mark-and-spare layout
+                h.update(np.ascontiguousarray(marked).tobytes())
+            else:  # 4LC ECP table
+                entries = [
+                    [int(p), int(v)] for p, v in getattr(st, "_entries", [])
+                ]
+                h.update(repr(entries).encode("ascii"))
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     def read(self, block: int, t_now: float) -> DecodedBlock:

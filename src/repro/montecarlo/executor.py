@@ -45,6 +45,7 @@ __all__ = [
     "plan_blocks",
     "resolve_jobs",
     "run_counts",
+    "shard_ranges",
 ]
 
 #: Salt for persistent cache keys; bump on any change to the draw scheme.
@@ -100,6 +101,26 @@ def plan_blocks(n_samples: int, block: int = RNG_BLOCK) -> list[int]:
     if rem:
         sizes.append(rem)
     return sizes
+
+
+def shard_ranges(n_items: int, shard: int) -> list[tuple[int, int]]:
+    """``(first, size)`` shards covering ``[0, n_items)`` at fixed granularity.
+
+    The range-valued sibling of :func:`plan_blocks`, for fan-outs whose
+    work units are *indexed* (device populations) rather than merely
+    counted: the shard layout — and therefore every per-shard cache key —
+    depends only on ``(n_items, shard)``, never on chunking or worker
+    count.
+    """
+    n_items = int(n_items)
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    shard = int(shard)
+    if shard < 1:
+        raise ValueError(f"shard must be >= 1, got {shard}")
+    return [
+        (first, min(shard, n_items - first)) for first in range(0, n_items, shard)
+    ]
 
 
 def apportion_samples(n: int, weights: Sequence[float]) -> list[int]:

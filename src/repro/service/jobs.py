@@ -24,13 +24,15 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from repro.campaign.scheduler import CampaignScheduler
 from repro.campaign.spec import SpecError, builtin_campaign
 from repro.campaign.store import RunStore
+from repro.fleet.config import config_from_params
+from repro.fleet.mc import fleet_mc
 from repro.montecarlo.bler_mc import bler_mc
 from repro.service.codes import ServiceError
 
 __all__ = ["JobManager"]
 
 #: Job kinds accepted by ``POST /v1/jobs``.
-KINDS = ("bler", "campaign")
+KINDS = ("bler", "campaign", "fleet")
 
 #: Hard cap on CER points per BLER job — keeps one request from pinning
 #: a worker for hours; split larger sweeps across jobs.
@@ -78,6 +80,27 @@ def _parse_campaign_params(params: dict) -> dict:
     return {"name": name, "n_samples": n_samples, "seed": seed}
 
 
+def _parse_fleet_params(params: dict) -> dict:
+    n_devices = params.get("n_devices", 1000)
+    if not isinstance(n_devices, int) or not 1 <= n_devices <= 200_000:
+        raise ServiceError("E_JOB_KIND", "'n_devices' must be an int in [1, 2e5]")
+    n_epochs = params.get("n_epochs", 3)
+    if not isinstance(n_epochs, int) or not 1 <= n_epochs <= 100:
+        raise ServiceError("E_JOB_KIND", "'n_epochs' must be an int in [1, 100]")
+    preset = params.get("preset", "stress")
+    if preset not in ("default", "stress"):
+        raise ServiceError("E_JOB_KIND", "'preset' must be 'default' or 'stress'")
+    seed = params.get("seed", 0)
+    if not isinstance(seed, int):
+        raise ServiceError("E_JOB_KIND", "'seed' must be an int")
+    return {
+        "n_devices": n_devices,
+        "n_epochs": n_epochs,
+        "preset": preset,
+        "seed": seed,
+    }
+
+
 class _Job:
     def __init__(self, job_id: str, kind: str, params: dict):
         self.job_id = job_id
@@ -103,7 +126,7 @@ class _Job:
 
 
 class JobManager:
-    """Runs bler/campaign jobs on a bounded pool; thread-safe registry."""
+    """Runs bler/fleet/campaign jobs on a bounded pool; thread-safe registry."""
 
     def __init__(self, work_dir: str | pathlib.Path, *, max_workers: int = 2,
                  mc_jobs: int | None = 1):
@@ -126,6 +149,8 @@ class JobManager:
             clean = _parse_bler_params(params)
         elif kind == "campaign":
             clean = _parse_campaign_params(params)
+        elif kind == "fleet":
+            clean = _parse_fleet_params(params)
         else:
             raise ServiceError(
                 "E_JOB_KIND",
@@ -161,6 +186,8 @@ class JobManager:
         try:
             if job.kind == "bler":
                 job.result = self._run_bler(job.params)
+            elif job.kind == "fleet":
+                job.result = self._run_fleet(job.params)
             else:
                 job.result = self._run_campaign(job.job_id, job.params)
             job.state = "done"
@@ -194,6 +221,13 @@ class JobManager:
                 for r in results
             ]
         }
+
+    def _run_fleet(self, params: dict) -> dict:
+        config = config_from_params(
+            {"preset": params["preset"]}, params["n_devices"], params["n_epochs"]
+        )
+        summary = fleet_mc(config, seed=params["seed"], jobs=self.mc_jobs)
+        return summary.to_dict()
 
     def _run_campaign(self, job_id: str, params: dict) -> dict:
         try:

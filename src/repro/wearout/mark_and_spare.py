@@ -175,6 +175,11 @@ class MarkAndSpareBlock:
     def marked_pairs(self) -> np.ndarray:
         return np.nonzero(self._marked)[0]
 
+    @property
+    def spares_left(self) -> int:
+        """Unused spare-pair budget (0 means the next mark exhausts the block)."""
+        return self.config.n_spare_pairs - self.n_marked
+
     def can_mark(self) -> bool:
         return self.n_marked < self.config.n_spare_pairs
 

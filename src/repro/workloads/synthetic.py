@@ -19,13 +19,18 @@ import numpy as np
 from repro.montecarlo.rng import make_rng
 
 __all__ = [
+    "TRACE_KINDS",
     "Trace",
+    "draw_ops",
     "stream_trace",
     "random_trace",
     "pointer_chase_trace",
     "zipfian_trace",
     "interleave",
 ]
+
+#: Named profiles :func:`draw_ops` accepts (the fleet's traffic mix).
+TRACE_KINDS = ("stream", "random", "zipfian")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -163,6 +168,46 @@ def zipfian_trace(
         line_addr=addr.astype(np.int64),
         dependent=np.zeros(n, dtype=bool),
     )
+
+
+def draw_ops(
+    kind: str,
+    n_ops: int,
+    footprint_lines: int,
+    seed: int | np.random.Generator = 0,
+    write_fraction: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(is_write, line_addr)`` for ``n_ops`` accesses of a named profile.
+
+    The thin seam between the trace generators and epoch-driven
+    consumers (:mod:`repro.fleet`): pass a carried
+    :class:`numpy.random.Generator` as ``seed`` and successive calls
+    draw successive, reproducible slices of the same traffic stream.
+    ``write_fraction=None`` keeps each profile's own default mix.
+
+    Degenerate footprints stay well-defined so heterogeneous device
+    populations can mix profiles freely: ``stream`` shrinks its array
+    count to the footprint, and ``zipfian`` over a single line falls
+    back to the uniform profile (Zipf needs at least two ranks).
+    """
+    if kind not in TRACE_KINDS:
+        raise ValueError(f"unknown trace kind {kind!r} (known: {TRACE_KINDS})")
+    if n_ops < 0:
+        raise ValueError("n_ops must be >= 0")
+    wf = {} if write_fraction is None else {"write_fraction": float(write_fraction)}
+    if kind == "stream":
+        trace = stream_trace(
+            n_ops,
+            footprint_lines,
+            seed=seed,
+            n_arrays=min(3, footprint_lines),
+            **wf,
+        )
+    elif kind == "zipfian" and footprint_lines >= 2:
+        trace = zipfian_trace(n_ops, footprint_lines, seed=seed, **wf)
+    else:
+        trace = random_trace(n_ops, footprint_lines, seed=seed, **wf)
+    return trace.is_write.copy(), trace.line_addr.copy()
 
 
 def interleave(name: str, traces: list[tuple[Trace, float]], seed: int = 0) -> Trace:

@@ -1,0 +1,141 @@
+"""Fleet campaigns crash mid-epoch and resume bit-identical.
+
+The ``fleet.epoch`` fault point fires between population epochs inside
+the sharded worker, so a crash there kills a campaign with a fleet shard
+half-advanced.  Shard results are all-or-nothing (a shard's count matrix
+is only cached after all its epochs complete), so resume either serves a
+finished shard from the results cache or recomputes it from scratch —
+either way the persisted summary must be *byte*-equal to a never-crashed
+run.  Same harness shape as ``test_differential.py``: fresh scheduler
+and cache instance per restart, exactly like a restarted process.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import builtin_campaign
+from repro.campaign.store import RunStore
+from repro.chaos import FaultPlan, FaultSpec, InjectedCrash, activate
+from repro.montecarlo.results_cache import ResultsCache
+
+N_DEVICES = 30
+MAX_RESUMES = 8
+
+
+def fleet_spec():
+    return builtin_campaign("fleet", n_samples=N_DEVICES, seed=0)
+
+
+def run_clean(run_dir, cache_dir):
+    result = CampaignScheduler(
+        fleet_spec(),
+        RunStore(run_dir),
+        cache=ResultsCache(cache_dir=cache_dir),
+        sleep=lambda _t: None,
+    ).run()
+    assert result.ok
+    return result
+
+
+def run_faulted(plan, run_dir, cache_dir):
+    store = RunStore(run_dir)
+    crashes = 0
+    with activate(plan) as fired:
+        for attempt in range(MAX_RESUMES):
+            scheduler = CampaignScheduler(
+                fleet_spec(),
+                store,
+                cache=ResultsCache(cache_dir=cache_dir),
+                sleep=lambda _t: None,
+            )
+            try:
+                result = scheduler.run(resume=attempt > 0)
+            except InjectedCrash:
+                crashes += 1
+                continue
+            return result, list(fired), crashes
+    raise AssertionError(f"no recovery within {MAX_RESUMES} restarts")
+
+
+@pytest.mark.parametrize("epoch", [0, 1, 2])
+def test_crash_in_any_epoch_resumes_bit_identical(epoch, tmp_path):
+    run_clean(tmp_path / "ref", tmp_path / "ref-cache")
+
+    plan = FaultPlan(
+        faults=(
+            FaultSpec.make("fleet.epoch", occurrence=epoch, action="crash"),
+        ),
+        seed=0,
+    )
+    result, fired, crashes = run_faulted(
+        plan, tmp_path / "faulted", tmp_path / "faulted-cache"
+    )
+    assert result.ok and result.exit_code == 0
+    assert crashes == 1
+    assert [(f.point, f.occurrence) for f in fired] == [("fleet.epoch", epoch)]
+
+    ref, faulted = RunStore(tmp_path / "ref"), RunStore(tmp_path / "faulted")
+    jobs = sorted(ref.completed_jobs())
+    assert jobs == sorted(faulted.completed_jobs()) == ["fleet-population"]
+    for job_id in jobs:
+        assert (
+            faulted.result_path(job_id).read_bytes()
+            == ref.result_path(job_id).read_bytes()
+        ), f"job {job_id} diverged after crash in epoch {epoch}"
+
+
+def test_double_crash_and_warm_shards_resume_bit_identical(tmp_path):
+    """Two crashes across restarts, with the second restart finding some
+    shards already cached (multi-shard layout via a task-level crash
+    after a completed shard would need shard_devices plumbing; here the
+    warm path is exercised by the epoch-0 recrash reusing the cache dir
+    of the first attempt)."""
+    run_clean(tmp_path / "ref", tmp_path / "ref-cache")
+
+    plan = FaultPlan(
+        faults=(
+            FaultSpec.make("fleet.epoch", occurrence=1, action="crash"),
+            FaultSpec.make("fleet.epoch", occurrence=2, action="crash"),
+        ),
+        seed=0,
+    )
+    result, fired, crashes = run_faulted(
+        plan, tmp_path / "faulted", tmp_path / "faulted-cache"
+    )
+    assert result.ok and crashes == 2
+    assert {f.point for f in fired} == {"fleet.epoch"}
+
+    ref, faulted = RunStore(tmp_path / "ref"), RunStore(tmp_path / "faulted")
+    for job_id in sorted(ref.completed_jobs()):
+        assert (
+            faulted.result_path(job_id).read_bytes()
+            == ref.result_path(job_id).read_bytes()
+        )
+    # The summary the scheduler returned matches the persisted reference.
+    assert result.results["fleet-population"] == json.loads(
+        ref.result_path("fleet-population").read_text()
+    )
+
+
+def test_warm_cache_resume_serves_shards_without_recompute(tmp_path):
+    """If the fleet job's shards are already cached when the campaign
+    (re)runs, the job completes with zero cache misses and the same
+    bytes — the resume fast path."""
+    cache_dir = tmp_path / "cache"
+    run_clean(tmp_path / "first", cache_dir)
+
+    cache = ResultsCache(cache_dir=cache_dir)
+    result = CampaignScheduler(
+        fleet_spec(),
+        RunStore(tmp_path / "second"),
+        cache=cache,
+        sleep=lambda _t: None,
+    ).run()
+    assert result.ok
+    assert cache.stats.misses == 0 and cache.stats.hits >= 1
+    assert (
+        RunStore(tmp_path / "second").result_path("fleet-population").read_bytes()
+        == RunStore(tmp_path / "first").result_path("fleet-population").read_bytes()
+    )

@@ -34,6 +34,9 @@ EXPECTED_LAYERS = {
     "repro.montecarlo": {
         "deny": ["repro.service", "repro.campaign", "repro.sim", "repro.lint"]
     },
+    "repro.fleet": {
+        "deny": ["repro.service", "repro.campaign", "repro.sim", "repro.lint"]
+    },
     "repro.coding": {
         "deny": ["repro.service", "repro.campaign", "repro.sim"]
     },
