@@ -10,9 +10,24 @@ from __future__ import annotations
 
 import json
 import pathlib
+import resource
+import sys
 from typing import Iterable, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process tree, in bytes.
+
+    Takes the max over the benchmark process itself and its reaped
+    children, so process-pool workers (where fleet shards actually run)
+    are counted.  ``ru_maxrss`` is KiB on Linux, bytes on macOS.
+    """
+    unit = 1 if sys.platform == "darwin" else 1024
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(max(own, kids)) * unit
 
 
 def render_table(

@@ -27,7 +27,95 @@ from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA
 from repro.core.levels import LevelDesign
 from repro.montecarlo.rng import make_rng, truncated_normal
 
-__all__ = ["CellArray"]
+__all__ = [
+    "CellArray",
+    "cell_state_digest",
+    "drifted_log_resistance",
+    "programmed_alpha",
+    "programmed_log_resistance",
+]
+
+
+def programmed_log_resistance(
+    mu: np.ndarray, sigma: np.ndarray, z: np.ndarray
+) -> np.ndarray:
+    """Initial log-resistance of a programmed cell: ``mu + sigma * z``.
+
+    ``mu``/``sigma`` are the per-cell write-distribution parameters
+    (already gathered by target state), ``z`` the truncated-normal
+    quantile drawn from the cell's physics stream.  Both the per-device
+    scalar engine and the structure-of-arrays fleet engine evaluate this
+    one expression, which is what keeps them bit-identical.
+    """
+    return mu + sigma * z
+
+
+def programmed_alpha(
+    mu: np.ndarray, sigma: np.ndarray, z: np.ndarray
+) -> np.ndarray:
+    """Per-cell drift exponent: ``max(mu + sigma * z, 0)`` (gathered params)."""
+    return np.maximum(mu + sigma * z, 0.0)
+
+
+def drifted_log_resistance(
+    lr0: np.ndarray,
+    alpha: np.ndarray,
+    alpha_esc: np.ndarray,
+    L: np.ndarray | float,
+    lr_break: float,
+) -> np.ndarray:
+    """Drift law with one-tier escalation, in the log10 domain.
+
+    ``L = log10(dt / t0)`` may be per-cell or a scalar broadcast over the
+    cells (a block programmed in one shot shares its program time).
+    Cells that drift across ``lr_break`` continue at their pre-drawn
+    escalated exponent from the crossing point on; fault pinning is the
+    caller's business.
+    """
+    lr = lr0 + alpha * L
+    started_below = lr0 < lr_break
+    crossed = started_below & (lr > lr_break)
+    if np.any(crossed):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            L_cross = np.where(
+                crossed & (alpha > 0), (lr_break - lr0) / alpha, np.inf
+            )
+        esc = lr_break + alpha_esc * np.maximum(L - L_cross, 0.0)
+        lr = np.where(crossed & np.isfinite(L_cross), esc, lr)
+    return lr
+
+
+def cell_state_digest(
+    lr0: np.ndarray,
+    alpha: np.ndarray,
+    alpha_esc: np.ndarray,
+    t_prog: np.ndarray,
+    target: np.ndarray,
+    writes: np.ndarray,
+    endurance: np.ndarray,
+    fault: np.ndarray,
+    pending_mode: np.ndarray,
+) -> str:
+    """Canonical SHA-256 over a cell population's full state.
+
+    The field order is frozen; any engine that lays the same cells out
+    differently (object-per-device vs structure-of-arrays) hashes the
+    same bytes and must produce the same digest.
+    """
+    h = hashlib.sha256()
+    for arr in (
+        lr0,
+        alpha,
+        alpha_esc,
+        t_prog,
+        target,
+        writes,
+        endurance,
+        fault,
+        pending_mode,
+    ):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
 
 
 class CellArray:
@@ -86,8 +174,7 @@ class CellArray:
         (regardless of how callers batched the surrounding codec work)
         must produce equal digests.
         """
-        h = hashlib.sha256()
-        for arr in (
+        return cell_state_digest(
             self._lr0,
             self._alpha,
             self._alpha_esc,
@@ -97,9 +184,7 @@ class CellArray:
             self._endurance,
             self._fault,
             self._pending_mode,
-        ):
-            h.update(np.ascontiguousarray(arr).tobytes())
-        return h.hexdigest()
+        )
 
     # ------------------------------------------------------------------
     def program(
@@ -138,13 +223,13 @@ class CellArray:
                 self.rng, 0.0, 1.0, -WRITE_TRUNCATION_SIGMA, WRITE_TRUNCATION_SIGMA,
                 ok_idx.size,
             )
-            self._lr0[ok_idx] = mus[ok_st] + sgs[ok_st] * z_r
+            self._lr0[ok_idx] = programmed_log_resistance(mus[ok_st], sgs[ok_st], z_r)
             mu_a = np.array([s.drift.mu_alpha for s in self.design.states])
             sg_a = np.array([s.drift.sigma_alpha for s in self.design.states])
             # Per-cell exponent: one standard draw scaled by the cell's
             # state parameters, clipped at zero.
             z = self.rng.standard_normal(ok_idx.size)
-            alpha = np.maximum(mu_a[ok_st] + sg_a[ok_st] * z, 0.0)
+            alpha = programmed_alpha(mu_a[ok_st], sg_a[ok_st], z)
             self._alpha[ok_idx] = alpha
             if self.schedule.tiers:
                 if self.schedule.mode == "offset":
@@ -198,17 +283,12 @@ class CellArray:
         L = np.log10(dt / T0_SECONDS)
         lr0 = self._lr0[idx]
         alpha = self._alpha[idx]
-        lr = lr0 + alpha * L
         if self.schedule.tiers:
-            tier = self.schedule.tiers[0]
-            b = tier.lr_break
-            started_below = lr0 < b
-            crossed = started_below & (lr > b)
-            if np.any(crossed):
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    L_cross = np.where(crossed & (alpha > 0), (b - lr0) / alpha, np.inf)
-                esc = b + self._alpha_esc[idx] * np.maximum(L - L_cross, 0.0)
-                lr = np.where(crossed & np.isfinite(L_cross), esc, lr)
+            lr = drifted_log_resistance(
+                lr0, alpha, self._alpha_esc[idx], L, self.schedule.tiers[0].lr_break
+            )
+        else:
+            lr = lr0 + alpha * L
         # Stuck cells pin their resistance.
         top_lr = self.design.states[-1].mu_lr
         bot_lr = self.design.states[0].mu_lr

@@ -27,6 +27,7 @@ from repro.cells.params import SIGMA_ALPHA_RATIO, T0_SECONDS
 __all__ = [
     "drifted_lr",
     "crossing_time",
+    "independent_escalated_alpha",
     "DriftTier",
     "TieredDrift",
     "PAPER_ESCALATION",
@@ -34,6 +35,23 @@ __all__ = [
     "escalation_schedule",
     "ESCALATION_MODES",
 ]
+
+
+def independent_escalated_alpha(
+    z_fresh: np.ndarray,
+    mu_alpha: np.ndarray | float,
+    sigma_alpha: np.ndarray | float,
+) -> np.ndarray:
+    """``mode="independent"`` escalation exponent: a fresh draw, >= 0.
+
+    The expression both cell engines share: scalar callers
+    (:meth:`TieredDrift.escalated_alpha`) pass the tier's parameters as
+    floats, the structure-of-arrays fleet engine passes per-device
+    parameter columns — either way the arithmetic (and therefore every
+    bit of the result) is identical.
+    """
+    a = mu_alpha + np.asarray(z_fresh) * sigma_alpha
+    return np.maximum(a, 0.0)
 
 ESCALATION_MODES = ("independent", "correlated", "mean", "offset")
 
@@ -123,8 +141,8 @@ class TieredDrift:
         if self.mode == "independent":
             if z_fresh is None:
                 raise ValueError("independent escalation requires z_fresh")
-            a = tier.mu_alpha + np.asarray(z_fresh) * tier.sigma_alpha
-        elif self.mode == "correlated":
+            return independent_escalated_alpha(z_fresh, tier.mu_alpha, tier.sigma_alpha)
+        if self.mode == "correlated":
             a = tier.mu_alpha + np.asarray(z0) * tier.sigma_alpha
         elif self.mode == "mean":
             a = np.full_like(alpha0, tier.mu_alpha)

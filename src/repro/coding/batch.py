@@ -302,11 +302,25 @@ class BatchThreeOnTwoCodec:
     def _marked_matrix(
         self,
         n_blocks: int,
-        blocks: MarkAndSpareBlock | Sequence[MarkAndSpareBlock | None] | None,
+        blocks: (
+            MarkAndSpareBlock
+            | Sequence[MarkAndSpareBlock | None]
+            | np.ndarray
+            | None
+        ),
     ) -> np.ndarray | None:
         """Per-row marked-pair mask, or ``None`` when every block is fresh."""
         if blocks is None:
             return None
+        if isinstance(blocks, np.ndarray):
+            # Raw (n_blocks, n_pairs) bool mask: the structure-of-arrays
+            # engine hands its marked plane in directly, no objects.
+            if blocks.shape != (n_blocks, self._n_pairs) or blocks.dtype != bool:
+                raise ValueError(
+                    f"expected a ({n_blocks}, {self._n_pairs}) bool marked "
+                    f"mask, got {blocks.dtype} {blocks.shape}"
+                )
+            return blocks if blocks.any() else None
         if isinstance(blocks, MarkAndSpareBlock):
             row = np.zeros(self._n_pairs, dtype=bool)
             row[blocks.marked_pairs] = True
@@ -326,14 +340,20 @@ class BatchThreeOnTwoCodec:
     def encode(
         self,
         data_bits: np.ndarray,
-        blocks: MarkAndSpareBlock | Sequence[MarkAndSpareBlock | None] | None = None,
+        blocks: (
+            MarkAndSpareBlock
+            | Sequence[MarkAndSpareBlock | None]
+            | np.ndarray
+            | None
+        ) = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batch write path: ``(n_blocks, data_bits)`` -> states + checks.
 
         ``blocks`` carries the marked-pair layouts: one shared
         :class:`MarkAndSpareBlock`, a per-row sequence (``None`` entries
-        mean fresh), or ``None`` for all-fresh.  Bit-identical to looping
-        the scalar :meth:`ThreeOnTwoBlockCodec.encode`.
+        mean fresh), a raw ``(n_blocks, n_pairs)`` bool marked mask, or
+        ``None`` for all-fresh.  Bit-identical to looping the scalar
+        :meth:`ThreeOnTwoBlockCodec.encode`.
         """
         bits = np.ascontiguousarray(data_bits, dtype=np.uint8)
         if bits.ndim != 2 or bits.shape[1] != self.codec.data_bits:

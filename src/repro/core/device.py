@@ -38,7 +38,37 @@ from repro.core.levels import LevelDesign
 from repro.montecarlo.rng import make_rng
 from repro.wearout.mark_and_spare import SpareExhausted
 
-__all__ = ["PCMDevice", "DeviceStats", "UncorrectableBlock", "SpareExhausted"]
+__all__ = [
+    "PCMDevice",
+    "DeviceStats",
+    "UncorrectableBlock",
+    "SpareExhausted",
+    "device_state_digest",
+]
+
+
+def device_state_digest(
+    cell_digest: str,
+    slc: np.ndarray | None,
+    written: np.ndarray,
+    block_payloads: list[bytes],
+) -> str:
+    """Canonical SHA-256 over one device's controller-visible state.
+
+    ``cell_digest`` is the :meth:`CellArray.state_digest` hex string,
+    ``block_payloads`` the per-block wearout-layout bytes (marked mask
+    for 3LC mark-and-spare, ``repr`` of the entry table for 4LC ECP).
+    The byte stream is frozen so the object engine and the
+    structure-of-arrays fleet engine hash identically.
+    """
+    h = hashlib.sha256()
+    h.update(cell_digest.encode("ascii"))
+    if slc is not None:
+        h.update(np.ascontiguousarray(slc).tobytes())
+    h.update(np.ascontiguousarray(written).tobytes())
+    for payload in block_payloads:
+        h.update(payload)
+    return h.hexdigest()
 
 
 @dataclasses.dataclass
@@ -242,21 +272,19 @@ class PCMDevice:
         future reads.  Differential suites compare digests to prove two
         execution strategies left bit-identical devices.
         """
-        h = hashlib.sha256()
-        h.update(self.array.state_digest().encode("ascii"))
-        if self._slc is not None:
-            h.update(np.ascontiguousarray(self._slc).tobytes())
-        h.update(np.ascontiguousarray(self._written).tobytes())
+        payloads: list[bytes] = []
         for st in self._block_state:
             marked = getattr(st, "_marked", None)
             if marked is not None:  # 3LC mark-and-spare layout
-                h.update(np.ascontiguousarray(marked).tobytes())
+                payloads.append(np.ascontiguousarray(marked).tobytes())
             else:  # 4LC ECP table
                 entries = [
                     [int(p), int(v)] for p, v in getattr(st, "_entries", [])
                 ]
-                h.update(repr(entries).encode("ascii"))
-        return h.hexdigest()
+                payloads.append(repr(entries).encode("ascii"))
+        return device_state_digest(
+            self.array.state_digest(), self._slc, self._written, payloads
+        )
 
     # ------------------------------------------------------------------
     def read(self, block: int, t_now: float) -> DecodedBlock:

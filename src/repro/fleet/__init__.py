@@ -18,11 +18,13 @@ from repro.fleet.config import (
 )
 from repro.fleet.engine import (
     COUNTERS,
+    FLEET_ENGINE_ENV,
     FLEET_VERSION,
     N_COUNTERS,
     PROGRAM_NJ_PER_CELL,
     SENSE_NJ_PER_CELL,
     FleetEngine,
+    ObjectFleetEngine,
     counter_index,
 )
 from repro.fleet.mc import (
@@ -31,9 +33,12 @@ from repro.fleet.mc import (
     fleet_counts_key,
     fleet_mc,
 )
+from repro.fleet.soa import SoaFleetEngine
+from repro.fleet.state import SoaFleetState, alive_indices
 
 __all__ = [
     "COUNTERS",
+    "FLEET_ENGINE_ENV",
     "FLEET_SHARD_DEVICES",
     "FLEET_SPAWN_KEY",
     "FLEET_VERSION",
@@ -44,6 +49,10 @@ __all__ = [
     "FleetConfig",
     "FleetEngine",
     "FleetSummary",
+    "ObjectFleetEngine",
+    "SoaFleetEngine",
+    "SoaFleetState",
+    "alive_indices",
     "config_from_params",
     "counter_index",
     "device_params",

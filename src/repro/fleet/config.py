@@ -55,6 +55,7 @@ __all__ = [
     "FleetConfig",
     "config_from_params",
     "device_params",
+    "hetero_draws",
     "stress_config",
 ]
 
@@ -285,17 +286,20 @@ def _scale_schedule(schedule: TieredDrift, factor: float) -> TieredDrift:
     return dataclasses.replace(schedule, tiers=tiers)
 
 
-def device_params(config: FleetConfig, entropy: int, index: int) -> DeviceParams:
-    """Draw device ``index``'s operating point from its hetero stream.
+def hetero_draws(
+    config: FleetConfig, g: np.random.Generator
+) -> tuple[int, float, float, str]:
+    """The four heterogeneity draws, in frozen stream order.
 
-    Draw order (four draws from the ``KEY_HETERO`` stream, fixed
-    forever; reordering is a :data:`~repro.fleet.engine.FLEET_VERSION`
-    bump): temperature-bucket uniform, alpha-jitter normal,
-    endurance-scale normal, workload uniform.
+    Returns ``(bucket, alpha_jitter, endurance_scale, workload)``.  Draw
+    order (fixed forever; reordering is a
+    :data:`~repro.fleet.engine.FLEET_VERSION` bump): temperature-bucket
+    uniform, alpha-jitter normal, endurance-scale normal, workload
+    uniform.  Shared by :func:`device_params` and the
+    structure-of-arrays engine's population init, which skips the
+    per-device dataclass construction but must consume the identical
+    draws.
     """
-    from repro.cells.drift import PAPER_ESCALATION
-
-    g = block_rng(entropy, (FLEET_SPAWN_KEY, KEY_HETERO, index))
     bucket = _weighted_choice(float(g.random()), [w for w, _ in config.temp_buckets])
     alpha_jitter = float(np.exp(config.alpha_jitter_sigma * g.standard_normal()))
     endurance_scale = float(
@@ -304,6 +308,18 @@ def device_params(config: FleetConfig, entropy: int, index: int) -> DeviceParams
     workload = config.workload_mix[
         _weighted_choice(float(g.random()), [w for w, _ in config.workload_mix])
     ][1]
+    return bucket, alpha_jitter, endurance_scale, workload
+
+
+def device_params(config: FleetConfig, entropy: int, index: int) -> DeviceParams:
+    """Draw device ``index``'s operating point from its hetero stream.
+
+    See :func:`hetero_draws` for the frozen draw order.
+    """
+    from repro.cells.drift import PAPER_ESCALATION
+
+    g = block_rng(entropy, (FLEET_SPAWN_KEY, KEY_HETERO, index))
+    bucket, alpha_jitter, endurance_scale, workload = hetero_draws(config, g)
 
     temp_scale = float(config.temp_buckets[bucket][1])
     factor = temp_scale * alpha_jitter

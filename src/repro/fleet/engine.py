@@ -1,8 +1,12 @@
 """Epoch-driven population engine over real :class:`PCMDevice` instances.
 
-One :class:`FleetEngine` owns a contiguous range of the fleet's devices
-and advances them through *epochs* of virtual time.  Each epoch runs four
-phases:
+One :class:`ObjectFleetEngine` owns a contiguous range of the fleet's
+devices and advances them through *epochs* of virtual time.  It is the
+semantic reference: one :class:`PCMDevice` object per device, every
+physics call through the device's own :class:`CellArray`.  The
+:func:`FleetEngine` factory returns either this engine or its
+bit-identical vectorized twin :class:`~repro.fleet.soa.SoaFleetEngine`
+(the default; see docs/FLEET.md).  Each epoch runs four phases:
 
 A. **Traffic** — every alive device draws ``ops_per_epoch`` accesses
    from its assigned workload profile (:func:`repro.workloads.synthetic.draw_ops`)
@@ -46,6 +50,8 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import os
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -60,8 +66,12 @@ from repro.fleet.config import (
     FleetConfig,
     device_params,
 )
+from repro.fleet.state import alive_indices
 from repro.montecarlo.rng import block_rng
 from repro.workloads.synthetic import draw_ops
+
+if TYPE_CHECKING:
+    from repro.fleet.soa import SoaFleetEngine
 
 __all__ = [
     "FLEET_VERSION",
@@ -70,6 +80,7 @@ __all__ = [
     "PROGRAM_NJ_PER_CELL",
     "SENSE_NJ_PER_CELL",
     "FleetEngine",
+    "ObjectFleetEngine",
     "counter_index",
 ]
 
@@ -128,7 +139,7 @@ def _batch_codec(data_bits: int) -> BatchThreeOnTwoCodec:
     return BatchThreeOnTwoCodec(ThreeOnTwoBlockCodec(data_bits=data_bits))
 
 
-class FleetEngine:
+class ObjectFleetEngine:
     """A contiguous device range ``[first_device, first_device + n_devices)``.
 
     Device index ``i`` (global, fleet-wide) is a pure function of
@@ -246,7 +257,7 @@ class FleetEngine:
         c = np.zeros(N_COUNTERS, dtype=np.int64)
         t0 = self._epoch * cfg.epoch_seconds
         t1 = t0 + cfg.epoch_seconds
-        alive = [k for k in range(self.n_devices) if self._alive[k]]
+        alive = [int(k) for k in alive_indices(self._alive)]
         stats0 = {
             k: (
                 self._devices[k].stats.wearout_marks,
@@ -324,7 +335,9 @@ class FleetEngine:
             cells0[k] = self._devices[k].array.total_writes()
 
         # Phase D: scrub — sense everything, decode in one batch, refresh.
-        survivors = [k for k in alive if self._alive[k]]
+        # Deaths are permanent, so the remaining alive mask (ascending, as
+        # alive was) is exactly the surviving subset in its original order.
+        survivors = [int(k) for k in alive_indices(self._alive)]
         scrub: list[tuple[int, int]] = []
         for k in survivors:
             mask = self._devices[k].written_mask()
@@ -395,3 +408,40 @@ class FleetEngine:
 
         self._epoch += 1
         return c
+
+
+#: Environment knob the factory consults when no ``engine=`` is given.
+FLEET_ENGINE_ENV = "REPRO_FLEET_ENGINE"
+
+
+def FleetEngine(
+    config: FleetConfig,
+    entropy: int,
+    first_device: int = 0,
+    n_devices: int | None = None,
+    *,
+    engine: str | None = None,
+) -> "ObjectFleetEngine | SoaFleetEngine":
+    """Build a fleet engine for a contiguous device range.
+
+    ``engine`` selects the execution strategy — ``"soa"`` (default) for
+    the structure-of-arrays engine, ``"object"`` for the
+    device-per-object reference.  Both are bit-identical (same streams,
+    counters, and state digests; the fleet differential suite pins
+    this), so the choice never shows up in results or cache keys — only
+    in throughput.  When ``engine`` is ``None`` the
+    :data:`FLEET_ENGINE_ENV` environment variable is consulted, then the
+    default applies.
+
+    This factory keeps the historical ``FleetEngine(...)`` constructor
+    call signature working unchanged for existing callers.
+    """
+    if engine is None:
+        engine = os.environ.get(FLEET_ENGINE_ENV) or "soa"
+    if engine == "object":
+        return ObjectFleetEngine(config, entropy, first_device, n_devices)
+    if engine == "soa":
+        from repro.fleet.soa import SoaFleetEngine
+
+        return SoaFleetEngine(config, entropy, first_device, n_devices)
+    raise ValueError(f"unknown fleet engine {engine!r} (known: 'soa', 'object')")

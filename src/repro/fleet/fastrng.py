@@ -1,0 +1,328 @@
+"""Batched construction of the fleet's per-device generator streams.
+
+Device ``i`` of a fleet draws from three :class:`numpy.random.Generator`
+streams addressed ``SeedSequence(entropy, spawn_key=(FLEET_SPAWN_KEY,
+key, i))`` (see :mod:`repro.fleet.config`).  Building those one at a
+time costs ~17us each — two SeedSequence constructions plus the pool
+mixing — which dominates engine construction for large populations.
+
+This module replicates the two expensive pieces with array math across
+the device axis:
+
+- **Pool mixing / ``generate_state``** — the SeedSequence hash schedule
+  (``hashmix``/``mix`` over a 4-word entropy pool) is data-independent
+  in its multiplier chain, so a population whose spawn keys differ only
+  in the trailing device-index word vectorizes directly.
+- **PCG64 seeding** — ``PCG64(seedseq)`` maps the four ``uint64`` words
+  ``w`` of ``generate_state(4)`` to its 128-bit LCG state through an
+  affine ``state = (inc + seed) * A + inc`` with ``seed = w0<<64 | w1``
+  and ``inc = ((w2<<64 | w3) << 1) | 1``.  The multiplier ``A`` is an
+  implementation detail that has differed between numpy builds, so it is
+  *solved from reference constructions at import of the fast path* and
+  the whole pipeline is verified against ``np.random.PCG64`` on fresh
+  samples.  Any mismatch disables the fast path.
+
+Everything here is guarded by one-time self-checks against the real
+numpy implementations; on failure callers transparently fall back to
+:func:`repro.montecarlo.rng.block_rng` and per-write ``integers`` draws,
+trading speed for the identical bit streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.montecarlo.rng import block_rng
+
+__all__ = [
+    "FastSeeder",
+    "draw_payloads",
+    "merged_normals_ok",
+    "payload_fast_ok",
+]
+
+# SeedSequence hash constants (Melissa O'Neill's seed-sequence design, as
+# shipped in numpy's _seed_seq; verified by the self-check below).
+_INIT_A = np.uint64(0x43B0D7E5)
+_MULT_A = np.uint64(0x931E8875)
+_INIT_B = np.uint64(0x8B51F9DD)
+_MULT_B = np.uint64(0x58F38DED)
+_MIX_L = np.uint64(0xCA01F9DD)
+_MIX_R = np.uint64(0x4973F715)
+_XSHIFT = np.uint64(16)
+_POOL_SIZE = 4
+_M32 = np.uint64(0xFFFFFFFF)
+_MASK32 = (1 << 32) - 1
+_MASK128 = (1 << 128) - 1
+
+
+def _words_of(value: int) -> list[int]:
+    """Little-endian 32-bit limbs of a non-negative int (``[0]`` for 0)."""
+    if value == 0:
+        return [0]
+    out = []
+    while value:
+        out.append(value & _MASK32)
+        value >>= 32
+    return out
+
+
+def _padded_entropy_words(entropy: int) -> list[int]:
+    """The run-entropy words as SeedSequence hashes them before a spawn key.
+
+    The entropy is zero-padded to the pool size when a spawn key follows
+    (SeedSequence does this so sibling spawn trees with short entropies
+    cannot collide); fleet keys always carry a spawn key.
+    """
+    words = _words_of(entropy)
+    if len(words) < _POOL_SIZE:
+        words = words + [0] * (_POOL_SIZE - len(words))
+    return words
+
+
+def _hashmix(v: np.ndarray, hash_const: np.uint64) -> tuple[np.ndarray, np.uint64]:
+    v = (v ^ hash_const) & _M32
+    hash_const = (hash_const * _MULT_A) & _M32
+    v = (v * hash_const) & _M32
+    v ^= v >> _XSHIFT
+    return v & _M32, hash_const
+
+
+def _mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    r = (x * _MIX_L - y * _MIX_R) & _M32
+    r ^= r >> _XSHIFT
+    return r & _M32
+
+
+def _batched_state_words(prefix: list[int], last: np.ndarray) -> list[np.ndarray]:
+    """``generate_state(4, uint64)`` for many keys ``prefix + [last[j]]``.
+
+    The hash-constant chain is data-independent, so the pool schedule
+    runs once with the per-key entropy words broadcast along axis 0.
+    Returns four ``uint64`` arrays (the state words, in order).
+    """
+    n = last.size
+    n_words = len(prefix) + 1
+    words = np.empty((n, n_words), dtype=np.uint64)
+    words[:, :-1] = np.asarray(prefix, dtype=np.uint64)
+    words[:, -1] = last
+
+    hc = _INIT_A
+    pool: list[np.ndarray] = []
+    for i in range(_POOL_SIZE):
+        v, hc = _hashmix(words[:, i], hc)
+        pool.append(v)
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                h, hc = _hashmix(pool[i_src], hc)
+                pool[i_dst] = _mix(pool[i_dst], h)
+    for i_src in range(_POOL_SIZE, n_words):
+        # One hashmix per (word, pool slot): the hash constant advances
+        # on every call, so the four mixes see four different hashes.
+        for i_dst in range(_POOL_SIZE):
+            h, hc = _hashmix(words[:, i_src], hc)
+            pool[i_dst] = _mix(pool[i_dst], h)
+
+    hcb = _INIT_B
+    out32: list[np.ndarray] = []
+    for i in range(8):
+        v = pool[i % _POOL_SIZE]
+        v = (v ^ hcb) & _M32
+        hcb = (hcb * _MULT_B) & _M32
+        v = (v * hcb) & _M32
+        v ^= v >> _XSHIFT
+        out32.append(v & _M32)
+    return [out32[2 * j] | (out32[2 * j + 1] << np.uint64(32)) for j in range(4)]
+
+
+def _solve_pcg_multiplier() -> int | None:
+    """Recover PCG64's seeding multiplier ``A`` from reference states.
+
+    ``state = ((inc + seed) * A + inc) mod 2**128`` with ``inc + seed``
+    odd is invertible, so one reference construction determines ``A``;
+    the remaining samples verify the structural assumption.  Returns
+    ``None`` when the installed numpy does not follow this form.
+    """
+    samples = []
+    for entropy, key in ((12345, (7, 0)), (987654321, (3, 1)), (0, (9, 2)), (2**61 - 1, (5, 3))):
+        ss = np.random.SeedSequence(entropy, spawn_key=key)
+        w = [int(v) for v in ss.generate_state(4, np.uint64)]
+        seed = (w[0] << 64) | w[1]
+        inc_in = (w[2] << 64) | w[3]
+        inc = ((inc_in << 1) | 1) & _MASK128
+        state = int(np.random.PCG64(ss).state["state"]["state"])
+        samples.append((seed, inc, state))
+
+    mult = None
+    for seed, inc, state in samples:
+        base = (inc + seed) & _MASK128
+        if base % 2 == 1:
+            mult = ((state - inc) * pow(base, -1, 1 << 128)) & _MASK128
+            break
+    if mult is None:
+        return None
+    for seed, inc, state in samples:
+        if ((inc + seed) * mult + inc) & _MASK128 != state:
+            return None
+    return mult
+
+
+_DUMMY_SEEDSEQ = np.random.SeedSequence(0)
+
+
+def _make_generator(state: int, inc: int) -> np.random.Generator:
+    bg = np.random.PCG64(_DUMMY_SEEDSEQ)
+    bg.state = {
+        "bit_generator": "PCG64",
+        "state": {"state": state, "inc": inc},
+        "has_uint32": 0,
+        "uinteger": 0,
+    }
+    return np.random.Generator(bg)
+
+
+class FastSeeder:
+    """Population-batched replacement for per-device :func:`block_rng`.
+
+    ``generators(entropy, prefix, indices)`` returns the same streams as
+    ``[block_rng(entropy, prefix + (i,)) for i in indices]``.  One shared
+    instance runs the multiplier solve and an end-to-end verification
+    once per process; when either fails, ``generators`` falls back to
+    the scalar path (identical output, just slower).
+    """
+
+    _shared: "FastSeeder | None" = None
+
+    def __init__(self) -> None:
+        self._mult = _solve_pcg_multiplier()
+        self._ok = self._mult is not None and self._verify()
+
+    @classmethod
+    def shared(cls) -> "FastSeeder":
+        if cls._shared is None:
+            cls._shared = cls()
+        return cls._shared
+
+    @property
+    def fast(self) -> bool:
+        return self._ok
+
+    def _verify(self) -> bool:
+        idx = np.array([0, 1, 2, 1023, 99999], dtype=np.int64)
+        for entropy, prefix in ((424242, (0xF1EE, 1)), (2**62 + 11, (0xF1EE, 2))):
+            fastened = self._batched(entropy, prefix, idx)
+            for j, i in enumerate(idx):
+                ref = np.random.PCG64(
+                    np.random.SeedSequence(entropy, spawn_key=(*prefix, int(i)))
+                ).state["state"]
+                if fastened[j] != (ref["state"], ref["inc"]):
+                    return False
+        return True
+
+    def _batched(
+        self, entropy: int, prefix_key: tuple[int, ...], indices: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Per-index ``(state, inc)`` pairs of the seeded PCG64s."""
+        prefix_words = _padded_entropy_words(int(entropy))
+        for k in prefix_key:
+            prefix_words += _words_of(int(k))
+        w = _batched_state_words(prefix_words, indices.astype(np.uint64))
+        mult = self._mult
+        assert mult is not None
+        out: list[tuple[int, int]] = []
+        w0, w1, w2, w3 = (x.tolist() for x in w)
+        for j in range(indices.size):
+            seed = (w0[j] << 64) | w1[j]
+            inc = ((((w2[j] << 64) | w3[j]) << 1) | 1) & _MASK128
+            out.append((((inc + seed) * mult + inc) & _MASK128, inc))
+        return out
+
+    def generators(
+        self, entropy: int, prefix_key: tuple[int, ...], indices: np.ndarray
+    ) -> list[np.random.Generator]:
+        """One generator per device index, in ``indices`` order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if (
+            not self._ok
+            or indices.size == 0
+            or int(indices.max(initial=0)) >= 2**32
+            or int(indices.min(initial=0)) < 0
+        ):
+            return [
+                block_rng(entropy, (*prefix_key, int(i))) for i in indices
+            ]
+        return [
+            _make_generator(state, inc)
+            for state, inc in self._batched(entropy, prefix_key, indices)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Payload and normal-draw batching self-checks.
+_PAYLOAD_OK: bool | None = None
+_MERGED_NORMALS_OK: bool | None = None
+
+
+def payload_fast_ok() -> bool:
+    """Can ``integers(0, 2, bits, uint8)`` payload draws be batched?
+
+    The fast path draws the same bits as ``m`` successive per-write
+    calls from one full-range ``uint64`` draw (bit 7 of each byte, which
+    is where Lemire's bounded sampler leaves the 0/1 outcome).  Verified
+    once per process — values, generator end state, and the absence of a
+    buffered half-word (``has_uint32``) all must match, otherwise the
+    caller keeps the scalar calls.
+    """
+    global _PAYLOAD_OK
+    if _PAYLOAD_OK is None:
+        a = np.random.default_rng(999)
+        b = np.random.default_rng(999)
+        want = np.stack([a.integers(0, 2, 512, dtype=np.uint8) for _ in range(3)])
+        got = _payload_words(b, 3, 512)
+        sa, sb = a.bit_generator.state, b.bit_generator.state
+        _PAYLOAD_OK = bool(
+            np.array_equal(want, got)
+            and sa["state"] == sb["state"]
+            and sa["has_uint32"] == sb["has_uint32"] == 0
+        )
+    return _PAYLOAD_OK
+
+
+def _payload_words(g: np.random.Generator, m: int, data_bits: int) -> np.ndarray:
+    # The masked-rejection sampler consumes one byte of raw output per
+    # 0/1 draw and keeps its high bit, so bits = data_bits buffered bytes.
+    words = g.integers(0, 2**64, size=m * data_bits // 8, dtype=np.uint64)
+    return (words.view(np.uint8) >> 7).reshape(m, data_bits)
+
+
+def draw_payloads(g: np.random.Generator, m: int, data_bits: int) -> np.ndarray:
+    """``m`` write payloads from ``g`` — bit-identical to ``m`` scalar draws.
+
+    Callers must gate on :func:`payload_fast_ok` and ``data_bits % 8 == 0``
+    (the fleet default 512 qualifies); the bounded-sampler replication is
+    only exact for generators with no buffered half-word, which holds for
+    streams that are *only* ever used through this function.
+    """
+    return _payload_words(g, m, data_bits)
+
+
+def merged_normals_ok() -> bool:
+    """Is ``standard_normal(a + b)`` equal to two successive draws?
+
+    The ziggurat sampler fills output sequentially with independent
+    draws, so batching holds structurally; this pins it against the
+    installed numpy once per process before the wave engine merges the
+    per-program exponent draws into one call.
+    """
+    global _MERGED_NORMALS_OK
+    if _MERGED_NORMALS_OK is None:
+        a = np.random.default_rng(2024)
+        b = np.random.default_rng(2024)
+        want = np.concatenate([a.standard_normal(354), a.standard_normal(354)])
+        got = b.standard_normal(708)
+        _MERGED_NORMALS_OK = bool(
+            np.array_equal(want, got)
+            and a.bit_generator.state == b.bit_generator.state
+        )
+    return _MERGED_NORMALS_OK

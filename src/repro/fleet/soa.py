@@ -1,0 +1,786 @@
+"""Structure-of-arrays fleet engine: the epoch loop as array programs.
+
+:class:`SoaFleetEngine` is the vectorized twin of
+:class:`~repro.fleet.engine.ObjectFleetEngine`.  It holds the whole
+population's state in the flat arrays of
+:class:`~repro.fleet.state.SoaFleetState` and advances an epoch with
+array operations end to end — batched traffic and payload draws, fused
+drift + sense over every scrubbed block at once, and wave-vectorized
+program passes — while remaining **bit-identical** to the object engine:
+same per-device RNG streams, consumed in the same per-device order, same
+counters, same state digests.
+
+Two facts make the vectorization sound:
+
+- Devices are independent.  Each owns its three generator streams, so
+  work may be *reordered across devices* freely as long as each device's
+  own draw order is preserved.  The engine exploits this with *waves*:
+  wave ``w`` programs the ``w``-th write of every device concurrently —
+  within a device, writes still happen in trace order.
+- Sensing draws no randomness, so phase D's fused drift/threshold pass
+  over all ``(device, block)`` rows touches no stream at all.
+
+**Fast/slow epoch split.**  While no cell in the population has reached
+its endurance budget (tracked with a cheap wear upper bound against the
+population's minimum endurance), an epoch provably cannot produce
+faults, verify failures, retries, marks, or deaths — so the per-write
+retry loop collapses to straight-line array code.  Once wear makes
+faults possible, the engine switches to a scalar-exact port of the
+object engine's retry/mark/death semantics operating on the same arrays
+(:meth:`_write_encoded` and friends), so stress configs and end-of-life
+fleets take the identical code path decisions.  Mixed histories are
+fine: the split is decided per epoch from state alone, which keeps
+``advance(a); advance(b)`` equal to ``advance(a + b)``.
+
+The batched generator seeding and payload draws come from
+:mod:`repro.fleet.fastrng`; each is verified against numpy once per
+process and silently falls back to the scalar constructions when the
+installed numpy disagrees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.cells.cell_array import (
+    cell_state_digest,
+    drifted_log_resistance,
+    programmed_alpha,
+    programmed_log_resistance,
+)
+from repro.cells.drift import PAPER_ESCALATION, independent_escalated_alpha
+from repro.cells.faults import FaultMode
+from repro.cells.params import T0_SECONDS, WRITE_TRUNCATION_SIGMA
+from repro.core.designs import design_by_name
+from repro.core.device import DeviceStats, SpareExhausted, device_state_digest
+from repro.fleet.config import (
+    FLEET_SPAWN_KEY,
+    KEY_DATA,
+    KEY_DEVICE,
+    KEY_HETERO,
+    DeviceParams,
+    FleetConfig,
+    device_params,
+    hetero_draws,
+)
+from repro.fleet.engine import N_COUNTERS, _batch_codec, counter_index
+from repro.fleet.fastrng import (
+    FastSeeder,
+    draw_payloads,
+    merged_normals_ok,
+    payload_fast_ok,
+)
+from repro.fleet.state import SoaFleetState, alive_indices
+from repro.montecarlo.rng import truncated_normal, truncated_normal_from_uniform
+from repro.wearout.mark_and_spare import MarkAndSpareBlock
+from repro.workloads.synthetic import draw_ops_fast
+
+__all__ = ["SoaDeviceView", "SoaFleetEngine"]
+
+_HEALTHY = FaultMode.HEALTHY.value
+_STUCK_RESET = FaultMode.STUCK_RESET.value
+_STUCK_SET = FaultMode.STUCK_SET.value
+
+_C_WRITES = counter_index("writes")
+_C_READS_REQ = counter_index("reads_requested")
+_C_READS = counter_index("reads")
+_C_REFRESHES = counter_index("refreshes")
+_C_TEC = counter_index("tec_corrections")
+_C_UNCORRECTABLE = counter_index("uncorrectable")
+_C_SILENT = counter_index("silent")
+_C_MARKS = counter_index("wearout_marks")
+_C_RETRIES = counter_index("write_retries")
+_C_DEATHS = counter_index("deaths")
+_C_CELL_WRITE = counter_index("cell_programs_write")
+_C_CELL_REFRESH = counter_index("cell_programs_refresh")
+_C_SENSED = counter_index("cells_sensed")
+
+
+class SoaDeviceView:
+    """Read-only :class:`PCMDevice`-shaped view of one fleet device.
+
+    What the differential suites (and summaries) need from a device:
+    its :class:`DeviceStats` and its canonical state digest, both built
+    from the population arrays on demand.
+    """
+
+    def __init__(self, engine: "SoaFleetEngine", k: int) -> None:
+        self._engine = engine
+        self._k = k
+
+    @property
+    def stats(self) -> DeviceStats:
+        s = self._engine._s
+        k = self._k
+        return DeviceStats(
+            writes=int(s.st_writes[k]),
+            reads=int(s.st_reads[k]),
+            refreshes=0,
+            tec_corrections=int(s.st_tec[k]),
+            wearout_marks=int(s.st_marks[k]),
+            write_retries=int(s.st_retries[k]),
+        )
+
+    def state_digest(self) -> str:
+        return self._engine._device_digest(self._k)
+
+    def written_mask(self) -> np.ndarray:
+        return self._engine._s.written[self._k].copy()
+
+    def check_bits(self, block: int) -> np.ndarray:
+        return self._engine._s.slc[self._k, block].copy()
+
+
+class SoaFleetEngine:
+    """A contiguous device range, advanced as one structure of arrays.
+
+    Drop-in for :class:`~repro.fleet.engine.ObjectFleetEngine` (same
+    constructor, ``advance``, counters, digests); construct via the
+    :func:`~repro.fleet.engine.FleetEngine` factory.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        entropy: int,
+        first_device: int = 0,
+        n_devices: int | None = None,
+    ) -> None:
+        self.config = config
+        self.entropy = int(entropy)
+        self.first_device = int(first_device)
+        n = (
+            config.n_devices - self.first_device
+            if n_devices is None
+            else int(n_devices)
+        )
+        if self.first_device < 0 or n < 1 or self.first_device + n > config.n_devices:
+            raise ValueError(
+                f"device range [{first_device}, {first_device}+{n_devices}) "
+                f"outside fleet of {config.n_devices}"
+            )
+        self.n_devices = n
+        self._epoch = 0
+        self._batch = _batch_codec(config.data_bits)
+        codec = self._batch.codec
+        self._ms_config = codec.ms_config
+        self._n_mlc = codec.n_mlc_cells
+        self._n_spare_pairs = self._ms_config.n_spare_pairs
+
+        base = design_by_name(config.design)
+        if base.n_levels != 3:
+            raise ValueError("the fleet engines model 3LC devices")
+        schedule = PAPER_ESCALATION
+        tier = schedule.tiers[0]
+        self._n_levels = base.n_levels
+        self._top = base.n_levels - 1
+        self._thresholds = np.asarray(base.thresholds)
+        self._top_lr = base.states[-1].mu_lr
+        self._bot_lr = base.states[0].mu_lr
+        # Write distributions are heterogeneity-free (only drift rates
+        # and wear budgets vary per device; see repro.fleet.config).
+        self._mu_lr = np.array([s.mu_lr for s in base.states])
+        self._sg_lr = np.array([s.sigma_lr for s in base.states])
+        base_mu_a = np.array([s.drift.mu_alpha for s in base.states])
+        base_sg_a = np.array([s.drift.sigma_alpha for s in base.states])
+        self._lr_break = tier.lr_break
+
+        self._s = SoaFleetState(
+            n,
+            config.n_blocks,
+            self._n_mlc,
+            codec.n_slc_cells,
+            self._ms_config.n_pairs,
+            config.data_bits,
+        )
+        s = self._s
+        self._alive = np.ones(n, dtype=bool)
+
+        seeder = FastSeeder.shared()
+        idx = np.arange(self.first_device, self.first_device + n, dtype=np.int64)
+        g_het = seeder.generators(self.entropy, (FLEET_SPAWN_KEY, KEY_HETERO), idx)
+        self._g_dev = seeder.generators(self.entropy, (FLEET_SPAWN_KEY, KEY_DEVICE), idx)
+        self._g_data = seeder.generators(self.entropy, (FLEET_SPAWN_KEY, KEY_DATA), idx)
+
+        # Per-device drawn operating points (the hetero stream's four
+        # draws, in the frozen order of config.hetero_draws).
+        self._mu_a = np.empty((n, self._n_levels))
+        self._sg_a = np.empty((n, self._n_levels))
+        self._mu_esc = np.empty(n)
+        self._sg_esc = np.empty(n)
+        self._workload: list[str] = []
+        payload_fast = payload_fast_ok() and config.data_bits % 8 == 0
+        self._payload_fast: list[bool] = []
+        nc = config.n_blocks * self._n_mlc
+        for k in range(n):
+            bucket, alpha_jitter, endurance_scale, workload = hetero_draws(
+                config, g_het[k]
+            )
+            factor = float(config.temp_buckets[bucket][1]) * alpha_jitter
+            self._mu_a[k] = base_mu_a * factor
+            self._sg_a[k] = base_sg_a * factor
+            self._mu_esc[k] = tier.mu_alpha * factor
+            self._sg_esc[k] = tier.sigma_alpha * factor
+            self._workload.append(workload)
+            self._payload_fast.append(payload_fast and workload == "stream")
+            # CellArray init draws, from the device stream in its order:
+            # endurance budgets first, then pending failure modes.
+            g = self._g_dev[k]
+            lg = g.normal(
+                np.log10(config.mean_endurance * endurance_scale),
+                config.endurance_sigma,
+                nc,
+            )
+            s.endurance[k] = np.power(10.0, lg)
+            reset = g.random(nc) < config.p_stuck_reset
+            s.pending_mode[k] = np.where(reset, _STUCK_RESET, _STUCK_SET).astype(
+                np.int8
+            )
+        s.lr0[:] = self._bot_lr  # fresh cells sit at the lowest level
+
+        # Fast-epoch machinery: a cheap per-cell wear upper bound against
+        # the population's minimum endurance proves fault-freeness; a
+        # per-(device, block) program time serves fused sensing while
+        # every block was programmed whole (always true before the first
+        # slow epoch).
+        self._min_endurance = float(s.endurance.min())
+        self._writes_bound = 0
+        self._any_fault = False
+        self._tprog_uniform = True
+        self._tprog_row = np.zeros((n, config.n_blocks))
+        self._merged_normals = merged_normals_ok()
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Epochs advanced so far (also the next epoch's index)."""
+        return self._epoch
+
+    def device(self, index: int) -> SoaDeviceView:
+        """The device at *global* fleet index ``index``."""
+        k = index - self.first_device
+        if not 0 <= k < self.n_devices:
+            raise IndexError(f"device {index} not in this engine's range")
+        return SoaDeviceView(self, k)
+
+    def params(self, index: int) -> DeviceParams:
+        """Drawn operating point of global device ``index``."""
+        k = index - self.first_device
+        if not 0 <= k < self.n_devices:
+            raise IndexError(f"device {index} not in this engine's range")
+        return device_params(self.config, self.entropy, index)
+
+    def alive_mask(self) -> np.ndarray:
+        """Which of this engine's devices still have spare budget."""
+        return self._alive.copy()
+
+    @property
+    def state_nbytes(self) -> int:
+        """Bytes held by the population state arrays (telemetry)."""
+        return self._s.nbytes
+
+    def _device_digest(self, k: int) -> str:
+        s = self._s
+        cell = cell_state_digest(
+            s.lr0[k],
+            s.alpha[k],
+            s.alpha_esc[k],
+            s.t_prog[k],
+            s.target[k],
+            s.writes[k],
+            s.endurance[k],
+            s.fault[k],
+            s.pending_mode[k],
+        )
+        payloads = [
+            np.ascontiguousarray(s.marked[k, b]).tobytes()
+            for b in range(self.config.n_blocks)
+        ]
+        return device_state_digest(cell, s.slc[k], s.written[k], payloads)
+
+    def state_digest(self) -> str:
+        """SHA-256 over every device's full state plus fleet bookkeeping."""
+        h = hashlib.sha256()
+        h.update(self._epoch.to_bytes(8, "little"))
+        h.update(np.ascontiguousarray(self._alive).tobytes())
+        s = self._s
+        for k in range(self.n_devices):
+            h.update(self._device_digest(k).encode("ascii"))
+            for b in np.flatnonzero(s.has_stored[k]):
+                h.update(int(b).to_bytes(4, "little"))
+                h.update(np.ascontiguousarray(s.stored[k, b]).tobytes())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    def advance(self, n_epochs: int = 1) -> np.ndarray:
+        """Run ``n_epochs`` epochs; returns ``(n_epochs, N_COUNTERS)`` counts.
+
+        Splitting a run over successive calls is exact:
+        ``advance(a); advance(b)`` produces the same device states and
+        (concatenated) counts as ``advance(a + b)``.
+        """
+        n_epochs = int(n_epochs)
+        if n_epochs < 0:
+            raise ValueError(f"n_epochs must be >= 0, got {n_epochs}")
+        out = np.zeros((n_epochs, N_COUNTERS), dtype=np.int64)
+        for e in range(n_epochs):
+            out[e] = self._advance_one()
+        return out
+
+    def _advance_one(self) -> np.ndarray:
+        cfg = self.config
+        c = np.zeros(N_COUNTERS, dtype=np.int64)
+        t0 = self._epoch * cfg.epoch_seconds
+        t1 = t0 + cfg.epoch_seconds
+        alive = alive_indices(self._alive)
+        # An epoch adds at most ops_per_epoch + 1 writes to any cell, so
+        # while the wear bound stays below the population's minimum
+        # endurance no fault (hence no retry, mark, or death) can occur.
+        fast = (
+            not self._any_fault
+            and self._writes_bound + cfg.ops_per_epoch + 1 < self._min_endurance
+        )
+        if fast:
+            self._fast_epoch(alive, t0, t1, c)
+        else:
+            self._slow_epoch(alive, t0, t1, c)
+        self._writes_bound += cfg.ops_per_epoch + 1
+        self._epoch += 1
+        return c
+
+    # ------------------------------------------------------------------
+    # Phase A (shared): traffic + payload draws, per device in order.
+    def _draw_epoch_plan(
+        self, alive: np.ndarray, c: np.ndarray
+    ) -> list[tuple[int, np.ndarray, np.ndarray]]:
+        """Per-device ``(k, blocks, bits)`` demand-write segments.
+
+        Consumes exactly the draws the object engine's phase A consumes:
+        the trace slice from the data stream, then one payload per write
+        op in trace order (reads are counted, never served).
+        """
+        cfg = self.config
+        n_ops = cfg.ops_per_epoch
+        plan: list[tuple[int, np.ndarray, np.ndarray]] = []
+        reads_req = 0
+        for kk in alive:
+            k = int(kk)
+            g = self._g_data[k]
+            is_write, addr = draw_ops_fast(
+                self._workload[k], n_ops, cfg.n_blocks, g, cfg.write_fraction
+            )
+            w = np.flatnonzero(is_write)
+            m = w.size
+            reads_req += n_ops - m
+            if m == 0:
+                continue
+            if self._payload_fast[k]:
+                bits = draw_payloads(g, m, cfg.data_bits)
+            else:
+                bits = np.empty((m, cfg.data_bits), dtype=np.uint8)
+                for j in range(m):
+                    bits[j] = g.integers(0, 2, cfg.data_bits, dtype=np.uint8)
+            plan.append((k, addr[w], bits))
+        c[_C_READS_REQ] += reads_req
+        return plan
+
+    # ------------------------------------------------------------------
+    # Fast path: provably fault-free epoch, straight-line array code.
+    def _fast_epoch(
+        self, alive: np.ndarray, t0: float, t1: float, c: np.ndarray
+    ) -> None:
+        cfg = self.config
+        s = self._s
+        plan = self._draw_epoch_plan(alive, c)
+
+        if plan:
+            sizes = [blocks.size for _, blocks, _ in plan]
+            dev_rows = np.repeat(
+                np.array([k for k, _, _ in plan], dtype=np.int64), sizes
+            )
+            blk_rows = np.concatenate([blocks for _, blocks, _ in plan])
+            bits_mat = np.vstack([bits for _, _, bits in plan])
+            # Phase B: one batch encode of the epoch's demand writes.
+            w_states, w_checks = self._batch.encode(
+                bits_mat, s.marked[dev_rows, blk_rows]
+            )
+            # Phase C: program in waves (wave w = write slot w of every
+            # device; within-device trace order is preserved).
+            slots = np.concatenate([np.arange(m) for m in sizes])
+            for w in range(max(sizes)):
+                sel = np.flatnonzero(slots == w)
+                devs = dev_rows[sel]
+                blks = blk_rows[sel]
+                self._program_wave(devs, blks, w_states[sel], t0)
+                s.slc[devs, blks] = w_checks[sel]
+                s.written[devs, blks] = True
+                s.stored[devs, blks] = bits_mat[sel]
+                s.has_stored[devs, blks] = True
+                s.st_writes[devs] += 1
+            r = dev_rows.size
+            c[_C_WRITES] += r
+            c[_C_CELL_WRITE] += r * self._n_mlc
+
+        # Phase D: scrub every written block of every device — fused
+        # drift + sense (no RNG), one batch decode, one batch re-encode,
+        # refresh in waves.
+        wr = s.written[alive]
+        per_dev = wr.sum(axis=1)
+        sdevs = np.repeat(alive, per_dev)
+        sblks = np.nonzero(wr)[1]
+        r2 = sdevs.size
+        if r2 == 0:
+            return
+        sensed = self._sense_rows(sdevs, sblks, t1, pin=False)
+        dec = self._batch.decode(sensed, s.slc[sdevs, sblks])
+        c[_C_READS] += r2
+        c[_C_SENSED] += r2 * self._n_mlc
+        np.add.at(s.st_reads, sdevs, 1)
+        unc = dec.uncorrectable
+        c[_C_UNCORRECTABLE] += int(unc.sum())
+        ok = np.flatnonzero(~unc)
+        if ok.size == 0:
+            return
+        okd = sdevs[ok]
+        okb = sblks[ok]
+        tec = dec.tec_corrected[ok]
+        c[_C_TEC] += int(tec.sum())
+        np.add.at(s.st_tec, okd, tec)
+        data = dec.data_bits[ok]
+        silent = ~np.all(data == s.stored[okd, okb], axis=1)
+        c[_C_SILENT] += int(silent.sum())
+        f_states, f_checks = self._batch.encode(data, s.marked[okd, okb])
+        # Refresh waves: slot w = each device's w-th scrubbed-ok block
+        # (block-ascending within a device, as the object engine's loop).
+        starts = np.flatnonzero(np.r_[True, okd[1:] != okd[:-1]])
+        seg_len = np.diff(np.r_[starts, okd.size])
+        slots = np.arange(okd.size) - np.repeat(starts, seg_len)
+        for w in range(int(seg_len.max())):
+            sel = np.flatnonzero(slots == w)
+            devs = okd[sel]
+            blks = okb[sel]
+            self._program_wave(devs, blks, f_states[sel], t1)
+            s.slc[devs, blks] = f_checks[sel]
+            s.stored[devs, blks] = data[sel]
+            s.st_writes[devs] += 1
+        c[_C_REFRESHES] += ok.size
+        c[_C_CELL_REFRESH] += ok.size * self._n_mlc
+
+    def _program_wave(
+        self,
+        devs: np.ndarray,
+        blks: np.ndarray,
+        states: np.ndarray,
+        t_now: float,
+    ) -> None:
+        """Program one whole block per device, all devices at once.
+
+        Per device this consumes exactly the draws
+        :meth:`CellArray.program` consumes for a fully healthy block —
+        the truncated-normal uniforms, then the exponent normal, then
+        the escalation normal (the two normal calls merge into one when
+        the ziggurat self-check passed) — so the streams stay aligned
+        with the object engine's.
+        """
+        nm = self._n_mlc
+        w = devs.size
+        u = np.empty((w, nm))
+        zz = np.empty((w, 2 * nm))
+        if self._merged_normals:
+            for j in range(w):
+                g = self._g_dev[int(devs[j])]
+                u[j] = g.random(nm)
+                zz[j] = g.standard_normal(2 * nm)
+        else:
+            for j in range(w):
+                g = self._g_dev[int(devs[j])]
+                u[j] = g.random(nm)
+                zz[j, :nm] = g.standard_normal(nm)
+                zz[j, nm:] = g.standard_normal(nm)
+        z_r = truncated_normal_from_uniform(
+            u, 0.0, 1.0, -WRITE_TRUNCATION_SIGMA, WRITE_TRUNCATION_SIGMA
+        )
+        st = states.astype(np.int64)
+        lr0 = programmed_log_resistance(self._mu_lr[st], self._sg_lr[st], z_r)
+        alpha = programmed_alpha(
+            self._mu_a[devs[:, None], st], self._sg_a[devs[:, None], st], zz[:, :nm]
+        )
+        esc = independent_escalated_alpha(
+            zz[:, nm:], self._mu_esc[devs][:, None], self._sg_esc[devs][:, None]
+        )
+        s = self._s
+        s.lr0_3[devs, blks] = lr0
+        s.alpha_3[devs, blks] = alpha
+        s.alpha_esc_3[devs, blks] = esc
+        s.t_prog_3[devs, blks] = t_now
+        s.target_3[devs, blks] = st
+        s.writes_3[devs, blks] += 1
+        self._tprog_row[devs, blks] = t_now
+
+    def _sense_rows(
+        self, sdevs: np.ndarray, sblks: np.ndarray, t_now: float, *, pin: bool
+    ) -> np.ndarray:
+        """Fused drift + threshold for many ``(device, block)`` rows.
+
+        Row-uniform program times (every block so far programmed in one
+        shot) let the log-time factor collapse to one value per row;
+        after any slow epoch partial programs exist and the per-cell
+        times and fault pinning take over.  Either way this is the same
+        arithmetic :meth:`CellArray.log_resistance` runs per block.
+        """
+        s = self._s
+        if self._tprog_uniform:
+            dt = np.maximum(t_now - self._tprog_row[sdevs, sblks], 0.0) + T0_SECONDS
+            ell: np.ndarray = np.log10(dt / T0_SECONDS)[:, None]
+        else:
+            dt = np.maximum(t_now - s.t_prog_3[sdevs, sblks], 0.0) + T0_SECONDS
+            ell = np.log10(dt / T0_SECONDS)
+        lr = drifted_log_resistance(
+            s.lr0_3[sdevs, sblks],
+            s.alpha_3[sdevs, sblks],
+            s.alpha_esc_3[sdevs, sblks],
+            ell,
+            self._lr_break,
+        )
+        if pin:
+            fault = s.fault_3[sdevs, sblks]
+            lr = np.where(fault == _STUCK_RESET, self._top_lr, lr)
+            lr = np.where(fault == _STUCK_SET, self._bot_lr, lr)
+        return np.searchsorted(self._thresholds, lr, side="right")
+
+    # ------------------------------------------------------------------
+    # Slow path: scalar-exact port of the object engine's epoch with
+    # faults, retries, marks, and deaths, operating on the SoA arrays.
+    def _slow_epoch(
+        self, alive: np.ndarray, t0: float, t1: float, c: np.ndarray
+    ) -> None:
+        cfg = self.config
+        s = self._s
+        # Phase C below may partial-program cells (retries, force-highest
+        # on marked pairs) without touching ``_tprog_row``, so this very
+        # epoch's scrub must already read per-cell program times.
+        self._tprog_uniform = False
+        marks0 = s.st_marks.copy()
+        retries0 = s.st_retries.copy()
+        tec0 = s.st_tec.copy()
+        cells0 = s.writes.sum(axis=1)
+
+        plan = self._draw_epoch_plan(alive, c)
+
+        # Phase B: batch encode against each block's current layout.
+        w_states = w_checks = None
+        if plan:
+            dev_rows = np.repeat(
+                np.array([k for k, _, _ in plan], dtype=np.int64),
+                [blocks.size for _, blocks, _ in plan],
+            )
+            blk_rows = np.concatenate([blocks for _, blocks, _ in plan])
+            w_states, w_checks = self._batch.encode(
+                np.vstack([bits for _, _, bits in plan]),
+                s.marked[dev_rows, blk_rows],
+            )
+
+        # Phase C: program device by device, trace order within each.
+        writes0 = s.st_writes.copy()
+        r = 0
+        for k, blocks, bits in plan:
+            dirty: set[int] = set()
+            dead = False
+            for j in range(blocks.size):
+                if dead:
+                    r += 1
+                    continue
+                b = int(blocks[j])
+                mk0 = int(s.st_marks[k])
+                try:
+                    if b in dirty:
+                        # Layout changed since the batch encode: the
+                        # pre-encoded row is stale; take the scalar path.
+                        self._write_encoded(k, b, bits[j], t0)
+                    else:
+                        assert w_states is not None and w_checks is not None
+                        self._write_encoded(
+                            k, b, bits[j], t0, states=w_states[r], check=w_checks[r]
+                        )
+                except SpareExhausted:
+                    self._alive[k] = False
+                    c[_C_DEATHS] += 1
+                    dead = True
+                    r += 1
+                    continue
+                if int(s.st_marks[k]) != mk0:
+                    dirty.add(b)
+                s.stored[k, b] = bits[j]
+                s.has_stored[k, b] = True
+                r += 1
+        c[_C_WRITES] += int((s.st_writes - writes0)[alive].sum())
+        cells_after_c = s.writes.sum(axis=1)
+        c[_C_CELL_WRITE] += int((cells_after_c - cells0)[alive].sum())
+
+        # Phase D: scrub — sense everything, decode in one batch, refresh.
+        survivors = alive[self._alive[alive]]
+        refresh0 = s.st_writes.copy()
+        wr = s.written[survivors]
+        sdevs = np.repeat(survivors, wr.sum(axis=1))
+        sblks = np.nonzero(wr)[1]
+        r2 = sdevs.size
+        if r2:
+            sensed = self._sense_rows(sdevs, sblks, t1, pin=True)
+            dec = self._batch.decode(sensed, s.slc[sdevs, sblks])
+            ok = np.flatnonzero(~dec.uncorrectable)
+            f_states = f_checks = None
+            if ok.size:
+                f_states, f_checks = self._batch.encode(
+                    dec.data_bits[ok], s.marked[sdevs[ok], sblks[ok]]
+                )
+            enc_row = {int(j): pos for pos, j in enumerate(ok)}
+            j = 0
+            while j < r2:
+                k = int(sdevs[j])
+                dead = False
+                while j < r2 and int(sdevs[j]) == k:
+                    b = int(sblks[j])
+                    if dead:
+                        j += 1
+                        continue
+                    s.st_reads[k] += 1
+                    c[_C_READS] += 1
+                    c[_C_SENSED] += self._n_mlc
+                    if dec.uncorrectable[j]:
+                        c[_C_UNCORRECTABLE] += 1
+                        j += 1
+                        continue
+                    s.st_tec[k] += int(dec.tec_corrected[j])
+                    data = dec.data_bits[j]
+                    if s.has_stored[k, b] and not np.array_equal(
+                        data, s.stored[k, b]
+                    ):
+                        c[_C_SILENT] += 1
+                    pos = enc_row[j]
+                    assert f_states is not None and f_checks is not None
+                    try:
+                        self._write_encoded(
+                            k, b, data, t1, states=f_states[pos], check=f_checks[pos]
+                        )
+                    except SpareExhausted:
+                        self._alive[k] = False
+                        c[_C_DEATHS] += 1
+                        dead = True
+                        j += 1
+                        continue
+                    s.stored[k, b] = data
+                    j += 1
+        c[_C_REFRESHES] += int((s.st_writes - refresh0)[survivors].sum())
+        c[_C_CELL_REFRESH] += int(
+            (s.writes.sum(axis=1) - cells_after_c)[survivors].sum()
+        )
+        c[_C_MARKS] += int((s.st_marks - marks0)[alive].sum())
+        c[_C_RETRIES] += int((s.st_retries - retries0)[alive].sum())
+        c[_C_TEC] += int((s.st_tec - tec0)[alive].sum())
+
+        self._any_fault = bool(s.fault.any())
+
+    # ------------------------------------------------------------------
+    # Scalar per-device primitives (ports of PCMDevice/CellArray methods
+    # over rows of the population arrays; draw orders are identical).
+    def _block_view(self, k: int, b: int) -> MarkAndSpareBlock:
+        """A MarkAndSpareBlock whose marked mask *is* the SoA row."""
+        blk = MarkAndSpareBlock(self._ms_config)
+        blk._marked = self._s.marked[k, b]
+        return blk
+
+    def _write_encoded(
+        self,
+        k: int,
+        b: int,
+        data_bits: np.ndarray,
+        t_now: float,
+        states: np.ndarray | None = None,
+        check: np.ndarray | None = None,
+    ) -> None:
+        """Port of :meth:`PCMDevice.write_encoded` for device row ``k``."""
+        s = self._s
+        s.st_writes[k] += 1
+        blk = self._block_view(k, b)
+        bits = np.asarray(data_bits).astype(np.uint8)
+        base = b * self._n_mlc
+        idx = np.arange(base, base + self._n_mlc)
+        codec = self._batch.codec
+        for attempt in range(self._n_spare_pairs + 1):
+            if attempt or states is None or check is None:
+                states, check = codec.encode(bits, blk)
+            ok = self._cell_program(k, idx, np.asarray(states, dtype=np.int64), t_now)
+            s.slc[k, b] = check
+            bad = np.nonzero(~ok)[0]
+            if bad.size == 0:
+                s.written[k, b] = True
+                return
+            s.st_retries[k] += 1
+            pair = int(bad[0]) // 2
+            already = pair in set(blk.marked_pairs.tolist())
+            if not already:
+                blk.mark(pair)  # raises SpareExhausted when out
+                s.st_marks[k] += 1
+            # Force both cells of the marked pair toward S4 (INV).
+            pc = idx[2 * pair : 2 * pair + 2]
+            self._cell_force_highest(k, pc, t_now)
+        raise SpareExhausted(f"block {b}: wearout beyond spare budget")
+
+    def _cell_program(
+        self, k: int, idx: np.ndarray, st: np.ndarray, t_now: float
+    ) -> np.ndarray:
+        """Port of :meth:`CellArray.program` on device ``k``'s row."""
+        s = self._s
+        writes = s.writes[k]
+        fault = s.fault[k]
+        writes[idx] += 1
+        newly_dead = (writes[idx] >= s.endurance[k][idx]) & (fault[idx] == _HEALTHY)
+        if np.any(newly_dead):
+            dead = idx[newly_dead]
+            fault[dead] = s.pending_mode[k][dead]
+
+        healthy = fault[idx] == _HEALTHY
+        ok_idx = idx[healthy]
+        ok_st = st[healthy]
+        if ok_idx.size:
+            g = self._g_dev[k]
+            z_r = truncated_normal(
+                g, 0.0, 1.0, -WRITE_TRUNCATION_SIGMA, WRITE_TRUNCATION_SIGMA,
+                ok_idx.size,
+            )
+            s.lr0[k][ok_idx] = programmed_log_resistance(
+                self._mu_lr[ok_st], self._sg_lr[ok_st], z_r
+            )
+            z = g.standard_normal(ok_idx.size)
+            alpha = programmed_alpha(self._mu_a[k][ok_st], self._sg_a[k][ok_st], z)
+            s.alpha[k][ok_idx] = alpha
+            fresh = g.standard_normal(ok_idx.size)
+            s.alpha_esc[k][ok_idx] = independent_escalated_alpha(
+                fresh, self._mu_esc[k], self._sg_esc[k]
+            )
+            s.t_prog[k][ok_idx] = t_now
+            s.target[k][ok_idx] = ok_st
+
+        verify_ok = healthy.copy()
+        # A stuck-reset cell passes verify iff the target is the top state.
+        stuck_reset = fault[idx] == _STUCK_RESET
+        verify_ok |= stuck_reset & (st == self._top)
+        return verify_ok
+
+    def _cell_force_highest(self, k: int, idx: np.ndarray, t_now: float) -> np.ndarray:
+        """Port of :meth:`CellArray.force_highest` on device ``k``'s row."""
+        s = self._s
+        fault = s.fault[k]
+        stuck_set = fault[idx] == _STUCK_SET
+        if np.any(stuck_set):
+            revived = self._g_dev[k].random(int(stuck_set.sum())) < self.config.p_revive
+            tgt = idx[stuck_set][revived]
+            fault[tgt] = _STUCK_RESET
+        stuck_reset = fault[idx] == _STUCK_RESET
+        healthy = fault[idx] == _HEALTHY
+        h_idx = idx[healthy]
+        if h_idx.size:
+            self._cell_program(k, h_idx, np.full(h_idx.size, self._top), t_now)
+        return healthy | stuck_reset

@@ -13,6 +13,7 @@ __all__ = [
     "block_rng",
     "seed_entropy",
     "truncated_normal",
+    "truncated_normal_from_uniform",
     "alpha_samples",
 ]
 
@@ -73,9 +74,28 @@ def truncated_normal(
         return np.full(size, mu)
     if z_lo >= z_hi:
         raise ValueError("z_lo must be < z_hi")
-    p_lo, p_hi = ndtr(z_lo), ndtr(z_hi)
     u = rng.random(size)
-    z = ndtri(p_lo + u * (p_hi - p_lo))
+    return truncated_normal_from_uniform(u, mu, sigma, z_lo, z_hi)
+
+
+def truncated_normal_from_uniform(
+    u: np.ndarray,
+    mu: float,
+    sigma: float,
+    z_lo: float,
+    z_hi: float,
+) -> np.ndarray:
+    """The deterministic tail of :func:`truncated_normal`.
+
+    Maps already-drawn uniforms through the inverse CDF.  Batch engines
+    (``repro.fleet.soa``) draw per-device uniforms in stream order and
+    push the whole wave through this in one call; sharing the expression
+    with :func:`truncated_normal` keeps the two paths bit-identical.
+    """
+    if z_lo >= z_hi:
+        raise ValueError("z_lo must be < z_hi")
+    p_lo, p_hi = ndtr(z_lo), ndtr(z_hi)
+    z = ndtri(p_lo + np.asarray(u) * (p_hi - p_lo))
     return mu + sigma * z
 
 

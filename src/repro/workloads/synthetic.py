@@ -22,6 +22,7 @@ __all__ = [
     "TRACE_KINDS",
     "Trace",
     "draw_ops",
+    "draw_ops_fast",
     "stream_trace",
     "random_trace",
     "pointer_chase_trace",
@@ -208,6 +209,106 @@ def draw_ops(
     else:
         trace = random_trace(n_ops, footprint_lines, seed=seed, **wf)
     return trace.is_write.copy(), trace.line_addr.copy()
+
+
+#: Deterministic stream-pattern results, keyed by every input that shapes
+#: them.  The arrays are frozen (writeable=False) because they are shared.
+_STREAM_CACHE: dict[
+    tuple[int, int, float | None], tuple[np.ndarray, np.ndarray]
+] = {}
+
+#: Zipf ``(probs, cdf)`` tables per ``(footprint, skew)``.
+_ZIPF_CACHE: dict[tuple[int, float], tuple[np.ndarray, np.ndarray]] = {}
+
+#: One-time self-check result for the ``Generator.choice`` replication.
+_FAST_CHOICE_OK: bool | None = None
+
+
+def _zipf_tables(footprint_lines: int, skew: float) -> tuple[np.ndarray, np.ndarray]:
+    key = (footprint_lines, skew)
+    hit = _ZIPF_CACHE.get(key)
+    if hit is None:
+        ranks = np.arange(1, footprint_lines + 1, dtype=float)
+        probs = ranks**-skew
+        probs /= probs.sum()
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        hit = (probs, cdf)
+        _ZIPF_CACHE[key] = hit
+    return hit
+
+
+def _fast_choice_ok() -> bool:
+    """Does searchsorted-over-cdf replicate ``Generator.choice`` here?
+
+    ``choice(k, size=n, p=probs)`` is documented behavior but its draw
+    strategy is an implementation detail; verify once per process that
+    ``cdf.searchsorted(rng.random(n), side="right")`` reproduces both
+    the values and the generator end state, and fall back to ``choice``
+    itself otherwise.
+    """
+    global _FAST_CHOICE_OK
+    if _FAST_CHOICE_OK is None:
+        probs, cdf = _zipf_tables(7, 0.99)
+        a = np.random.default_rng(12345)  # repro-lint: disable=RPL001 -- throwaway self-check generator, never enters simulation state
+        b = np.random.default_rng(12345)  # repro-lint: disable=RPL001 -- throwaway self-check generator, never enters simulation state
+        want = a.choice(7, size=32, p=probs)
+        got = cdf.searchsorted(b.random(32), side="right")
+        _FAST_CHOICE_OK = bool(
+            np.array_equal(want, got)
+            and a.bit_generator.state == b.bit_generator.state
+        )
+    return _FAST_CHOICE_OK
+
+
+def draw_ops_fast(
+    kind: str,
+    n_ops: int,
+    footprint_lines: int,
+    rng: np.random.Generator,
+    write_fraction: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Allocation-light twin of :func:`draw_ops` for batch engines.
+
+    Consumes *exactly* the same generator draws in the same order as
+    :func:`draw_ops` (the fleet differential suite pins this), but skips
+    the :class:`Trace` construction, caches the RNG-free stream pattern
+    and the Zipf tables, and replicates ``Generator.choice`` with a
+    ``searchsorted`` over the cached CDF (guarded by a one-time
+    self-check; see :func:`_fast_choice_ok`).  Returned arrays may be
+    cache-shared — treat them as read-only.
+    """
+    if kind not in TRACE_KINDS:
+        raise ValueError(f"unknown trace kind {kind!r} (known: {TRACE_KINDS})")
+    if n_ops < 0:
+        raise ValueError("n_ops must be >= 0")
+    if kind == "stream":
+        key = (n_ops, footprint_lines, write_fraction)
+        hit = _STREAM_CACHE.get(key)
+        if hit is None:
+            is_write, addr = draw_ops(
+                kind, n_ops, footprint_lines, write_fraction=write_fraction
+            )
+            is_write.setflags(write=False)
+            addr.setflags(write=False)
+            hit = (is_write, addr)
+            _STREAM_CACHE[key] = hit
+        return hit
+    if kind == "zipfian" and footprint_lines >= 2:
+        wf = 0.1 if write_fraction is None else float(write_fraction)
+        probs, cdf = _zipf_tables(footprint_lines, 0.99)
+        perm = rng.permutation(footprint_lines)
+        if _fast_choice_ok():
+            picks = cdf.searchsorted(rng.random(n_ops), side="right")
+        else:
+            picks = rng.choice(footprint_lines, size=n_ops, p=probs)
+        addr = perm[picks]
+        is_write = rng.random(n_ops) < wf
+        return is_write, addr
+    wf = 0.2 if write_fraction is None else float(write_fraction)
+    addr = rng.integers(0, footprint_lines, n_ops)
+    is_write = rng.random(n_ops) < wf
+    return is_write, addr
 
 
 def interleave(name: str, traces: list[tuple[Trace, float]], seed: int = 0) -> Trace:

@@ -37,6 +37,9 @@ EXPECTED_LAYERS = {
     "repro.fleet": {
         "deny": ["repro.service", "repro.campaign", "repro.sim", "repro.lint"]
     },
+    "repro.fleet.soa": {
+        "deny": ["repro.service", "repro.campaign", "repro.sim", "repro.lint"]
+    },
     "repro.coding": {
         "deny": ["repro.service", "repro.campaign", "repro.sim"]
     },
